@@ -1,0 +1,38 @@
+# Standard developer entry points. Everything is stdlib-only; no network
+# access is required for any target.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark harness: every figure and table of the paper.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# One quick iteration of every experiment at reduced scale.
+bench-quick:
+	$(GO) run ./cmd/mrtsbench -exp all -scale 0.1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/outofcore-grid
+	$(GO) run ./examples/nupdr-pipe
+	$(GO) run ./examples/pcdm-domains
+	$(GO) run ./examples/fault-tolerance
+
+clean:
+	$(GO) clean ./...

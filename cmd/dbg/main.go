@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+
+	"mrts/internal/delaunay3"
+	"mrts/internal/geom3"
+	"mrts/internal/mesh3"
+)
+
+func main() {
+	box := geom3.NewBox(geom3.Pt(0, 0, 0), geom3.Pt(1, 1, 1))
+	m, err := delaunay3.NewBoxMesh(box)
+	if err != nil {
+		panic(err)
+	}
+	stats, err := delaunay3.Refine(m, box, delaunay3.Options{
+		Size:        func(geom3.Point) float64 { return 0.16 },
+		MaxVertices: 3000,
+	})
+	fmt.Printf("stats=%+v err=%v verts=%d tets=%d\n", stats, err, m.NumVertices(), m.NumInteriorTets())
+	if err := m.Validate(); err != nil {
+		fmt.Println("VALIDATE:", err)
+	}
+	// Inspect the worst remaining tets.
+	worst := 0
+	m.ForEachTet(func(id mesh3.TetID, _ mesh3.Tet) {
+		if m.HasSuperVertex(id) {
+			return
+		}
+		g := m.Geom(id)
+		if !box.Contains(g.Centroid()) {
+			return
+		}
+		if g.Circumradius() > 0.16 {
+			worst++
+			if worst <= 5 {
+				fmt.Printf("bad tet: R=%.4f L=%.4f vol=%.2e ratio=%.1f\n",
+					g.Circumradius(), g.LongestEdge(), g.Volume(), g.RadiusEdgeRatio())
+			}
+		}
+	})
+	fmt.Println("bad remaining:", worst)
+}

@@ -1,0 +1,54 @@
+// Command jobsim runs the batch-queue simulation behind Figure 1: mean
+// queue wait versus requested node count on a shared cluster, under an
+// FCFS + EASY-backfill scheduler.
+//
+// Usage:
+//
+//	jobsim -jobs 3000 -nodes 128 -interarrival 15m -runtime 80m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"mrts/internal/cluster"
+)
+
+func main() {
+	var (
+		jobs     = flag.Int("jobs", 3000, "number of jobs in the synthetic trace")
+		nodes    = flag.Int("nodes", 128, "cluster node count")
+		seed     = flag.Int64("seed", 7, "trace random seed")
+		inter    = flag.Duration("interarrival", 15*time.Minute, "mean job interarrival time")
+		runtime_ = flag.Duration("runtime", 80*time.Minute, "mean job runtime")
+		backfill = flag.Bool("backfill", true, "enable EASY backfill")
+	)
+	flag.Parse()
+
+	trace := cluster.SyntheticWorkload(cluster.WorkloadConfig{
+		Jobs:             *jobs,
+		ClusterNodes:     *nodes,
+		Seed:             *seed,
+		MeanInterarrival: *inter,
+		MeanRuntime:      *runtime_,
+	})
+	if err := cluster.SimulateJobs(cluster.JobSimConfig{
+		ClusterNodes: *nodes, Backfill: *backfill,
+	}, trace); err != nil {
+		fmt.Fprintf(os.Stderr, "jobsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	buckets := []int{4, 8, 16, 32, 64, *nodes}
+	sort.Ints(buckets)
+	wait := cluster.WaitByBucket(trace, buckets)
+	fmt.Printf("%8s  %12s\n", "nodes<=", "mean wait")
+	for _, b := range buckets {
+		if w, ok := wait[b]; ok {
+			fmt.Printf("%8d  %12s\n", b, w.Round(time.Second))
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command mrtsbench regenerates the figures and tables of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	mrtsbench -exp fig5              # one experiment
+//	mrtsbench -exp all -scale 0.25   # the whole evaluation, smaller sizes
+//	mrtsbench -list                  # show experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mrts/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		scale = flag.Float64("scale", 0.25, "problem size multiplier")
+		pes   = flag.Int("pes", 4, "processing elements / cluster nodes")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := bench.Experiments()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	opts := bench.Options{Scale: *scale, PEs: *pes}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := bench.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrtsbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,13 @@
+// Package mrts is a from-scratch Go reproduction of the Multi-layered
+// Run-Time System (MRTS) of Kot, Chernikov and Chrisochoides, "The
+// Evaluation of an Effective Out-of-core Run-Time System in the Context of
+// Parallel Mesh Generation" (IPDPS Workshops, 2011), together with the three
+// parallel unstructured mesh generation methods used to evaluate it (UPDR,
+// NUPDR, PCDM) and their out-of-core ports.
+//
+// The implementation lives under internal/; see README.md for the layout,
+// DESIGN.md for the architecture and the per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmark harness that
+// regenerates every figure and table of the paper is exposed through
+// bench_test.go (go test -bench) and cmd/mrtsbench.
+package mrts

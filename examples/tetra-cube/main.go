@@ -1,0 +1,72 @@
+// Tetrahedral meshing: the 3-D build.
+//
+// The paper generates "unstructured (i.e., triangular and tetrahedral)
+// meshes"; the MRTS code paths never look at the dimension of the data they
+// move. Part one builds a graded tetrahedral Delaunay mesh of the unit cube
+// sequentially; part two decomposes the cube into sub-cube mobile objects
+// and meshes them out-of-core on a 2-node cluster, swapping serialized
+// tetrahedral meshes through the storage layer exactly like the 2-D blocks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrts/internal/cluster"
+	"mrts/internal/delaunay3"
+	"mrts/internal/geom3"
+	"mrts/internal/meshgen"
+)
+
+func main() {
+	// --- Part 1: sequential graded tetrahedral mesh. ---
+	box := geom3.NewBox(geom3.Pt(0, 0, 0), geom3.Pt(1, 1, 1))
+	m, err := delaunay3.NewBoxMesh(box)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := func(p geom3.Point) float64 {
+		// Fine near the center, coarse at the corners.
+		return 0.05 + 0.18*p.Dist(box.Center())
+	}
+	stats, err := delaunay3.Refine(m, box, delaunay3.Options{Size: size})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graded cube: %d tetrahedra, %d vertices (%d Steiner points)\n",
+		m.NumInteriorTets(), m.NumVertices(), stats.Inserted)
+
+	// --- Part 2: out-of-core tetrahedral blocks on the MRTS. ---
+	spool, cleanup, err := cluster.TempSpoolDir("tetra-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+	cl, err := cluster.New(cluster.Config{
+		Nodes:     2,
+		MemBudget: 150 << 10, // force most blocks to disk
+		SpoolDir:  spool,
+		Factory:   meshgen.Factory,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	res, err := meshgen.RunOUPDR3(cl, meshgen.OUPDR3Config{
+		Blocks:         3, // 27 mobile objects
+		TargetElements: 40_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Printf("evictions %d, reloads %d — tetrahedral meshes swapped through the storage layer\n",
+		res.Mem.Evictions, res.Mem.Loads)
+	if res.Mem.Evictions == 0 {
+		log.Fatal("expected the run to go out-of-core")
+	}
+}

@@ -1,0 +1,94 @@
+// Package bench is the harness that regenerates every figure and table of
+// the paper's evaluation section (see DESIGN.md for the experiment index).
+// Each experiment function returns a Table whose rows mirror the series the
+// paper plots; cmd/mrtsbench and the root bench_test.go both drive it.
+//
+// Absolute numbers cannot match 2005-era SPARC/Power5 clusters; the harness
+// targets the paper's shapes: small OOC overhead in-core, near-linear time
+// growth past the memory budget, flat per-PE Speed, high comp/comm/disk
+// overlap, and the LRU-vs-LFU policy ordering for PCDM.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(fmt.Sprintf("%*s", widths[i], c))
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	line(t.Headers)
+	total := len(t.Headers) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Formatting helpers.
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.0fms", float64(d)/float64(time.Millisecond))
+	default:
+		return d.String()
+	}
+}
+
+func fmtPct(p float64) string { return fmt.Sprintf("%.1f%%", p) }
+
+func fmtInt(v int) string { return fmt.Sprintf("%d", v) }
+
+func fmtK(v int) string {
+	if v >= 1000 {
+		return fmt.Sprintf("%.0fk", float64(v)/1000)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func fmtSpeed(s float64) string { return fmt.Sprintf("%.0f", s) }

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		ID:      "t",
+		Title:   "demo",
+		Headers: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("1", "22")
+	tbl.AddRow("333", "4")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "a note", "333", "22"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := fmtDur(1500 * time.Millisecond); got != "1.50s" {
+		t.Errorf("fmtDur = %q", got)
+	}
+	if got := fmtDur(25 * time.Millisecond); got != "25ms" {
+		t.Errorf("fmtDur = %q", got)
+	}
+	if got := fmtDur(200 * time.Microsecond); got != "200µs" {
+		t.Errorf("fmtDur = %q", got)
+	}
+	if got := fmtPct(12.34); got != "12.3%" {
+		t.Errorf("fmtPct = %q", got)
+	}
+	if got := fmtK(42000); got != "42k" {
+		t.Errorf("fmtK = %q", got)
+	}
+	if got := fmtK(999); got != "999" {
+		t.Errorf("fmtK = %q", got)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("bogus", Options{}); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFigure1Small(t *testing.T) {
+	tbl, err := Figure1(Options{Scale: 0.2, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("too few rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure5Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opts := Options{Scale: 0.05, PEs: 2}.withDefaults()
+	tbl, err := methodPair("fig5", "tiny", "UPDR", []int{opts.size(20000), opts.size(40000)}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestPoliciesTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tbl, err := Policies(Options{Scale: 0.08, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("expected 10 rows (5 policies x 2 workloads), got %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"sort"
+
+	"mrts/internal/core"
+)
+
+// This file provides the dynamic load balancing functionality the paper
+// inherits from the MRTS's predecessor: redistributing mobile objects
+// between nodes by migration. Over-decomposition (N ≫ P objects) is what
+// makes this effective — there is always something movable.
+//
+// Balancing runs at a phase boundary (quiescence), which is when the
+// paper's applications rebalance too: migration of busy objects is refused
+// by the runtime, so a quiet cluster is the natural point.
+
+// Weight scores one object for balancing. The default weighs every object
+// equally; applications supply e.g. element counts.
+type Weight func(ptr core.MobilePtr, rt *core.Runtime) int64
+
+// Balance redistributes mobile objects so per-node total weight is as even
+// as migration of whole objects allows. It returns the number of objects
+// moved. The cluster must be quiescent.
+func (c *Cluster) Balance(weight Weight) int {
+	if weight == nil {
+		weight = func(core.MobilePtr, *core.Runtime) int64 { return 1 }
+	}
+	type item struct {
+		ptr core.MobilePtr
+		w   int64
+	}
+	n := len(c.rts)
+	loads := make([]int64, n)
+	objs := make([][]item, n)
+	var total int64
+	for i, rt := range c.rts {
+		for _, p := range rt.LocalObjects() {
+			w := weight(p, rt)
+			if w <= 0 {
+				w = 1
+			}
+			objs[i] = append(objs[i], item{p, w})
+			loads[i] += w
+			total += w
+		}
+		// Move the lightest objects first: cheaper migrations, finer
+		// control near the target load.
+		sort.Slice(objs[i], func(a, b int) bool { return objs[i][a].w < objs[i][b].w })
+	}
+	target := total / int64(n)
+
+	moved := 0
+	// Greedy: repeatedly move an object from the most loaded node to the
+	// least loaded one while that strictly improves the imbalance.
+	for iter := 0; iter < 4*len(c.rts)*64; iter++ {
+		hi, lo := 0, 0
+		for i := range loads {
+			if loads[i] > loads[hi] {
+				hi = i
+			}
+			if loads[i] < loads[lo] {
+				lo = i
+			}
+		}
+		if hi == lo || loads[hi] <= target {
+			break
+		}
+		// Pick the largest object that still fits the deficit.
+		deficit := loads[hi] - target
+		cand := -1
+		for k := len(objs[hi]) - 1; k >= 0; k-- {
+			if objs[hi][k].w <= deficit || cand == -1 {
+				cand = k
+				if objs[hi][k].w <= deficit {
+					break
+				}
+			}
+		}
+		if cand < 0 {
+			break
+		}
+		it := objs[hi][cand]
+		if err := c.rts[hi].Migrate(it.ptr, core.NodeID(lo)); err != nil {
+			// Busy or gone: drop it from consideration.
+			objs[hi] = append(objs[hi][:cand], objs[hi][cand+1:]...)
+			if len(objs[hi]) == 0 {
+				break
+			}
+			continue
+		}
+		moved++
+		objs[hi] = append(objs[hi][:cand], objs[hi][cand+1:]...)
+		loads[hi] -= it.w
+		loads[lo] += it.w
+		objs[lo] = append(objs[lo], it)
+		if loads[hi] <= target && loads[lo] >= target {
+			// Check whether any imbalance remains worth fixing.
+			maxL, minL := loads[0], loads[0]
+			for _, l := range loads {
+				if l > maxL {
+					maxL = l
+				}
+				if l < minL {
+					minL = l
+				}
+			}
+			if maxL-minL <= 1 {
+				break
+			}
+		}
+	}
+	// Let the installs land before the caller resumes posting.
+	c.Wait()
+	return moved
+}
+
+// ObjectCounts returns the number of mobile objects per node.
+func (c *Cluster) ObjectCounts() []int {
+	out := make([]int, len(c.rts))
+	for i, rt := range c.rts {
+		out[i] = rt.NumLocalObjects()
+	}
+	return out
+}

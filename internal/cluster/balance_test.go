@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+
+	"mrts/internal/core"
+)
+
+func newBalanceCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Nodes:     nodes,
+		MemBudget: 1 << 20,
+		Factory:   ballastFactory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestBalanceEvensOutCounts(t *testing.T) {
+	c := newBalanceCluster(t, 4)
+	// All 40 objects start on node 0.
+	for i := 0; i < 40; i++ {
+		c.RT(0).CreateObject(&ballastObj{Data: make([]byte, 64)})
+	}
+	moved := c.Balance(nil)
+	if moved == 0 {
+		t.Fatal("expected migrations")
+	}
+	counts := c.ObjectCounts()
+	for i, n := range counts {
+		if n < 8 || n > 12 {
+			t.Errorf("node %d has %d objects after balancing: %v", i, n, counts)
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 40 {
+		t.Fatalf("objects lost or duplicated: %v", counts)
+	}
+}
+
+func TestBalanceWeighted(t *testing.T) {
+	c := newBalanceCluster(t, 2)
+	// Node 0: one heavy object (weight 10) + ten light ones; node 1: none.
+	heavy := c.RT(0).CreateObject(&ballastObj{N: 100, Data: make([]byte, 64)})
+	for i := 0; i < 10; i++ {
+		c.RT(0).CreateObject(&ballastObj{N: 1, Data: make([]byte, 64)})
+	}
+	weights := map[core.MobilePtr]int64{heavy: 10}
+	moved := c.Balance(func(p core.MobilePtr, rt *core.Runtime) int64 {
+		if w, ok := weights[p]; ok {
+			return w
+		}
+		return 1
+	})
+	if moved == 0 {
+		t.Fatal("expected migrations")
+	}
+	// Total weight 20; each node should hold about 10. Whichever side the
+	// heavy object landed on, the split must be near even.
+	var w0 int64
+	for _, p := range c.RT(0).LocalObjects() {
+		if p == heavy {
+			w0 += 10
+		} else {
+			w0++
+		}
+	}
+	if w0 < 7 || w0 > 13 {
+		t.Errorf("node 0 weight after balance = %d, want ≈10", w0)
+	}
+}
+
+func TestBalanceObjectsStillWork(t *testing.T) {
+	c := newBalanceCluster(t, 3)
+	for _, rt := range c.Runtimes() {
+		rt.Register(1, func(ctx *core.Ctx, arg []byte) {
+			ctx.Object().(*ballastObj).N++
+		})
+	}
+	var ptrs []core.MobilePtr
+	for i := 0; i < 12; i++ {
+		ptrs = append(ptrs, c.RT(0).CreateObject(&ballastObj{}))
+	}
+	c.Balance(nil)
+	// Post to every object from every node; the directory must chase the
+	// migrated objects.
+	for _, rt := range c.Runtimes() {
+		for _, p := range ptrs {
+			rt.Post(p, 1, nil)
+		}
+	}
+	c.Wait()
+	got := make(chan int64, 1)
+	for _, rt := range c.Runtimes() {
+		rt.Register(2, func(ctx *core.Ctx, arg []byte) {
+			got <- ctx.Object().(*ballastObj).N
+		})
+	}
+	for _, p := range ptrs {
+		c.RT(0).Post(p, 2, nil)
+		if v := <-got; v != 3 {
+			t.Fatalf("object %v count = %d, want 3", p, v)
+		}
+	}
+}
+
+func TestBalanceAlreadyEven(t *testing.T) {
+	c := newBalanceCluster(t, 2)
+	for i := 0; i < 4; i++ {
+		c.RT(i % 2).CreateObject(&ballastObj{})
+	}
+	if moved := c.Balance(nil); moved != 0 {
+		t.Errorf("balanced cluster moved %d objects", moved)
+	}
+}

@@ -1,0 +1,220 @@
+// Package cluster assembles simulated clusters: N MRTS nodes inside one
+// process, each with its own memory budget, task pool (PEs), spool store and
+// trace collector, wired by an in-process one-sided transport with a
+// configurable network model. It also hosts the batch-queue simulator used
+// to reproduce Figure 1 of the paper.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mrts/internal/comm"
+	"mrts/internal/core"
+	"mrts/internal/ooc"
+	"mrts/internal/remotemem"
+	"mrts/internal/sched"
+	"mrts/internal/storage"
+	"mrts/internal/trace"
+)
+
+// SchedulerKind selects the computing layer implementation (Table VII).
+type SchedulerKind string
+
+// Available computing-layer schedulers.
+const (
+	WorkStealing SchedulerKind = "workstealing" // TBB-like
+	GlobalQueue  SchedulerKind = "globalqueue"  // GCD-like
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is the number of simulated nodes.
+	Nodes int
+	// WorkersPerNode is the PE count per node (pool workers). <= 0 means 1.
+	WorkersPerNode int
+	// MemBudget is the per-node memory budget in bytes for mobile objects.
+	MemBudget int64
+	// Policy is the eviction policy (default LRU).
+	Policy ooc.Policy
+	// Network is the latency model of the inter-node transport.
+	Network comm.LatencyModel
+	// Disk, when non-zero, injects a service-time model into each node's
+	// store (one simulated spindle per node).
+	Disk storage.DiskModel
+	// SpoolDir, when non-empty, uses real files under
+	// SpoolDir/node<i>/ as the storage backend; otherwise memory-backed
+	// stores are used.
+	SpoolDir string
+	// RemoteMemory, when true, implements the paper's "memory of remote
+	// nodes as out-of-core media" configuration: one extra node joins the
+	// transport as a dedicated memory server and every compute node's
+	// storage layer reaches it over one-sided messages instead of using
+	// local disk. SpoolDir and Disk are ignored in this mode.
+	RemoteMemory bool
+	// Scheduler selects the task scheduler flavor (default WorkStealing).
+	Scheduler SchedulerKind
+	// Factory constructs application objects on reload/migration.
+	Factory core.Factory
+	// IOWorkers per node (<= 0 means 2).
+	IOWorkers int
+}
+
+// Cluster is a set of wired MRTS nodes.
+type Cluster struct {
+	cfg    Config
+	tr     *comm.InProcTransport
+	pools  []sched.Pool
+	rts    []*core.Runtime
+	cols   []*trace.Collector
+	memsrv *remotemem.Server
+	start  time.Time
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 node")
+	}
+	if cfg.WorkersPerNode <= 0 {
+		cfg.WorkersPerNode = 1
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = WorkStealing
+	}
+	endpoints := cfg.Nodes
+	if cfg.RemoteMemory {
+		endpoints++ // the memory server node
+	}
+	c := &Cluster{cfg: cfg, tr: comm.NewInProc(endpoints, cfg.Network), start: time.Now()}
+	if cfg.RemoteMemory {
+		c.memsrv = remotemem.NewServer(c.tr.Endpoint(comm.NodeID(cfg.Nodes)))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		var pool sched.Pool
+		switch cfg.Scheduler {
+		case GlobalQueue:
+			pool = sched.NewGlobalQueue(cfg.WorkersPerNode)
+		default:
+			pool = sched.NewWorkStealing(cfg.WorkersPerNode)
+		}
+		var st storage.Store
+		switch {
+		case cfg.RemoteMemory:
+			st = remotemem.NewClient(c.tr.Endpoint(comm.NodeID(i)), comm.NodeID(cfg.Nodes))
+		case cfg.SpoolDir != "":
+			fs, err := storage.NewFile(filepath.Join(cfg.SpoolDir, fmt.Sprintf("node%d", i)))
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			st = fs
+		default:
+			st = storage.NewMem()
+		}
+		if !cfg.RemoteMemory && (cfg.Disk.Seek > 0 || cfg.Disk.BytesPerSec > 0) {
+			st = storage.NewLatency(st, cfg.Disk)
+		}
+		col := trace.NewCollector()
+		var commDelay func(int) time.Duration
+		if cfg.Network.Latency > 0 || cfg.Network.BytesPerSec > 0 {
+			commDelay = cfg.Network.Delay
+		}
+		var diskDelay func(int) time.Duration
+		if cfg.Disk.Seek > 0 || cfg.Disk.BytesPerSec > 0 {
+			diskDelay = cfg.Disk.ServiceTime
+		}
+		rt := core.NewRuntime(core.Config{
+			Endpoint:  c.tr.Endpoint(comm.NodeID(i)),
+			Pool:      pool,
+			Factory:   cfg.Factory,
+			Mem:       ooc.Config{Budget: cfg.MemBudget, Policy: cfg.Policy},
+			Store:     st,
+			IOWorkers: cfg.IOWorkers,
+			Collector: col,
+			CommDelay: commDelay,
+			DiskDelay: diskDelay,
+		})
+		c.pools = append(c.pools, pool)
+		c.rts = append(c.rts, rt)
+		c.cols = append(c.cols, col)
+	}
+	return c, nil
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.rts) }
+
+// PEs returns the total processing element count (nodes × workers).
+func (c *Cluster) PEs() int { return len(c.rts) * c.cfg.WorkersPerNode }
+
+// RT returns node i's runtime.
+func (c *Cluster) RT(i int) *core.Runtime { return c.rts[i] }
+
+// Runtimes returns all runtimes.
+func (c *Cluster) Runtimes() []*core.Runtime { return c.rts }
+
+// MemoryServer returns the remote-memory server when the cluster was built
+// with RemoteMemory, else nil.
+func (c *Cluster) MemoryServer() *remotemem.Server { return c.memsrv }
+
+// Wait blocks until the whole cluster is quiescent — the paper's
+// termination condition ("no message handlers executing and no messages
+// traveling").
+func (c *Cluster) Wait() { core.WaitQuiescence(c.rts...) }
+
+// Report merges the per-node trace reports for the elapsed wall time.
+func (c *Cluster) Report() trace.Report {
+	wall := time.Since(c.start)
+	reports := make([]trace.Report, len(c.cols))
+	for i, col := range c.cols {
+		reports[i] = col.Report()
+	}
+	return trace.Merge(wall, reports...)
+}
+
+// MemStats aggregates the OOC statistics across nodes.
+func (c *Cluster) MemStats() ooc.Stats {
+	var out ooc.Stats
+	for _, rt := range c.rts {
+		s := rt.Mem().Snapshot()
+		out.Evictions += s.Evictions
+		out.Loads += s.Loads
+		out.InCore += s.InCore
+		out.OutOfCore += s.OutOfCore
+		out.MemUsed += s.MemUsed
+		out.MemBudget += s.MemBudget
+		out.PeakMemUsed += s.PeakMemUsed
+	}
+	return out
+}
+
+// Close shuts everything down: runtimes (waiting for swap ops), pools and
+// the transport.
+func (c *Cluster) Close() {
+	for _, rt := range c.rts {
+		if rt != nil {
+			rt.Close()
+		}
+	}
+	for _, p := range c.pools {
+		if p != nil {
+			p.Close()
+		}
+	}
+	if c.tr != nil {
+		c.tr.Close()
+	}
+}
+
+// TempSpoolDir creates a throwaway spool directory for out-of-core runs and
+// returns it with a cleanup function.
+func TempSpoolDir(prefix string) (string, func(), error) {
+	dir, err := os.MkdirTemp("", prefix)
+	if err != nil {
+		return "", nil, err
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}

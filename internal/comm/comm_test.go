@@ -1,0 +1,318 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// transports returns constructors for every transport flavor.
+func transports(t *testing.T, n int) map[string]Transport {
+	t.Helper()
+	out := map[string]Transport{
+		"inproc": NewInProc(n, LatencyModel{}),
+	}
+	tcp, err := NewTCP(n)
+	if err != nil {
+		t.Fatalf("NewTCP: %v", err)
+	}
+	out["tcp"] = tcp
+	return out
+}
+
+func TestBasicDelivery(t *testing.T) {
+	for name, tr := range transports(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			got := make(chan Message, 1)
+			tr.Endpoint(1).Register(7, func(m Message) { got <- m })
+			if err := tr.Endpoint(0).Send(1, 7, []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case m := <-got:
+				if m.From != 0 || m.Handler != 7 || string(m.Payload) != "hello" {
+					t.Fatalf("got %+v", m)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("timeout")
+			}
+		})
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	for name, tr := range transports(t, 1) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			got := make(chan string, 1)
+			tr.Endpoint(0).Register(1, func(m Message) { got <- string(m.Payload) })
+			if err := tr.Endpoint(0).Send(0, 1, []byte("self")); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case s := <-got:
+				if s != "self" {
+					t.Fatalf("got %q", s)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("timeout")
+			}
+		})
+	}
+}
+
+func TestPairwiseOrdering(t *testing.T) {
+	const nmsg = 500
+	for name, tr := range transports(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			var mu sync.Mutex
+			perSource := map[NodeID][]int{}
+			done := make(chan struct{})
+			var count atomic.Int64
+			tr.Endpoint(2).Register(1, func(m Message) {
+				v := int(m.Payload[0])<<8 | int(m.Payload[1])
+				mu.Lock()
+				perSource[m.From] = append(perSource[m.From], v)
+				mu.Unlock()
+				if count.Add(1) == 2*nmsg {
+					close(done)
+				}
+			})
+			send := func(src NodeID) {
+				ep := tr.Endpoint(src)
+				for i := 0; i < nmsg; i++ {
+					if err := ep.Send(2, 1, []byte{byte(i >> 8), byte(i)}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			go send(0)
+			go send(1)
+			select {
+			case <-done:
+			case <-time.After(20 * time.Second):
+				t.Fatal("timeout")
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for src, seq := range perSource {
+				if len(seq) != nmsg {
+					t.Fatalf("source %d: %d messages", src, len(seq))
+				}
+				for i, v := range seq {
+					if v != i {
+						t.Fatalf("source %d: message %d out of order (got %d)", src, i, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestHandlersSerializedPerEndpoint(t *testing.T) {
+	for name, tr := range transports(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			var inHandler atomic.Int32
+			var overlap atomic.Int32
+			var count atomic.Int32
+			done := make(chan struct{})
+			tr.Endpoint(1).Register(1, func(m Message) {
+				if inHandler.Add(1) > 1 {
+					overlap.Add(1)
+				}
+				time.Sleep(100 * time.Microsecond)
+				inHandler.Add(-1)
+				if count.Add(1) == 50 {
+					close(done)
+				}
+			})
+			for i := 0; i < 50; i++ {
+				if err := tr.Endpoint(0).Send(1, 1, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			select {
+			case <-done:
+			case <-time.After(20 * time.Second):
+				t.Fatal("timeout")
+			}
+			if overlap.Load() != 0 {
+				t.Fatalf("handlers overlapped %d times", overlap.Load())
+			}
+		})
+	}
+}
+
+func TestHandlerMaySend(t *testing.T) {
+	// Ring: 0 -> 1 -> 2 -> 0, forwarded from inside handlers.
+	for name, tr := range transports(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			done := make(chan int, 1)
+			for i := 0; i < 3; i++ {
+				i := i
+				ep := tr.Endpoint(NodeID(i))
+				ep.Register(1, func(m Message) {
+					hops := int(m.Payload[0])
+					if hops >= 30 {
+						done <- hops
+						return
+					}
+					next := NodeID((i + 1) % 3)
+					if err := ep.Send(next, 1, []byte{byte(hops + 1)}); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+			if err := tr.Endpoint(0).Send(1, 1, []byte{0}); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case h := <-done:
+				if h < 30 {
+					t.Fatalf("hops = %d", h)
+				}
+			case <-time.After(20 * time.Second):
+				t.Fatal("timeout")
+			}
+		})
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	for name, tr := range transports(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			if err := tr.Endpoint(0).Send(9, 1, nil); err == nil {
+				t.Fatal("expected error for unknown node")
+			}
+		})
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := NewInProc(2, LatencyModel{})
+	defer tr.Close()
+	rcvd := make(chan struct{}, 10)
+	tr.Endpoint(1).Register(1, func(m Message) { rcvd <- struct{}{} })
+	for i := 0; i < 5; i++ {
+		if err := tr.Endpoint(0).Send(1, 1, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		<-rcvd
+	}
+	s0 := tr.Endpoint(0).Stats()
+	s1 := tr.Endpoint(1).Stats()
+	if s0.MsgsSent != 5 || s0.BytesSent != 500 {
+		t.Errorf("sender stats: %+v", s0)
+	}
+	if s1.MsgsReceived != 5 || s1.BytesReceived != 500 {
+		t.Errorf("receiver stats: %+v", s1)
+	}
+}
+
+func TestLatencyModelDelay(t *testing.T) {
+	m := LatencyModel{Latency: 10 * time.Millisecond, BytesPerSec: 1000}
+	if d := m.Delay(0); d != 10*time.Millisecond {
+		t.Errorf("Delay(0) = %v", d)
+	}
+	if d := m.Delay(1000); d != 10*time.Millisecond+time.Second {
+		t.Errorf("Delay(1000) = %v", d)
+	}
+	var zero LatencyModel
+	if d := zero.Delay(1 << 20); d != 0 {
+		t.Errorf("zero model Delay = %v", d)
+	}
+}
+
+func TestLatencyModelDelaysDelivery(t *testing.T) {
+	tr := NewInProc(2, LatencyModel{Latency: 30 * time.Millisecond})
+	defer tr.Close()
+	got := make(chan time.Time, 1)
+	tr.Endpoint(1).Register(1, func(m Message) { got <- time.Now() })
+	start := time.Now()
+	if err := tr.Endpoint(0).Send(1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	at := <-got
+	if e := at.Sub(start); e < 25*time.Millisecond {
+		t.Errorf("delivered after %v, want >= ~30ms", e)
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	tr := NewInProc(2, LatencyModel{})
+	tr.Close()
+	if err := tr.Endpoint(0).Send(1, 1, nil); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	for name, tr := range transports(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCloseDrainsQueued(t *testing.T) {
+	tr := NewInProc(2, LatencyModel{})
+	var n atomic.Int64
+	tr.Endpoint(1).Register(1, func(m Message) { n.Add(1) })
+	for i := 0; i < 100; i++ {
+		if err := tr.Endpoint(0).Send(1, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Close()
+	if n.Load() != 100 {
+		t.Fatalf("only %d of 100 queued messages delivered before close", n.Load())
+	}
+}
+
+func TestManyNodesAllToAll(t *testing.T) {
+	const n = 8
+	for name, tr := range transports(t, n) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			var total atomic.Int64
+			done := make(chan struct{})
+			for i := 0; i < n; i++ {
+				tr.Endpoint(NodeID(i)).Register(1, func(m Message) {
+					if total.Add(1) == int64(n*(n-1)) {
+						close(done)
+					}
+				})
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					if err := tr.Endpoint(NodeID(i)).Send(NodeID(j), 1, []byte(fmt.Sprintf("%d->%d", i, j))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("timeout: %d delivered", total.Load())
+			}
+		})
+	}
+}

@@ -1,0 +1,300 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPTransport connects n endpoints over real loopback TCP sockets: one
+// listener per endpoint, one lazily-dialed connection per ordered pair.
+// Frames are length-prefixed: src(4) handler(4) len(4) payload.
+//
+// It exists to demonstrate that the MRTS control layer runs unchanged over a
+// real network substrate; the simulated cluster uses InProc.
+type TCPTransport struct {
+	eps []*tcpEndpoint
+}
+
+type tcpEndpoint struct {
+	id    NodeID
+	tr    *TCPTransport
+	ln    net.Listener
+	stats statCounters
+
+	hmu      sync.RWMutex
+	handlers map[uint32]Handler
+
+	cmu     sync.Mutex
+	conns   map[NodeID]*tcpConn
+	inbound []net.Conn // accepted connections, closed on shutdown
+
+	inbox  *inbox
+	done   chan struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+// inbox is an unbounded FIFO used to serialize handler execution on one
+// dispatcher goroutine regardless of how many reader connections feed it.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) push(m Message) bool {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return false
+	}
+	ib.queue = append(ib.queue, m)
+	ib.cond.Signal()
+	return true
+}
+
+func (ib *inbox) pop() (Message, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for len(ib.queue) == 0 && !ib.closed {
+		ib.cond.Wait()
+	}
+	if len(ib.queue) == 0 {
+		return Message{}, false
+	}
+	m := ib.queue[0]
+	ib.queue = ib.queue[1:]
+	return m, true
+}
+
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	ib.closed = true
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// NewTCP returns a transport with n endpoints listening on ephemeral
+// loopback ports.
+func NewTCP(n int) (*TCPTransport, error) {
+	tr := &TCPTransport{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		ep := &tcpEndpoint{
+			id:       NodeID(i),
+			tr:       tr,
+			ln:       ln,
+			handlers: make(map[uint32]Handler),
+			conns:    make(map[NodeID]*tcpConn),
+			inbox:    newInbox(),
+			done:     make(chan struct{}),
+		}
+		tr.eps = append(tr.eps, ep)
+	}
+	for _, ep := range tr.eps {
+		ep.wg.Add(1)
+		go ep.acceptLoop()
+		go ep.dispatch()
+	}
+	return tr, nil
+}
+
+// NumNodes returns the number of endpoints.
+func (t *TCPTransport) NumNodes() int { return len(t.eps) }
+
+// Endpoint returns endpoint n.
+func (t *TCPTransport) Endpoint(n NodeID) Endpoint { return t.eps[n] }
+
+// Close closes every endpoint.
+func (t *TCPTransport) Close() error {
+	var first error
+	for _, ep := range t.eps {
+		if ep == nil {
+			continue
+		}
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (e *tcpEndpoint) Node() NodeID { return e.id }
+
+func (e *tcpEndpoint) Register(id uint32, h Handler) {
+	e.hmu.Lock()
+	e.handlers[id] = h
+	e.hmu.Unlock()
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.cmu.Lock()
+		if e.closed {
+			e.cmu.Unlock()
+			c.Close()
+			return
+		}
+		e.inbound = append(e.inbound, c)
+		e.cmu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer c.Close()
+	br := bufio.NewReader(c)
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		src := NodeID(int32(binary.LittleEndian.Uint32(hdr[0:4])))
+		handler := binary.LittleEndian.Uint32(hdr[4:8])
+		n := binary.LittleEndian.Uint32(hdr[8:12])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		e.stats.msgsReceived.Add(1)
+		e.stats.bytesReceived.Add(uint64(n))
+		if !e.inbox.push(Message{From: src, Handler: handler, Payload: payload}) {
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) dispatch() {
+	defer close(e.done)
+	for {
+		m, ok := e.inbox.pop()
+		if !ok {
+			return
+		}
+		e.hmu.RLock()
+		h := e.handlers[m.Handler]
+		e.hmu.RUnlock()
+		if h != nil {
+			h(m)
+		}
+	}
+}
+
+func (e *tcpEndpoint) connTo(to NodeID) (*tcpConn, error) {
+	e.cmu.Lock()
+	defer e.cmu.Unlock()
+	if c, ok := e.conns[to]; ok {
+		return c, nil
+	}
+	if int(to) < 0 || int(to) >= len(e.tr.eps) {
+		return nil, fmt.Errorf("comm: send to unknown node %d", to)
+	}
+	addr := e.tr.eps[to].ln.Addr().String()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tc := &tcpConn{w: bufio.NewWriter(c), c: c}
+	e.conns[to] = tc
+	return tc, nil
+}
+
+func (e *tcpEndpoint) Send(to NodeID, handler uint32, payload []byte) error {
+	if e.isClosed() {
+		return ErrClosed
+	}
+	if to == e.id {
+		// Local fast path: no socket round-trip.
+		e.stats.msgsSent.Add(1)
+		e.stats.bytesSent.Add(uint64(len(payload)))
+		e.stats.msgsReceived.Add(1)
+		e.stats.bytesReceived.Add(uint64(len(payload)))
+		if !e.inbox.push(Message{From: e.id, Handler: handler, Payload: payload}) {
+			return ErrClosed
+		}
+		return nil
+	}
+	tc, err := e.connTo(to)
+	if err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(e.id))
+	binary.LittleEndian.PutUint32(hdr[4:8], handler)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := tc.w.Write(payload); err != nil {
+		return err
+	}
+	if err := tc.w.Flush(); err != nil {
+		return err
+	}
+	e.stats.msgsSent.Add(1)
+	e.stats.bytesSent.Add(uint64(len(payload)))
+	return nil
+}
+
+func (e *tcpEndpoint) isClosed() bool {
+	e.cmu.Lock()
+	defer e.cmu.Unlock()
+	return e.closed
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.cmu.Lock()
+	if e.closed {
+		e.cmu.Unlock()
+		<-e.done
+		return nil
+	}
+	e.closed = true
+	for _, c := range e.conns {
+		c.c.Close()
+	}
+	// Also close accepted connections: their readers would otherwise wait
+	// for the *peer* endpoints to close their dial side, and peers close
+	// after us — a circular wait across the transport.
+	for _, c := range e.inbound {
+		c.Close()
+	}
+	e.cmu.Unlock()
+	e.ln.Close()
+	e.wg.Wait()     // all readers finished feeding the inbox
+	e.inbox.close() // dispatcher drains what remains, then exits
+	<-e.done
+	return nil
+}
+
+func (e *tcpEndpoint) Stats() Stats { return e.stats.snapshot() }

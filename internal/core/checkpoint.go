@@ -1,0 +1,240 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mrts/internal/storage"
+)
+
+// This file implements the check/restore functionality the paper's
+// conclusion derives from the out-of-core subsystem: "check and restore
+// functionality for fault tolerance can be implemented with little effort on
+// top of the out-of-core subsystem". A checkpoint serializes every local
+// mobile object — reusing the exact serialization path the swapping machinery
+// exercises constantly — together with its pending message queue, the
+// directory and the OOC hints, into a storage.Store. Restore rebuilds the
+// node from it.
+//
+// The cluster must be quiescent (WaitQuiescence) when checkpointing; this is
+// the natural phase boundary of the paper's programming model, where control
+// is back at the application.
+
+const checkpointMagic = 0x4D435054 // "MCPT"
+
+// Checkpoint writes this node's full state into st under the given prefix.
+// Objects currently swapped out are copied from the runtime's own store
+// without deserializing them. The runtime must be quiescent.
+func (rt *Runtime) Checkpoint(st storage.Store, prefix string) error {
+	rt.mu.Lock()
+	ptrs := make([]MobilePtr, 0, len(rt.objects))
+	for p := range rt.objects {
+		ptrs = append(ptrs, p)
+	}
+	dir := make(map[MobilePtr]NodeID, len(rt.dir))
+	for p, n := range rt.dir {
+		dir[p] = n
+	}
+	seq := rt.seq
+	rt.mu.Unlock()
+
+	var manifest bytes.Buffer
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(rt.node))
+	binary.LittleEndian.PutUint32(hdr[8:12], seq)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(ptrs)))
+	manifest.Write(hdr[:])
+
+	for _, p := range ptrs {
+		rec, err := rt.checkpointObject(p, st, prefix)
+		if err != nil {
+			return fmt.Errorf("core: checkpoint %v: %w", p, err)
+		}
+		manifest.Write(rec)
+	}
+
+	// Directory entries.
+	var db [12]byte
+	binary.LittleEndian.PutUint32(db[0:4], uint32(len(dir)))
+	manifest.Write(db[0:4])
+	for p, n := range dir {
+		putPtr(db[0:8], p)
+		binary.LittleEndian.PutUint32(db[8:12], uint32(n))
+		manifest.Write(db[:])
+	}
+
+	return st.Put(storage.Key(prefix+"-manifest"), manifest.Bytes())
+}
+
+// checkpointObject snapshots one object: blob + queue + hints. Returns the
+// manifest record.
+func (rt *Runtime) checkpointObject(p MobilePtr, st storage.Store, prefix string) ([]byte, error) {
+	rt.mu.Lock()
+	lo := rt.objects[p]
+	rt.mu.Unlock()
+	if lo == nil {
+		return nil, ErrUnknownObject
+	}
+	lo.mu.Lock()
+	if lo.running || lo.scheduled {
+		lo.mu.Unlock()
+		return nil, ErrBusy
+	}
+	var blob []byte
+	var err error
+	switch lo.state {
+	case stInCore:
+		blob, err = rt.encodeObject(lo.obj)
+	case stOut:
+		blob, err = rt.store.Store().Get(storeKey(p))
+	default:
+		err = ErrBusy
+	}
+	queue := append([]queued(nil), lo.queue...)
+	typeID := lo.typeID
+	lo.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	id := oid(p)
+	if err := st.Put(storage.Key(fmt.Sprintf("%s-%d-%d", prefix, p.Home, p.Seq)), blob); err != nil {
+		return nil, err
+	}
+
+	var rec bytes.Buffer
+	var b [8]byte
+	putPtr(b[0:8], p)
+	rec.Write(b[:8])
+	binary.LittleEndian.PutUint16(b[0:2], typeID)
+	rec.Write(b[0:2])
+	flags := byte(0)
+	if rt.mem.Locked(id) {
+		flags |= 1
+	}
+	rec.WriteByte(flags)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(queue)))
+	rec.Write(b[0:4])
+	for _, q := range queue {
+		binary.LittleEndian.PutUint32(b[0:4], uint32(q.handler))
+		rec.Write(b[0:4])
+		binary.LittleEndian.PutUint32(b[0:4], uint32(len(q.arg)))
+		rec.Write(b[0:4])
+		rec.Write(q.arg)
+	}
+	return rec.Bytes(), nil
+}
+
+// Restore rebuilds this node from a checkpoint written by Checkpoint. The
+// runtime must be freshly created (no objects) with the same node ID and
+// factory. Restored objects start out-of-core-cold: they are registered and
+// their blobs installed in the runtime's store; loads happen on demand, so
+// restoring is cheap even for huge datasets (the point of building restore
+// on the out-of-core path).
+func (rt *Runtime) Restore(st storage.Store, prefix string) error {
+	data, err := st.Get(storage.Key(prefix + "-manifest"))
+	if err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	r := bytes.NewReader(data)
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("core: restore: short manifest: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != checkpointMagic {
+		return fmt.Errorf("core: restore: bad magic")
+	}
+	if node := NodeID(int32(binary.LittleEndian.Uint32(hdr[4:8]))); node != rt.node {
+		return fmt.Errorf("core: restore: checkpoint is for node %d, this is node %d", node, rt.node)
+	}
+	seq := binary.LittleEndian.Uint32(hdr[8:12])
+	n := int(binary.LittleEndian.Uint32(hdr[12:16]))
+
+	rt.mu.Lock()
+	if len(rt.objects) != 0 {
+		rt.mu.Unlock()
+		return fmt.Errorf("core: restore: runtime already has objects")
+	}
+	rt.seq = seq
+	rt.mu.Unlock()
+
+	var b [12]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, b[0:8]); err != nil {
+			return fmt.Errorf("core: restore: truncated record: %w", err)
+		}
+		ptr := getPtr(b[0:8])
+		if _, err := io.ReadFull(r, b[0:2]); err != nil {
+			return err
+		}
+		typeID := binary.LittleEndian.Uint16(b[0:2])
+		fb, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(r, b[0:4]); err != nil {
+			return err
+		}
+		nq := int(binary.LittleEndian.Uint32(b[0:4]))
+		var queue []queued
+		for k := 0; k < nq; k++ {
+			if _, err := io.ReadFull(r, b[0:8]); err != nil {
+				return err
+			}
+			h := HandlerID(binary.LittleEndian.Uint32(b[0:4]))
+			na := int(binary.LittleEndian.Uint32(b[4:8]))
+			arg := make([]byte, na)
+			if _, err := io.ReadFull(r, arg); err != nil {
+				return err
+			}
+			queue = append(queue, queued{handler: h, arg: arg})
+		}
+
+		blob, err := st.Get(storage.Key(fmt.Sprintf("%s-%d-%d", prefix, ptr.Home, ptr.Seq)))
+		if err != nil {
+			return fmt.Errorf("core: restore %v: %w", ptr, err)
+		}
+		if err := rt.store.Store().Put(storeKey(ptr), blob); err != nil {
+			return err
+		}
+
+		lo := &localObject{ptr: ptr, typeID: typeID, state: stOut, queue: queue}
+		rt.mu.Lock()
+		rt.objects[ptr] = lo
+		rt.mu.Unlock()
+		id := oid(ptr)
+		if err := rt.mem.Register(id, int64(len(blob))); err != nil {
+			return err
+		}
+		rt.mem.MarkOut(id)
+		if fb&1 != 0 {
+			rt.mem.Lock(id)
+		}
+		rt.work.Add(int64(len(queue)))
+		rt.mem.SetQueueLen(id, len(queue))
+		if len(queue) > 0 {
+			lo.mu.Lock()
+			rt.startLoadLocked(lo)
+			lo.mu.Unlock()
+		}
+	}
+
+	// Directory.
+	if _, err := io.ReadFull(r, b[0:4]); err != nil {
+		return err
+	}
+	nd := int(binary.LittleEndian.Uint32(b[0:4]))
+	rt.mu.Lock()
+	for i := 0; i < nd; i++ {
+		if _, err := io.ReadFull(r, b[0:12]); err != nil {
+			rt.mu.Unlock()
+			return err
+		}
+		rt.dir[getPtr(b[0:8])] = NodeID(int32(binary.LittleEndian.Uint32(b[8:12])))
+	}
+	rt.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"mrts/internal/sched"
+	"mrts/internal/trace"
+)
+
+// Ctx is the execution context of a message handler: it identifies the
+// object the message was delivered to and provides the operations a handler
+// may perform — posting messages, creating objects, spawning parallel tasks,
+// and influencing the out-of-core layer.
+type Ctx struct {
+	rt   *Runtime
+	Self MobilePtr
+	obj  Object
+	sc   *sched.Ctx
+}
+
+// Object returns the mobile object the handler runs on.
+func (c *Ctx) Object() Object { return c.obj }
+
+// Runtime returns the node runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Node returns the executing node's ID.
+func (c *Ctx) Node() NodeID { return c.rt.node }
+
+// Post sends a message to another mobile object (or to Self).
+func (c *Ctx) Post(dst MobilePtr, h HandlerID, arg []byte) { c.rt.Post(dst, h, arg) }
+
+// Create registers a new mobile object homed on this node.
+func (c *Ctx) Create(obj Object) MobilePtr { return c.rt.CreateObject(obj) }
+
+// Lock pins an object in core; Unlock releases it; SetPriority hints the
+// out-of-core layer.
+func (c *Ctx) Lock(ptr MobilePtr)                 { c.rt.Lock(ptr) }
+func (c *Ctx) Unlock(ptr MobilePtr)               { c.rt.Unlock(ptr) }
+func (c *Ctx) SetPriority(ptr MobilePtr, pri int) { c.rt.SetPriority(ptr, pri) }
+
+// InCore reports whether ptr is local and in-core right now.
+func (c *Ctx) InCore(ptr MobilePtr) bool { return c.rt.InCore(ptr) }
+
+// CallInline attempts the paper's shared-memory optimization: if the target
+// object is local, in-core and idle, its handler runs synchronously in the
+// caller's goroutine — the sender's data is made available to the receiver
+// without copying or queueing. It reports whether the inline call happened;
+// on false the caller should fall back to Post.
+//
+// The reservation is try-lock style (a busy or non-resident target just
+// returns false), so mutually inline-calling objects cannot deadlock.
+func (c *Ctx) CallInline(dst MobilePtr, h HandlerID, arg []byte) bool {
+	rt := c.rt
+	rt.mu.Lock()
+	lo := rt.objects[dst]
+	rt.mu.Unlock()
+	if lo == nil {
+		return false
+	}
+	lo.mu.Lock()
+	if lo.state != stInCore || lo.running || lo.migrating {
+		lo.mu.Unlock()
+		return false
+	}
+	lo.running = true
+	obj := lo.obj
+	lo.mu.Unlock()
+
+	rt.runHandler(dst, obj, queued{handler: h, sentAt: time.Now().UnixNano(), arg: arg}, c.sc)
+
+	lo.mu.Lock()
+	lo.running = false
+	// The inline call bypassed the queue; if messages arrived meanwhile,
+	// make sure they get drained.
+	if len(lo.queue) > 0 && !lo.scheduled && lo.state == stInCore {
+		lo.scheduled = true
+		rt.pool.Submit(func(sc *sched.Ctx) { rt.drain(lo, sc) })
+	}
+	lo.mu.Unlock()
+	return true
+}
+
+// ForEach runs f(0) … f(n-1) as parallel tasks on the computing layer and
+// returns when all complete — the paper's fine-grain parallelism within a
+// message handler. The time spent in tasks is accounted as computation.
+func (c *Ctx) ForEach(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || c.sc == nil {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	col := c.rt.col
+	sched.ForEachN(c.rt.pool, n, func(i int) {
+		if col == nil {
+			f(i)
+			return
+		}
+		t0 := time.Now()
+		f(i)
+		col.Add(trace.Comp, time.Since(t0))
+	})
+}
+
+// Parallel runs the given functions as parallel tasks and waits for all.
+func (c *Ctx) Parallel(fs ...func()) {
+	if len(fs) == 1 {
+		fs[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fs))
+	for _, f := range fs {
+		f := f
+		c.rt.pool.Submit(func(*sched.Ctx) {
+			defer wg.Done()
+			f()
+		})
+	}
+	wg.Wait()
+}

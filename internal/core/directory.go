@@ -1,0 +1,92 @@
+package core
+
+import "sync/atomic"
+
+// DirectoryPolicy selects how mobile object locations propagate after
+// migration. The paper's system uses lazy updates, chosen over the
+// alternatives after experimentation ("lazy updates provides good compromise
+// between accuracy and update overhead"); all three candidates are
+// implemented here so the trade-off can be measured (see the dirpolicies
+// bench experiment).
+type DirectoryPolicy int
+
+const (
+	// DirLazy (default): messages are forwarded along stale directory
+	// chains; when one finally reaches the object, update messages flow
+	// back to every node it was routed through.
+	DirLazy DirectoryPolicy = iota
+	// DirEager: a migration immediately broadcasts the new location to
+	// every node — accurate but O(nodes) traffic per migration.
+	DirEager
+	// DirHome: no location caching at all; every message for a non-local
+	// object is sent to its home node, which forwards it — cheap updates,
+	// permanent double-hop for migrated objects.
+	DirHome
+)
+
+// String implements fmt.Stringer.
+func (p DirectoryPolicy) String() string {
+	switch p {
+	case DirEager:
+		return "eager"
+	case DirHome:
+		return "home"
+	default:
+		return "lazy"
+	}
+}
+
+// DirectoryPolicies lists all supported policies.
+func DirectoryPolicies() []DirectoryPolicy { return []DirectoryPolicy{DirLazy, DirEager, DirHome} }
+
+// dirStats counts routing events for the policy comparison.
+type dirStats struct {
+	forwarded  atomic.Int64 // messages received for objects not local here
+	dirUpdates atomic.Int64 // directory update messages sent
+}
+
+// ForwardedCount returns how many application messages this node received
+// and had to forward onward (a measure of directory staleness).
+func (rt *Runtime) ForwardedCount() int64 { return rt.dstats.forwarded.Load() }
+
+// DirUpdatesSent returns how many directory update messages this node sent.
+func (rt *Runtime) DirUpdatesSent() int64 { return rt.dstats.dirUpdates.Load() }
+
+// lookupLocked returns the node to try for ptr under the active policy.
+// Caller holds rt.mu.
+func (rt *Runtime) lookupLocked(ptr MobilePtr) NodeID {
+	if rt.dirPolicy == DirHome && ptr.Home != rt.node {
+		// Non-home nodes never cache: always route via home. The home
+		// node itself must consult its map (it is the forwarding anchor).
+		return ptr.Home
+	}
+	if n, ok := rt.dir[ptr]; ok {
+		return n
+	}
+	return ptr.Home
+}
+
+// recordLocation notes a fresher location for ptr (no-op under DirHome,
+// which never caches).
+func (rt *Runtime) recordLocation(ptr MobilePtr, at NodeID) {
+	if rt.dirPolicy == DirHome && ptr.Home != rt.node {
+		return
+	}
+	rt.mu.Lock()
+	if _, local := rt.objects[ptr]; !local {
+		rt.dir[ptr] = at
+	}
+	rt.mu.Unlock()
+}
+
+// broadcastLocation implements the eager policy's migration hook.
+func (rt *Runtime) broadcastLocation(ptr MobilePtr, at NodeID, numNodes int) {
+	upd := encodeDirUpdate(ptr, at)
+	for n := 0; n < numNodes; n++ {
+		if NodeID(n) == rt.node || NodeID(n) == at {
+			continue
+		}
+		rt.dstats.dirUpdates.Add(1)
+		_ = rt.ep.Send(NodeID(n), wireDirUpdate, upd)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mrts/internal/comm"
+	"mrts/internal/ooc"
+	"mrts/internal/sched"
+	"mrts/internal/storage"
+)
+
+// newPolicyCluster builds a cluster with the given directory policy.
+func newPolicyCluster(t testing.TB, n int, policy DirectoryPolicy) *cluster {
+	t.Helper()
+	tr := comm.NewInProc(n, comm.LatencyModel{})
+	c := &cluster{tr: tr}
+	for i := 0; i < n; i++ {
+		rt := NewRuntime(Config{
+			Endpoint:  tr.Endpoint(comm.NodeID(i)),
+			Pool:      sched.NewWorkStealing(2),
+			Factory:   testFactory,
+			Mem:       ooc.Config{Budget: 1 << 20},
+			Store:     storage.NewMem(),
+			Directory: policy,
+			NumNodes:  n,
+		})
+		c.rts = append(c.rts, rt)
+	}
+	t.Cleanup(func() {
+		WaitQuiescence(c.rts...)
+		for _, rt := range c.rts {
+			rt.Close()
+		}
+		tr.Close()
+	})
+	return c
+}
+
+func TestDirectoryPolicyString(t *testing.T) {
+	if DirLazy.String() != "lazy" || DirEager.String() != "eager" || DirHome.String() != "home" {
+		t.Error("policy names wrong")
+	}
+	if len(DirectoryPolicies()) != 3 {
+		t.Error("expected 3 policies")
+	}
+}
+
+// migrateAndSettle moves ptr from node 0 to node 1 and waits until it lands.
+func migrateAndSettle(t *testing.T, c *cluster, ptr MobilePtr) {
+	t.Helper()
+	if err := c.rts[0].Migrate(ptr, 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.rts[1].IsLocal(ptr) {
+		if time.Now().After(deadline) {
+			t.Fatal("migration did not settle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	WaitQuiescence(c.rts...)
+}
+
+func TestDeliveryUnderEveryPolicy(t *testing.T) {
+	for _, policy := range DirectoryPolicies() {
+		t.Run(policy.String(), func(t *testing.T) {
+			c := newPolicyCluster(t, 3, policy)
+			registerInc(c)
+			obj := &testObj{}
+			ptr := c.rts[0].CreateObject(obj)
+			migrateAndSettle(t, c, ptr)
+			// Post from a third node repeatedly; all must arrive.
+			for i := 0; i < 20; i++ {
+				c.rts[2].Post(ptr, hInc, nil)
+			}
+			WaitQuiescence(c.rts...)
+			got := make(chan int64, 1)
+			c.rts[1].Register(98, func(ctx *Ctx, arg []byte) {
+				got <- ctx.Object().(*testObj).Count
+			})
+			c.rts[1].Post(ptr, 98, nil)
+			if v := <-got; v != 20 {
+				t.Fatalf("count = %d, want 20", v)
+			}
+		})
+	}
+}
+
+func TestLazyForwardsOnceThenDirect(t *testing.T) {
+	c := newPolicyCluster(t, 3, DirLazy)
+	registerInc(c)
+	ptr := c.rts[0].CreateObject(&testObj{})
+	migrateAndSettle(t, c, ptr)
+
+	// First post from node 2 goes to home (node 0) and is forwarded.
+	c.rts[2].Post(ptr, hInc, nil)
+	WaitQuiescence(c.rts...)
+	first := c.rts[0].ForwardedCount()
+	if first == 0 {
+		t.Fatal("expected the first message to be forwarded via home")
+	}
+	// After the lazy update, subsequent posts go direct: no new forwards.
+	for i := 0; i < 10; i++ {
+		c.rts[2].Post(ptr, hInc, nil)
+	}
+	WaitQuiescence(c.rts...)
+	if got := c.rts[0].ForwardedCount(); got != first {
+		t.Fatalf("forwards grew from %d to %d; lazy update did not take", first, got)
+	}
+}
+
+func TestHomeAlwaysForwards(t *testing.T) {
+	c := newPolicyCluster(t, 3, DirHome)
+	registerInc(c)
+	ptr := c.rts[0].CreateObject(&testObj{})
+	migrateAndSettle(t, c, ptr)
+	for i := 0; i < 10; i++ {
+		c.rts[2].Post(ptr, hInc, nil)
+		WaitQuiescence(c.rts...)
+	}
+	// Every one of the 10 posts is a double hop through home.
+	if got := c.rts[0].ForwardedCount(); got < 10 {
+		t.Fatalf("home policy forwarded %d of 10 messages", got)
+	}
+}
+
+func TestEagerNeverForwards(t *testing.T) {
+	c := newPolicyCluster(t, 3, DirEager)
+	registerInc(c)
+	ptr := c.rts[0].CreateObject(&testObj{})
+	migrateAndSettle(t, c, ptr)
+	// The broadcast must already have reached node 2; give it a moment.
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		c.rts[2].Post(ptr, hInc, nil)
+	}
+	WaitQuiescence(c.rts...)
+	if got := c.rts[0].ForwardedCount(); got != 0 {
+		t.Fatalf("eager policy still forwarded %d messages via home", got)
+	}
+	// And the broadcast itself must be accounted.
+	if c.rts[0].DirUpdatesSent() == 0 {
+		t.Fatal("eager migration sent no directory updates")
+	}
+}

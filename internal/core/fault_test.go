@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mrts/internal/comm"
+	"mrts/internal/ooc"
+	"mrts/internal/sched"
+	"mrts/internal/storage"
+)
+
+// flakyStore injects failures into every Nth operation.
+type flakyStore struct {
+	inner    storage.Store
+	every    int64
+	ops      atomic.Int64
+	failGets bool
+	failPuts bool
+}
+
+var errInjected = errors.New("injected storage fault")
+
+func (s *flakyStore) trip() bool {
+	return s.ops.Add(1)%s.every == 0
+}
+
+func (s *flakyStore) Put(k storage.Key, d []byte) error {
+	if s.failPuts && s.trip() {
+		return errInjected
+	}
+	return s.inner.Put(k, d)
+}
+
+func (s *flakyStore) Get(k storage.Key) ([]byte, error) {
+	if s.failGets && s.trip() {
+		return nil, errInjected
+	}
+	return s.inner.Get(k)
+}
+
+func (s *flakyStore) Delete(k storage.Key) error { return s.inner.Delete(k) }
+func (s *flakyStore) Has(k storage.Key) bool     { return s.inner.Has(k) }
+func (s *flakyStore) Close() error               { return s.inner.Close() }
+
+// newFaultyRuntime builds a single-node runtime over a flaky store.
+func newFaultyRuntime(t *testing.T, st storage.Store, budget int64) (*Runtime, func()) {
+	t.Helper()
+	tr := comm.NewInProc(1, comm.LatencyModel{})
+	pool := sched.NewWorkStealing(2)
+	rt := NewRuntime(Config{
+		Endpoint: tr.Endpoint(0),
+		Pool:     pool,
+		Factory:  testFactory,
+		Mem:      ooc.Config{Budget: budget},
+		Store:    st,
+	})
+	return rt, func() {
+		rt.Close()
+		pool.Close()
+		tr.Close()
+	}
+}
+
+// TestEvictionWriteFailureKeepsObjectInCore: a failed eviction write must
+// not lose the object — it stays (or returns) in core with its state intact.
+func TestEvictionWriteFailureKeepsObjectInCore(t *testing.T) {
+	st := &flakyStore{inner: storage.NewMem(), every: 2, failPuts: true}
+	rt, cleanup := newFaultyRuntime(t, st, 3000)
+	defer cleanup()
+	rt.Register(hInc, func(ctx *Ctx, arg []byte) { ctx.Object().(*testObj).Count++ })
+
+	var ptrs []MobilePtr
+	for i := 0; i < 8; i++ {
+		ptrs = append(ptrs, rt.CreateObject(&testObj{Ballast: make([]byte, 900)}))
+	}
+	for round := 0; round < 4; round++ {
+		for _, p := range ptrs {
+			rt.Post(p, hInc, nil)
+		}
+		WaitQuiescence(rt)
+	}
+	// Every object must still answer with the full count: no state was
+	// lost to the failing writes.
+	got := make(chan int64, 1)
+	rt.Register(98, func(ctx *Ctx, arg []byte) { got <- ctx.Object().(*testObj).Count })
+	for _, p := range ptrs {
+		rt.Post(p, 98, nil)
+		select {
+		case v := <-got:
+			if v != 4 {
+				t.Fatalf("object %v count = %d, want 4", p, v)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("object %v unreachable after write faults", p)
+		}
+	}
+}
+
+// TestLoadFailureStillTerminates: if a stored blob cannot be read back, its
+// queued messages are dropped — but the cluster must still reach quiescence
+// (no deadlock, no counter leak).
+func TestLoadFailureStillTerminates(t *testing.T) {
+	st := &flakyStore{inner: storage.NewMem(), every: 3, failGets: true}
+	rt, cleanup := newFaultyRuntime(t, st, 3000)
+	defer cleanup()
+	rt.Register(hInc, func(ctx *Ctx, arg []byte) { ctx.Object().(*testObj).Count++ })
+	var ptrs []MobilePtr
+	for i := 0; i < 8; i++ {
+		ptrs = append(ptrs, rt.CreateObject(&testObj{Ballast: make([]byte, 900)}))
+	}
+	for round := 0; round < 5; round++ {
+		for _, p := range ptrs {
+			rt.Post(p, hInc, nil)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		WaitQuiescence(rt)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("quiescence never reached with injected read faults")
+	}
+	if rt.Work() != 0 {
+		t.Fatalf("work counter leaked: %d", rt.Work())
+	}
+}
+
+// TestUnknownTypeInstallDoesNotWedgeCluster: migrating an object whose type
+// the destination cannot construct loses the object but must not wedge the
+// cluster (bounded forwarding turns the loss into dropped messages).
+func TestUnknownTypeInstallDoesNotWedgeCluster(t *testing.T) {
+	tr := comm.NewInProc(2, comm.LatencyModel{})
+	defer tr.Close()
+	pools := []sched.Pool{sched.NewWorkStealing(1), sched.NewWorkStealing(1)}
+	defer pools[0].Close()
+	defer pools[1].Close()
+	rts := []*Runtime{
+		NewRuntime(Config{
+			Endpoint: tr.Endpoint(0), Pool: pools[0], Factory: testFactory,
+			Mem: ooc.Config{Budget: 1 << 20}, Store: storage.NewMem(), NumNodes: 2,
+		}),
+		// Node 1 cannot build testObj: installs fail there.
+		NewRuntime(Config{
+			Endpoint: tr.Endpoint(1), Pool: pools[1],
+			Factory: func(uint16) (Object, error) { return nil, ErrUnknownType },
+			Mem:     ooc.Config{Budget: 1 << 20}, Store: storage.NewMem(), NumNodes: 2,
+		}),
+	}
+	defer rts[0].Close()
+	defer rts[1].Close()
+	for _, rt := range rts {
+		rt.Register(hInc, func(ctx *Ctx, arg []byte) {})
+	}
+	ptr := rts[0].CreateObject(&testObj{})
+	if err := rts[0].Migrate(ptr, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The object is now lost (node 1 dropped the install). Posts must not
+	// circulate forever.
+	for i := 0; i < 10; i++ {
+		rts[0].Post(ptr, hInc, nil)
+		rts[1].Post(ptr, hInc, nil)
+	}
+	done := make(chan struct{})
+	go func() {
+		WaitQuiescence(rts...)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("cluster wedged by a lost object")
+	}
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrts/internal/comm"
+	"mrts/internal/ooc"
+	"mrts/internal/sched"
+	"mrts/internal/storage"
+	"mrts/internal/trace"
+)
+
+// Config configures one node's runtime.
+type Config struct {
+	// Endpoint is this node's attachment to the cluster transport.
+	Endpoint comm.Endpoint
+	// Pool executes message handlers and their nested tasks. The pool's
+	// worker count is the node's PE count.
+	Pool sched.Pool
+	// Factory constructs objects by type ID for reload and migration.
+	Factory Factory
+	// Mem configures the out-of-core layer (budget, policy, thresholds).
+	Mem ooc.Config
+	// Store holds serialized objects unloaded from memory.
+	Store storage.Store
+	// IOWorkers is the storage layer's async worker count (<= 0 means 2).
+	IOWorkers int
+	// Collector, when non-nil, receives comp/comm/disk time accounting.
+	Collector *trace.Collector
+	// CommDelay, when non-nil, gives the modeled wire time of a received
+	// message of the given payload size; it is charged to the Comm
+	// account. The in-process transport serializes these delays on its
+	// dispatcher, so per-node Comm time never exceeds wall time. Nil means
+	// communication is free (no accounting).
+	CommDelay func(payloadSize int) time.Duration
+	// DiskDelay, when non-nil, gives the modeled service time of one disk
+	// operation on a blob of the given size; it is charged to the Disk
+	// account per store/load instead of the measured wait (which would
+	// multiply queueing time across concurrent waiters). Nil falls back to
+	// measuring the operations.
+	DiskDelay func(blobSize int) time.Duration
+	// PrefetchDepth bounds how many out-of-core objects the runtime loads
+	// ahead of need when memory is available (<= 0 means 2).
+	PrefetchDepth int
+	// Directory selects the location-management policy (default DirLazy,
+	// the paper's choice).
+	Directory DirectoryPolicy
+	// NumNodes is the cluster size, needed by the eager directory policy
+	// to broadcast migrations. Zero disables broadcasting.
+	NumNodes int
+}
+
+// objState is the residency state of a local object.
+type objState int32
+
+const (
+	stInCore objState = iota
+	stStoring
+	stOut
+	stLoading
+)
+
+type localObject struct {
+	mu     sync.Mutex
+	ptr    MobilePtr
+	typeID uint16
+	obj    Object // nil unless in-core
+	state  objState
+	queue  []queued
+
+	scheduled bool // a drain task is queued or running
+	running   bool // a handler is executing right now
+	wantLoad  bool // load requested while storing
+	migrating bool
+}
+
+// Runtime is one node's MRTS instance.
+type Runtime struct {
+	node    NodeID
+	ep      comm.Endpoint
+	pool    sched.Pool
+	factory Factory
+	mem     *ooc.Manager
+	store   *storage.Async
+	col     *trace.Collector
+	pfDepth int
+
+	mu      sync.Mutex
+	objects map[MobilePtr]*localObject
+	dir     map[MobilePtr]NodeID
+	parked  map[MobilePtr][]*appMsg
+	seq     uint32
+
+	hmu      sync.RWMutex
+	handlers map[HandlerID]Handler
+
+	work    atomic.Int64 // messages materialized on this node, not yet done
+	sent    atomic.Int64 // app/install messages sent to other nodes
+	recv    atomic.Int64 // app/install messages received from other nodes
+	swapOps atomic.Int64 // evictions/loads in flight (Close waits on this)
+
+	commDelay func(int) time.Duration
+	diskDelay func(int) time.Duration
+
+	dirPolicy DirectoryPolicy
+	numNodes  int
+	dstats    dirStats
+
+	closed atomic.Bool
+
+	mcasts *mcastTable
+	term   *termState
+}
+
+// NewRuntime creates the runtime for one node and registers its transport
+// handlers. The caller retains ownership of the Endpoint and Pool; the
+// runtime owns the Store (wrapping it in an async facade) and closes it on
+// Close.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.Endpoint == nil || cfg.Pool == nil || cfg.Store == nil {
+		panic("core: Config requires Endpoint, Pool and Store")
+	}
+	if cfg.Factory == nil {
+		cfg.Factory = func(t uint16) (Object, error) { return nil, ErrUnknownType }
+	}
+	if cfg.PrefetchDepth <= 0 {
+		cfg.PrefetchDepth = 2
+	}
+	rt := &Runtime{
+		node:      cfg.Endpoint.Node(),
+		ep:        cfg.Endpoint,
+		pool:      cfg.Pool,
+		factory:   cfg.Factory,
+		mem:       ooc.NewManager(cfg.Mem),
+		store:     storage.NewAsync(cfg.Store, cfg.IOWorkers),
+		col:       cfg.Collector,
+		pfDepth:   cfg.PrefetchDepth,
+		objects:   make(map[MobilePtr]*localObject),
+		dir:       make(map[MobilePtr]NodeID),
+		parked:    make(map[MobilePtr][]*appMsg),
+		handlers:  make(map[HandlerID]Handler),
+		mcasts:    newMcastTable(),
+		term:      newTermState(),
+		commDelay: cfg.CommDelay,
+		diskDelay: cfg.DiskDelay,
+		dirPolicy: cfg.Directory,
+		numNodes:  cfg.NumNodes,
+	}
+	rt.ep.Register(wireApp, rt.onWireApp)
+	rt.ep.Register(wireDirUpdate, rt.onWireDirUpdate)
+	rt.ep.Register(wireInstall, rt.onWireInstall)
+	rt.ep.Register(wireMcast, rt.onWireMcast)
+	rt.ep.Register(wireMigrateReq, rt.onWireMigrateReq)
+	rt.ep.Register(wireTermProbe, rt.onWireTermProbe)
+	rt.ep.Register(wireTermReply, rt.onWireTermReply)
+	rt.ep.Register(wireTermAnnounce, rt.onWireTermAnnounce)
+	return rt
+}
+
+// Node returns this runtime's node ID.
+func (rt *Runtime) Node() NodeID { return rt.node }
+
+// Mem returns the out-of-core residency manager (for stats and tests).
+func (rt *Runtime) Mem() *ooc.Manager { return rt.mem }
+
+// Collector returns the trace collector (may be nil).
+func (rt *Runtime) Collector() *trace.Collector { return rt.col }
+
+// Register installs a message handler under id. All nodes must register the
+// same IDs before posting any messages (SPMD model).
+func (rt *Runtime) Register(id HandlerID, h Handler) {
+	rt.hmu.Lock()
+	rt.handlers[id] = h
+	rt.hmu.Unlock()
+}
+
+func (rt *Runtime) handler(id HandlerID) Handler {
+	rt.hmu.RLock()
+	h := rt.handlers[id]
+	rt.hmu.RUnlock()
+	return h
+}
+
+func oid(p MobilePtr) ooc.ObjectID {
+	return ooc.ObjectID(uint64(uint32(p.Home))<<32 | uint64(p.Seq))
+}
+
+func storeKey(p MobilePtr) storage.Key {
+	return storage.Key(fmt.Sprintf("obj-%d-%d", p.Home, p.Seq))
+}
+
+// CreateObject registers obj as a new mobile object homed on this node and
+// returns its mobile pointer.
+func (rt *Runtime) CreateObject(obj Object) MobilePtr {
+	rt.mu.Lock()
+	rt.seq++
+	ptr := MobilePtr{Home: rt.node, Seq: rt.seq}
+	lo := &localObject{ptr: ptr, typeID: obj.TypeID(), obj: obj, state: stInCore}
+	rt.objects[ptr] = lo
+	rt.mu.Unlock()
+	if err := rt.mem.Register(oid(ptr), int64(obj.SizeHint())); err != nil {
+		panic(err) // impossible: seq is unique
+	}
+	rt.maybeEvictForSoft()
+	return ptr
+}
+
+// Post sends a one-sided message to the mobile object addressed by dst. The
+// receiving object does not post a receive: its handler runs when the
+// control layer schedules it. Post never blocks on the destination.
+func (rt *Runtime) Post(dst MobilePtr, h HandlerID, arg []byte) {
+	if rt.closed.Load() {
+		return
+	}
+	rt.work.Add(1)
+	rt.route(&appMsg{dst: dst, handler: h, sentAt: time.Now().UnixNano(), arg: arg})
+}
+
+// route places m: into a local queue, a parked set, or onto the wire. The
+// caller must have accounted m in rt.work.
+func (rt *Runtime) route(m *appMsg) {
+	rt.mu.Lock()
+	if lo, ok := rt.objects[m.dst]; ok {
+		rt.mu.Unlock()
+		rt.enqueueLocal(lo, queued{handler: m.handler, sentAt: m.sentAt, arg: m.arg})
+		return
+	}
+	target := rt.lookupLocked(m.dst)
+	if target == rt.node {
+		// The directory says the object should be here but it is not:
+		// it is in flight to us (migration) or the directory is stale.
+		// Park the message; install/dirUpdate will re-route it.
+		rt.parked[m.dst] = append(rt.parked[m.dst], m)
+		rt.mu.Unlock()
+		return
+	}
+	rt.mu.Unlock()
+	if len(m.route) >= maxForwardHops {
+		// The object is unreachable (lost to a failed install, or a
+		// directory cycle): drop the message instead of forwarding it
+		// forever. Termination then remains detectable.
+		rt.work.Add(-1)
+		return
+	}
+	m.route = append(m.route, rt.node)
+	rt.sent.Add(1)
+	rt.work.Add(-1)
+	if err := rt.ep.Send(target, wireApp, encodeApp(m)); err != nil {
+		// Transport failure: the message is dropped; undo the sent count
+		// (work was already released above).
+		rt.sent.Add(-1)
+	}
+}
+
+// onWireApp receives an application message from the transport.
+func (rt *Runtime) onWireApp(msg comm.Message) {
+	m, err := decodeApp(msg.Payload)
+	if err != nil {
+		return
+	}
+	rt.recv.Add(1)
+	rt.work.Add(1)
+	rt.chargeComm(len(msg.Payload))
+	rt.mu.Lock()
+	lo, ok := rt.objects[m.dst]
+	rt.mu.Unlock()
+	if ok {
+		if rt.dirPolicy == DirLazy && len(m.route) > 1 {
+			// The message was forwarded at least once: lazily update the
+			// stale nodes it was routed through. The final hop already
+			// knew the right location, so it is skipped.
+			for _, via := range m.route[:len(m.route)-1] {
+				if via != rt.node {
+					rt.dstats.dirUpdates.Add(1)
+					upd := encodeDirUpdate(m.dst, rt.node)
+					_ = rt.ep.Send(via, wireDirUpdate, upd)
+				}
+			}
+		}
+		rt.enqueueLocal(lo, queued{handler: m.handler, sentAt: m.sentAt, arg: m.arg})
+		return
+	}
+	rt.dstats.forwarded.Add(1)
+	rt.route(m)
+}
+
+func (rt *Runtime) onWireDirUpdate(msg comm.Message) {
+	ptr, at, err := decodeDirUpdate(msg.Payload)
+	if err != nil {
+		return
+	}
+	rt.recordLocation(ptr, at)
+	rt.mu.Lock()
+	parked := rt.parked[ptr]
+	delete(rt.parked, ptr)
+	rt.mu.Unlock()
+	for _, m := range parked {
+		rt.route(m)
+	}
+}
+
+// enqueueLocal queues q for local object lo and makes sure progress happens:
+// a drain task if in-core, a load if on disk.
+func (rt *Runtime) enqueueLocal(lo *localObject, q queued) {
+	lo.mu.Lock()
+	lo.queue = append(lo.queue, q)
+	rt.mem.SetQueueLen(oid(lo.ptr), len(lo.queue))
+	switch lo.state {
+	case stInCore:
+		if !lo.scheduled {
+			lo.scheduled = true
+			rt.pool.Submit(func(sc *sched.Ctx) { rt.drain(lo, sc) })
+		}
+	case stOut:
+		rt.startLoadLocked(lo)
+	case stStoring:
+		lo.wantLoad = true
+	case stLoading:
+		// Already on its way in.
+	}
+	lo.mu.Unlock()
+}
+
+// drain executes lo's queued handlers until the queue empties.
+func (rt *Runtime) drain(lo *localObject, sc *sched.Ctx) {
+	for {
+		lo.mu.Lock()
+		if lo.state != stInCore {
+			// Evicted or migrating between messages; the load/install
+			// path will reschedule.
+			lo.scheduled = false
+			lo.mu.Unlock()
+			return
+		}
+		if len(lo.queue) == 0 {
+			lo.scheduled = false
+			obj := lo.obj
+			lo.mu.Unlock()
+			if obj != nil {
+				rt.mem.SetSize(oid(lo.ptr), int64(obj.SizeHint()))
+			}
+			rt.mem.SetQueueLen(oid(lo.ptr), 0)
+			rt.maybeEvictForSoft()
+			rt.prefetchTick()
+			return
+		}
+		q := lo.queue[0]
+		lo.queue = lo.queue[1:]
+		rt.mem.SetQueueLen(oid(lo.ptr), len(lo.queue))
+		lo.running = true
+		obj := lo.obj
+		lo.mu.Unlock()
+
+		rt.runHandler(lo.ptr, obj, q, sc)
+
+		lo.mu.Lock()
+		lo.running = false
+		lo.mu.Unlock()
+		rt.work.Add(-1)
+	}
+}
+
+func (rt *Runtime) runHandler(ptr MobilePtr, obj Object, q queued, sc *sched.Ctx) {
+	h := rt.handler(q.handler)
+	if h == nil {
+		return
+	}
+	ctx := &Ctx{rt: rt, Self: ptr, obj: obj, sc: sc}
+	t0 := time.Now()
+	h(ctx, q.arg)
+	if rt.col != nil {
+		rt.col.Add(trace.Comp, time.Since(t0))
+	}
+	rt.mem.Touch(oid(ptr))
+}
+
+// chargeComm accounts the modeled wire time of a received message.
+func (rt *Runtime) chargeComm(payloadSize int) {
+	if rt.col != nil && rt.commDelay != nil {
+		rt.col.Add(trace.Comm, rt.commDelay(payloadSize))
+	}
+}
+
+// chargeDisk accounts one disk operation: the modeled service time when a
+// disk model is configured, otherwise the measured duration.
+func (rt *Runtime) chargeDisk(blobSize int, measured time.Duration) {
+	if rt.col == nil {
+		return
+	}
+	if rt.diskDelay != nil {
+		rt.col.Add(trace.Disk, rt.diskDelay(blobSize))
+		return
+	}
+	rt.col.Add(trace.Disk, measured)
+}
+
+// Counters for quiescence detection (see WaitQuiescence).
+
+// Work returns the number of messages materialized on this node and not yet
+// fully handled.
+func (rt *Runtime) Work() int64 { return rt.work.Load() }
+
+// SentCount returns the cumulative count of messages sent to other nodes.
+func (rt *Runtime) SentCount() int64 { return rt.sent.Load() }
+
+// RecvCount returns the cumulative count of messages received from other
+// nodes.
+func (rt *Runtime) RecvCount() int64 { return rt.recv.Load() }
+
+// Close shuts the runtime's storage down. The caller must have established
+// quiescence first (WaitQuiescence); Close additionally waits for background
+// swap operations started by post-handler housekeeping.
+func (rt *Runtime) Close() error {
+	if rt.closed.Swap(true) {
+		return nil
+	}
+	for rt.swapOps.Load() > 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	return rt.store.Close()
+}
+
+// WaitQuiescence blocks until the whole set of runtimes is globally
+// terminated: no handler running, no message queued or parked anywhere, and
+// every sent message received. This is the termination condition of the
+// paper's control layer ("when no message handlers are executing and no
+// messages are being delivered"); with all simulated nodes sharing one
+// process the detector reads the distributed counters directly instead of
+// exchanging probe messages.
+func WaitQuiescence(rts ...*Runtime) {
+	read := func() (work, sent, recv int64) {
+		for _, rt := range rts {
+			work += rt.Work()
+			sent += rt.SentCount()
+			recv += rt.RecvCount()
+		}
+		return
+	}
+	for {
+		w1, s1, r1 := read()
+		if w1 == 0 && s1 == r1 {
+			// Double-read: stable across a second observation means no
+			// message was in flight between the two reads.
+			time.Sleep(200 * time.Microsecond)
+			w2, s2, r2 := read()
+			if w2 == 0 && s2 == r2 && s2 == s1 && r2 == r1 {
+				return
+			}
+			continue
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// encodeObject serializes obj, charging the disk-time account.
+func (rt *Runtime) encodeObject(obj Object) ([]byte, error) {
+	t0 := time.Now()
+	var buf bytes.Buffer
+	err := obj.EncodeTo(&buf)
+	if rt.col != nil {
+		rt.col.Add(trace.Disk, time.Since(t0))
+	}
+	return buf.Bytes(), err
+}
+
+func (rt *Runtime) decodeObject(typeID uint16, blob []byte) (Object, error) {
+	t0 := time.Now()
+	obj, err := rt.factory(typeID)
+	if err != nil {
+		return nil, err
+	}
+	err = obj.DecodeFrom(bytes.NewReader(blob))
+	if rt.col != nil {
+		rt.col.Add(trace.Disk, time.Since(t0))
+	}
+	return obj, err
+}

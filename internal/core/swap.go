@@ -1,0 +1,258 @@
+package core
+
+import (
+	"time"
+
+	"mrts/internal/ooc"
+	"mrts/internal/sched"
+)
+
+// startLoadLocked transitions lo from stOut to stLoading and starts the
+// asynchronous load. Caller holds lo.mu.
+func (rt *Runtime) startLoadLocked(lo *localObject) {
+	if lo.state != stOut {
+		return
+	}
+	lo.state = stLoading
+	rt.swapOps.Add(1)
+	go func() {
+		defer rt.swapOps.Add(-1)
+		rt.loadObject(lo)
+	}()
+}
+
+// loadObject brings lo back in core: it makes room per the hard threshold,
+// reads the blob, deserializes, and reschedules pending work.
+func (rt *Runtime) loadObject(lo *localObject) {
+	id := oid(lo.ptr)
+	// Make room before the bytes arrive.
+	if need := rt.mem.NeedForAlloc(rt.mem.Size(id)); need > 0 {
+		rt.evictVictims(need, lo.ptr)
+	}
+	t0 := time.Now()
+	blob, err := rt.store.GetAsync(storeKey(lo.ptr)).Wait()
+	rt.chargeDisk(len(blob), time.Since(t0))
+	if err != nil {
+		// The blob is missing or unreadable: the object is lost. Drop its
+		// queue so termination is still reached; surface via panic in
+		// debug builds would hide the accounting, so count the work off.
+		lo.mu.Lock()
+		n := len(lo.queue)
+		lo.queue = nil
+		lo.state = stOut
+		lo.mu.Unlock()
+		rt.work.Add(int64(-n))
+		return
+	}
+	obj, err := rt.decodeObject(lo.typeID, blob)
+	if err != nil {
+		lo.mu.Lock()
+		n := len(lo.queue)
+		lo.queue = nil
+		lo.state = stOut
+		lo.mu.Unlock()
+		rt.work.Add(int64(-n))
+		return
+	}
+	lo.mu.Lock()
+	lo.obj = obj
+	lo.state = stInCore
+	rt.mem.MarkIn(id)
+	if len(lo.queue) > 0 && !lo.scheduled {
+		lo.scheduled = true
+		rt.pool.Submit(func(sc *sched.Ctx) { rt.drain(lo, sc) })
+	}
+	lo.mu.Unlock()
+	rt.mcasts.objectArrived(rt, lo.ptr)
+}
+
+// tryEvict unloads lo to the storage layer if it is idle, unlocked and
+// in-core. It reports whether the eviction was initiated.
+func (rt *Runtime) tryEvict(lo *localObject) bool {
+	id := oid(lo.ptr)
+	rt.swapOps.Add(1)
+	if rt.closed.Load() {
+		rt.swapOps.Add(-1)
+		return false
+	}
+	lo.mu.Lock()
+	if lo.state != stInCore || lo.running || lo.scheduled || lo.migrating || rt.mem.Locked(id) {
+		lo.mu.Unlock()
+		rt.swapOps.Add(-1)
+		return false
+	}
+	obj := lo.obj
+	lo.obj = nil
+	lo.state = stStoring
+	lo.mu.Unlock()
+
+	blob, err := rt.encodeObject(obj)
+	if err != nil {
+		// Serialization failed; keep the object in core.
+		lo.mu.Lock()
+		lo.obj = obj
+		lo.state = stInCore
+		lo.mu.Unlock()
+		rt.swapOps.Add(-1)
+		return false
+	}
+	rt.mem.SetSize(id, int64(len(blob)))
+	rt.mem.MarkOut(id)
+	res := rt.store.PutAsync(storeKey(lo.ptr), blob)
+	go func() {
+		defer rt.swapOps.Add(-1)
+		t0 := time.Now()
+		_, err := res.Wait()
+		rt.chargeDisk(len(blob), time.Since(t0))
+		lo.mu.Lock()
+		if err != nil {
+			// Write failed: restore the in-core copy (we still hold obj
+			// via the closure).
+			lo.obj = obj
+			lo.state = stInCore
+			rt.mem.MarkIn(oid(lo.ptr))
+			if len(lo.queue) > 0 && !lo.scheduled {
+				lo.scheduled = true
+				rt.pool.Submit(func(sc *sched.Ctx) { rt.drain(lo, sc) })
+			}
+			lo.mu.Unlock()
+			return
+		}
+		lo.state = stOut
+		want := lo.wantLoad || len(lo.queue) > 0
+		lo.wantLoad = false
+		if want {
+			rt.startLoadLocked(lo)
+		}
+		lo.mu.Unlock()
+	}()
+	return true
+}
+
+// evictVictims frees at least need bytes, skipping exclude.
+func (rt *Runtime) evictVictims(need int64, exclude MobilePtr) {
+	if need <= 0 {
+		return
+	}
+	var freed int64
+	for _, vid := range rt.mem.PickVictims(need) {
+		if vid == oid(exclude) {
+			continue
+		}
+		lo := rt.findByOID(vid)
+		if lo == nil {
+			continue
+		}
+		size := rt.mem.Size(vid)
+		if rt.tryEvict(lo) {
+			freed += size
+			if freed >= need {
+				return
+			}
+		}
+	}
+}
+
+// maybeEvictForSoft responds to the soft threshold: when free memory drops
+// below the configured fraction, the out-of-core layer is "advised" to swap.
+func (rt *Runtime) maybeEvictForSoft() {
+	if need := rt.mem.NeedForSoft(); need > 0 {
+		rt.evictVictims(need, Nil)
+	}
+}
+
+// prefetchTick loads a few out-of-core objects with pending messages — the
+// out-of-core layer's prefetch cache at work. It runs even under memory
+// pressure: the load path evicts idle victims to make room, which is exactly
+// the streaming the runtime exists to overlap.
+func (rt *Runtime) prefetchTick() {
+	for _, id := range rt.mem.SuggestPrefetch(rt.pfDepth) {
+		lo := rt.findByOID(id)
+		if lo == nil {
+			continue
+		}
+		lo.mu.Lock()
+		if lo.state == stOut {
+			rt.startLoadLocked(lo)
+		}
+		lo.mu.Unlock()
+	}
+}
+
+func (rt *Runtime) findByOID(id ooc.ObjectID) *localObject {
+	ptr := MobilePtr{Home: NodeID(int32(uint64(id) >> 32)), Seq: uint32(uint64(id))}
+	rt.mu.Lock()
+	lo := rt.objects[ptr]
+	rt.mu.Unlock()
+	return lo
+}
+
+// Lock pins the object in core: it will not be selected for eviction until
+// Unlock. Locking an out-of-core object also schedules its load.
+func (rt *Runtime) Lock(ptr MobilePtr) {
+	rt.mem.Lock(oid(ptr))
+	rt.Prefetch(ptr)
+}
+
+// Unlock releases a Lock.
+func (rt *Runtime) Unlock(ptr MobilePtr) { rt.mem.Unlock(oid(ptr)) }
+
+// SetPriority sets the object's swapping priority hint: higher values keep
+// the object in core longer.
+func (rt *Runtime) SetPriority(ptr MobilePtr, pri int) { rt.mem.SetPriority(oid(ptr), pri) }
+
+// Prefetch schedules a load of a local out-of-core object ("force loading").
+func (rt *Runtime) Prefetch(ptr MobilePtr) {
+	rt.mu.Lock()
+	lo := rt.objects[ptr]
+	rt.mu.Unlock()
+	if lo == nil {
+		return
+	}
+	lo.mu.Lock()
+	if lo.state == stOut {
+		rt.startLoadLocked(lo)
+	} else if lo.state == stStoring {
+		lo.wantLoad = true
+	}
+	lo.mu.Unlock()
+}
+
+// InCore reports whether the object is local and resident in memory.
+func (rt *Runtime) InCore(ptr MobilePtr) bool {
+	rt.mu.Lock()
+	lo := rt.objects[ptr]
+	rt.mu.Unlock()
+	if lo == nil {
+		return false
+	}
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	return lo.state == stInCore
+}
+
+// IsLocal reports whether the object currently lives on this node.
+func (rt *Runtime) IsLocal(ptr MobilePtr) bool {
+	rt.mu.Lock()
+	_, ok := rt.objects[ptr]
+	rt.mu.Unlock()
+	return ok
+}
+
+// NumLocalObjects returns the number of mobile objects on this node.
+func (rt *Runtime) NumLocalObjects() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.objects)
+}
+
+// LocalObjects returns the mobile pointers of all objects on this node.
+func (rt *Runtime) LocalObjects() []MobilePtr {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]MobilePtr, 0, len(rt.objects))
+	for p := range rt.objects {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mrts/internal/comm"
+	"mrts/internal/ooc"
+	"mrts/internal/sched"
+	"mrts/internal/storage"
+)
+
+// TestRuntimeOverTCP runs the full MRTS stack over real loopback TCP
+// sockets: the control layer is transport-agnostic, so posting, forwarding,
+// migration, out-of-core swapping and termination must all work unchanged.
+func TestRuntimeOverTCP(t *testing.T) {
+	tr, err := comm.NewTCP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var rts []*Runtime
+	var pools []sched.Pool
+	for i := 0; i < 3; i++ {
+		pool := sched.NewWorkStealing(2)
+		pools = append(pools, pool)
+		rts = append(rts, NewRuntime(Config{
+			Endpoint: tr.Endpoint(comm.NodeID(i)),
+			Pool:     pool,
+			Factory:  testFactory,
+			Mem:      ooc.Config{Budget: 4000}, // tight: swapping over TCP runs too
+			Store:    storage.NewMem(),
+			NumNodes: 3,
+		}))
+	}
+	defer func() {
+		WaitQuiescence(rts...)
+		for _, rt := range rts {
+			rt.Close()
+		}
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
+	for _, rt := range rts {
+		rt.Register(hInc, func(ctx *Ctx, arg []byte) {
+			ctx.Object().(*testObj).Count++
+		})
+	}
+
+	// Objects with ballast so the budget forces evictions.
+	var ptrs []MobilePtr
+	for i := 0; i < 3; i++ {
+		for k := 0; k < 3; k++ {
+			ptrs = append(ptrs, rts[i].CreateObject(&testObj{Ballast: make([]byte, 1000)}))
+		}
+	}
+	// Cross-node traffic.
+	for _, rt := range rts {
+		for _, p := range ptrs {
+			for k := 0; k < 5; k++ {
+				rt.Post(p, hInc, nil)
+			}
+		}
+	}
+	WaitQuiescence(rts...)
+
+	// Migrate an object over TCP and keep posting to it.
+	mig := ptrs[0]
+	for {
+		err := rts[0].Migrate(mig, 2)
+		if err == nil {
+			break
+		}
+		if err != ErrBusy {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !rts[2].IsLocal(mig) {
+		if time.Now().After(deadline) {
+			t.Fatal("TCP migration never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rts[1].Post(mig, hInc, nil)
+	WaitQuiescence(rts...)
+
+	// Verify all counts: every object got 15 increments; the migrated one 16.
+	got := make(chan int64, 1)
+	for _, rt := range rts {
+		rt.Register(98, func(ctx *Ctx, arg []byte) {
+			got <- ctx.Object().(*testObj).Count
+		})
+	}
+	for _, p := range ptrs {
+		want := int64(15)
+		target := rts[p.Home]
+		if p == mig {
+			want = 16
+			target = rts[2]
+		}
+		target.Post(p, 98, nil)
+		select {
+		case v := <-got:
+			if v != want {
+				t.Fatalf("object %v count = %d, want %d", p, v, want)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no reply for %v", p)
+		}
+	}
+	// The tight budget must have caused real swapping during the run.
+	var evictions uint64
+	for _, rt := range rts {
+		evictions += rt.Mem().Snapshot().Evictions
+	}
+	if evictions == 0 {
+		t.Error("expected evictions under the tight budget")
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"mrts/internal/comm"
+)
+
+// This file implements distributed termination detection over the transport
+// itself — the paper's control layer detects "when no message handlers are
+// executing and no messages are being delivered" without a shared-memory
+// oracle. The algorithm is the classic double-count (Mattern's four-counter
+// method): a coordinator polls every node for (work, sent, received); if two
+// consecutive polls return identical, balanced totals, no message can have
+// been in flight between them, and the coordinator announces termination.
+//
+// WaitQuiescence (runtime.go) is the driver-level shortcut usable because
+// all simulated nodes share one process; WaitTermination is the faithful
+// message-based protocol, used the same way from every node (SPMD).
+
+// Wire kinds for termination detection.
+const (
+	wireTermProbe    uint32 = 6 // coordinator -> node: report your counters
+	wireTermReply    uint32 = 7 // node -> coordinator: (epoch, work, sent, recv)
+	wireTermAnnounce uint32 = 8 // coordinator -> node: generation terminated
+)
+
+// termState tracks a node's participation in distributed termination.
+type termState struct {
+	mu        sync.Mutex
+	announced uint64 // latest terminated generation
+	waiters   []chan struct{}
+
+	// Coordinator state (node 0 only).
+	replyCh chan termReply
+}
+
+type termReply struct {
+	epoch uint64
+	work  int64
+	sent  int64
+	recv  int64
+}
+
+func newTermState() *termState {
+	return &termState{replyCh: make(chan termReply, 64)}
+}
+
+func (ts *termState) generation() uint64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.announced
+}
+
+// WaitTermination blocks until the coordinator (node 0) announces a
+// termination generation newer than the one observed at entry. Every node of
+// the cluster must call it (SPMD); node 0 additionally runs the coordinator
+// until its own wait is satisfied. numNodes is the cluster size.
+//
+// The protocol works for repeated phases: post more work after it returns
+// and call it again.
+func (rt *Runtime) WaitTermination(numNodes int) {
+	ts := rt.term
+	ts.mu.Lock()
+	entryGen := ts.announced
+	ch := make(chan struct{})
+	ts.waiters = append(ts.waiters, ch)
+	ts.mu.Unlock()
+
+	if rt.node == 0 {
+		rt.coordinate(numNodes, entryGen)
+	}
+	<-ch
+}
+
+// coordinate polls all nodes until a stable balanced double count, then
+// announces generation entryGen+1 to everyone (including itself).
+func (rt *Runtime) coordinate(numNodes int, entryGen uint64) {
+	ts := rt.term
+	epoch := entryGen << 20 // epochs namespaced per generation
+	var prev *[3]int64
+	for {
+		// Already announced by a concurrent phase? (Defensive; single
+		// coordinator in practice.)
+		if ts.generation() > entryGen {
+			return
+		}
+		epoch++
+		var probe [8]byte
+		binary.LittleEndian.PutUint64(probe[:], epoch)
+		for n := 1; n < numNodes; n++ {
+			_ = rt.ep.Send(NodeID(n), wireTermProbe, probe[:])
+		}
+		// The coordinator's own counters join the tally directly.
+		totals := [3]int64{rt.Work(), rt.sent.Load(), rt.recv.Load()}
+		needed := numNodes - 1
+		timeout := time.After(time.Second)
+		for needed > 0 {
+			select {
+			case r := <-ts.replyCh:
+				if r.epoch != epoch {
+					continue // stale reply from an earlier probe round
+				}
+				totals[0] += r.work
+				totals[1] += r.sent
+				totals[2] += r.recv
+				needed--
+			case <-timeout:
+				needed = -1 // lost probe/reply; retry the round
+			}
+		}
+		if needed == 0 && totals[0] == 0 && totals[1] == totals[2] {
+			if prev != nil && *prev == totals {
+				// Two identical balanced counts: terminated.
+				gen := entryGen + 1
+				var ann [8]byte
+				binary.LittleEndian.PutUint64(ann[:], gen)
+				for n := 1; n < numNodes; n++ {
+					_ = rt.ep.Send(NodeID(n), wireTermAnnounce, ann[:])
+				}
+				rt.onTerminated(gen)
+				return
+			}
+			prev = &totals
+		} else {
+			prev = nil
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+func (rt *Runtime) onWireTermProbe(msg comm.Message) {
+	if len(msg.Payload) != 8 {
+		return
+	}
+	var reply [32]byte
+	copy(reply[0:8], msg.Payload)
+	binary.LittleEndian.PutUint64(reply[8:16], uint64(rt.Work()))
+	binary.LittleEndian.PutUint64(reply[16:24], uint64(rt.sent.Load()))
+	binary.LittleEndian.PutUint64(reply[24:32], uint64(rt.recv.Load()))
+	_ = rt.ep.Send(msg.From, wireTermReply, reply[:])
+}
+
+func (rt *Runtime) onWireTermReply(msg comm.Message) {
+	if len(msg.Payload) != 32 {
+		return
+	}
+	r := termReply{
+		epoch: binary.LittleEndian.Uint64(msg.Payload[0:8]),
+		work:  int64(binary.LittleEndian.Uint64(msg.Payload[8:16])),
+		sent:  int64(binary.LittleEndian.Uint64(msg.Payload[16:24])),
+		recv:  int64(binary.LittleEndian.Uint64(msg.Payload[24:32])),
+	}
+	select {
+	case rt.term.replyCh <- r:
+	default: // coordinator gone or slow; drop
+	}
+}
+
+func (rt *Runtime) onWireTermAnnounce(msg comm.Message) {
+	if len(msg.Payload) != 8 {
+		return
+	}
+	rt.onTerminated(binary.LittleEndian.Uint64(msg.Payload))
+}
+
+// onTerminated releases all waiters once a new generation is announced.
+func (rt *Runtime) onTerminated(gen uint64) {
+	ts := rt.term
+	ts.mu.Lock()
+	if gen > ts.announced {
+		ts.announced = gen
+	}
+	waiters := ts.waiters
+	ts.waiters = nil
+	ts.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}

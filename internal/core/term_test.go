@@ -1,0 +1,137 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWaitTerminationSingleNode(t *testing.T) {
+	c := newCluster(t, 1, 1<<20)
+	registerInc(c)
+	rt := c.rts[0]
+	obj := &testObj{}
+	ptr := rt.CreateObject(obj)
+	for i := 0; i < 50; i++ {
+		rt.Post(ptr, hInc, nil)
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.WaitTermination(1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("distributed termination never detected")
+	}
+	if obj.Count != 50 {
+		t.Fatalf("count = %d (terminated too early?)", obj.Count)
+	}
+}
+
+func TestWaitTerminationSPMD(t *testing.T) {
+	// All nodes call WaitTermination; a relay chain keeps messages flying
+	// between them; no node may unblock before the chain ends.
+	c := newCluster(t, 4, 1<<20)
+	ptrs := make([]MobilePtr, 4)
+	for i, rt := range c.rts {
+		ptrs[i] = rt.CreateObject(&testObj{})
+	}
+	var hops atomic.Int64
+	for i, rt := range c.rts {
+		i := i
+		rt.Register(hRelay, func(ctx *Ctx, arg []byte) {
+			ttl := binary.LittleEndian.Uint32(arg)
+			hops.Add(1)
+			time.Sleep(100 * time.Microsecond) // keep the chain visibly alive
+			if ttl == 0 {
+				return
+			}
+			next := make([]byte, 4)
+			binary.LittleEndian.PutUint32(next, ttl-1)
+			ctx.Post(ptrs[(i+1)%4], hRelay, next)
+		})
+	}
+	arg := make([]byte, 4)
+	binary.LittleEndian.PutUint32(arg, 199)
+	c.rts[0].Post(ptrs[0], hRelay, arg)
+
+	var wg sync.WaitGroup
+	for _, rt := range c.rts {
+		wg.Add(1)
+		go func(rt *Runtime) {
+			defer wg.Done()
+			rt.WaitTermination(4)
+			if h := hops.Load(); h != 200 {
+				t.Errorf("node %d unblocked at %d hops, want 200", rt.Node(), h)
+			}
+		}(rt)
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(15 * time.Second):
+		t.Fatal("SPMD termination timed out")
+	}
+}
+
+func TestWaitTerminationMultiplePhases(t *testing.T) {
+	c := newCluster(t, 2, 1<<20)
+	registerInc(c)
+	obj := &testObj{}
+	ptr := c.rts[0].CreateObject(obj)
+	for phase := 1; phase <= 3; phase++ {
+		for i := 0; i < 10; i++ {
+			c.rts[1].Post(ptr, hInc, nil)
+		}
+		var wg sync.WaitGroup
+		for _, rt := range c.rts {
+			wg.Add(1)
+			go func(rt *Runtime) {
+				defer wg.Done()
+				rt.WaitTermination(2)
+			}(rt)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("phase %d never terminated", phase)
+		}
+		if got := obj.Count; got != int64(phase*10) {
+			t.Fatalf("phase %d: count = %d, want %d", phase, got, phase*10)
+		}
+	}
+}
+
+func TestWaitTerminationAgreesWithQuiescence(t *testing.T) {
+	// The distributed detector and the driver-level one must agree: after
+	// WaitTermination returns, WaitQuiescence returns immediately.
+	c := newCluster(t, 3, 1<<20)
+	registerInc(c)
+	ptr := c.rts[1].CreateObject(&testObj{})
+	for _, rt := range c.rts {
+		for i := 0; i < 30; i++ {
+			rt.Post(ptr, hInc, nil)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, rt := range c.rts {
+		wg.Add(1)
+		go func(rt *Runtime) {
+			defer wg.Done()
+			rt.WaitTermination(3)
+		}(rt)
+	}
+	wg.Wait()
+	start := time.Now()
+	WaitQuiescence(c.rts...)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("quiescence check after distributed termination took too long")
+	}
+}

@@ -1,0 +1,469 @@
+// Package delaunay implements guaranteed-quality Delaunay mesh refinement
+// (Ruppert's algorithm) on top of the mesh package: constrained Delaunay
+// triangulation of a planar straight-line graph (PSLG), followed by
+// encroachment-driven segment splitting and circumcenter insertion until all
+// triangles meet the quality and size bounds.
+//
+// This is the sequential meshing core used by every parallel mesh generation
+// method in this repository (UPDR, NUPDR, PCDM and their out-of-core ports):
+// each processing element runs this engine on its own subdomain.
+package delaunay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mrts/internal/geom"
+	"mrts/internal/mesh"
+)
+
+// DefaultQualityBound is the default circumradius-to-shortest-edge bound
+// (sqrt 2, guaranteeing a minimum angle of about 20.7 degrees, for which
+// Ruppert's algorithm provably terminates).
+const DefaultQualityBound = math.Sqrt2
+
+// Options control refinement.
+type Options struct {
+	// QualityBound is the maximum allowed circumradius-to-shortest-edge
+	// ratio. Zero means DefaultQualityBound. Values below 1 are rejected
+	// (refinement would not terminate). Termination is guaranteed for
+	// bounds >= sqrt(2) when adjacent input segments meet at 60° or more
+	// (Ruppert's condition); domains with very acute input angles should
+	// set MaxVertices, as refinement can otherwise grind into the corners
+	// indefinitely.
+	QualityBound float64
+
+	// MaxArea, when positive, forces every triangle's area below it
+	// (uniform sizing).
+	MaxArea float64
+
+	// SizeFunc, when non-nil, gives the target edge length at a point
+	// (graded sizing). A triangle whose longest edge exceeds
+	// SizeFunc(centroid) is refined.
+	SizeFunc func(geom.Point) float64
+
+	// MaxVertices caps the total number of vertices as a safety valve.
+	// Zero means no cap. When the cap is hit, Refine stops early and
+	// reports Capped in its stats.
+	MaxVertices int
+
+	// OffCenters enables Üngör off-center Steiner points instead of plain
+	// circumcenters, which typically yields fewer inserted points.
+	OffCenters bool
+
+	// OnSegmentSplit, when non-nil, is called after every constrained
+	// segment split with the segment endpoints and the inserted midpoint.
+	// PCDM uses it to propagate interface splits to neighbor subdomains.
+	OnSegmentSplit func(a, b, mid geom.Point)
+
+	// NoSegmentSplit freezes all constrained segments: encroached segments
+	// are never split, and Steiner points whose insertion would encroach a
+	// segment are skipped instead (their triangles stay as they are).
+	// Subdomain-local refinement uses this to keep interfaces bit-exact
+	// with neighbors that already fixed them. Skipped triangles are
+	// reported in Stats.
+	NoSegmentSplit bool
+}
+
+func (o *Options) qualityBound() float64 {
+	if o.QualityBound == 0 {
+		return DefaultQualityBound
+	}
+	return o.QualityBound
+}
+
+// Stats reports what a refinement run did.
+type Stats struct {
+	SteinerPoints int  // circumcenters / off-centers inserted
+	SegmentSplits int  // constrained segment midpoint insertions
+	Skipped       int  // bad triangles left alone under NoSegmentSplit
+	Capped        bool // true if MaxVertices stopped refinement early
+}
+
+// ErrBadOptions is returned for option values that would not terminate.
+var ErrBadOptions = errors.New("delaunay: quality bound must be >= 1")
+
+// PSLG is a planar straight-line graph: the input to CDT construction.
+type PSLG struct {
+	Points   []geom.Point
+	Segments [][2]int     // indices into Points
+	Holes    []geom.Point // one interior point per hole to carve
+}
+
+// Validate performs basic sanity checks on the PSLG.
+func (p *PSLG) Validate() error {
+	if len(p.Points) < 3 {
+		return fmt.Errorf("delaunay: PSLG needs at least 3 points, have %d", len(p.Points))
+	}
+	for i, s := range p.Segments {
+		if s[0] < 0 || s[0] >= len(p.Points) || s[1] < 0 || s[1] >= len(p.Points) {
+			return fmt.Errorf("delaunay: segment %d references point out of range", i)
+		}
+		if s[0] == s[1] {
+			return fmt.Errorf("delaunay: segment %d is degenerate", i)
+		}
+	}
+	return nil
+}
+
+// BuildCDT builds the constrained Delaunay triangulation of the PSLG and
+// carves away the exterior (and any holes). It returns the mesh and the
+// vertex IDs corresponding to p.Points (duplicated points map to the same
+// vertex).
+func BuildCDT(p *PSLG) (*mesh.Mesh, []mesh.VertexID, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	m := mesh.New()
+	bbox := geom.BoundingRect(p.Points)
+	m.InitSuper(bbox)
+
+	ids := make([]mesh.VertexID, len(p.Points))
+	hint := mesh.NoTri
+	for i, pt := range p.Points {
+		v, err := m.InsertPoint(pt, hint)
+		if err != nil && err != mesh.ErrDuplicate {
+			return nil, nil, fmt.Errorf("delaunay: inserting point %d %v: %w", i, pt, err)
+		}
+		ids[i] = v
+		hint = m.IncidentTri(v)
+	}
+	for i, s := range p.Segments {
+		if err := m.InsertSegment(ids[s[0]], ids[s[1]]); err != nil {
+			return nil, nil, fmt.Errorf("delaunay: recovering segment %d: %w", i, err)
+		}
+	}
+
+	// Carve exterior (reachable from super triangle) and holes.
+	var holeSeeds []mesh.TriID
+	for _, h := range p.Holes {
+		loc := m.Locate(h, mesh.NoTri)
+		if loc.Kind == mesh.LocateInside || loc.Kind == mesh.LocateOnEdge {
+			holeSeeds = append(holeSeeds, loc.Tri)
+		}
+	}
+	m.Carve()
+	m.CarveFrom(holeSeeds)
+	return m, ids, nil
+}
+
+// refiner carries the state of one refinement run.
+type refiner struct {
+	m     *mesh.Mesh
+	opts  Options
+	beta  float64
+	bad   []mesh.TriID // stack of candidate bad triangles (rechecked at pop)
+	stats Stats
+}
+
+// Refine runs Ruppert refinement on m in place. m must be a carved CDT: its
+// hull edges must all be constrained (BuildCDT guarantees this).
+func Refine(m *mesh.Mesh, opts Options) (Stats, error) {
+	if opts.QualityBound != 0 && opts.QualityBound < 1 {
+		return Stats{}, ErrBadOptions
+	}
+	r := &refiner{m: m, opts: opts, beta: opts.qualityBound()}
+	if opts.OnSegmentSplit != nil {
+		// Hook at the mesh level so that every constrained split is seen,
+		// including Steiner points landing exactly on a segment.
+		m.SetSplitHook(opts.OnSegmentSplit)
+		defer m.SetSplitHook(nil)
+	}
+
+	// Phase 1: split encroached segments until none remain (skipped when
+	// segments are frozen).
+	if !opts.NoSegmentSplit {
+		if err := r.splitAllEncroached(); err != nil {
+			return r.stats, err
+		}
+	}
+
+	// Phase 2: seed the bad-triangle queue.
+	m.ForEachTri(func(t mesh.TriID, _ mesh.Tri) {
+		if r.isBad(t) {
+			r.bad = append(r.bad, t)
+		}
+	})
+
+	// Phase 3: main loop.
+	for len(r.bad) > 0 {
+		if r.capped() {
+			r.stats.Capped = true
+			return r.stats, nil
+		}
+		t := r.bad[len(r.bad)-1]
+		r.bad = r.bad[:len(r.bad)-1]
+		if !r.m.Alive(t) || !r.isBad(t) {
+			continue
+		}
+		if err := r.refineTriangle(t); err != nil {
+			return r.stats, err
+		}
+	}
+	return r.stats, nil
+}
+
+func (r *refiner) capped() bool {
+	return r.opts.MaxVertices > 0 && r.m.NumVertices() >= r.opts.MaxVertices
+}
+
+// isBad reports whether triangle t violates the quality or size bounds.
+func (r *refiner) isBad(t mesh.TriID) bool {
+	tr := r.m.Triangle(t)
+	if tr.Quality() > r.beta {
+		return true
+	}
+	if r.opts.MaxArea > 0 && tr.Area() > r.opts.MaxArea {
+		return true
+	}
+	if r.opts.SizeFunc != nil {
+		if h := r.opts.SizeFunc(tr.Centroid()); h > 0 && tr.LongestEdge() > h {
+			return true
+		}
+	}
+	return false
+}
+
+// encroached reports whether the constrained edge (a, b) is encroached by
+// any vertex of its adjacent triangles (sufficient for Delaunay meshes: if
+// any vertex is inside the diametral circle, the nearest one is a neighbor
+// apex).
+func (r *refiner) encroached(a, b mesh.VertexID) bool {
+	seg := geom.Segment{A: r.m.Vertex(a), B: r.m.Vertex(b)}
+	for _, t := range r.m.EdgeTriangles(a, b) {
+		tr := r.m.Tri(t)
+		for k := 0; k < 3; k++ {
+			v := tr.V[k]
+			if v == a || v == b {
+				continue
+			}
+			if seg.DiametralContains(r.m.Vertex(v)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// splitSegment inserts the midpoint of constrained edge (a, b), requeues the
+// triangles around the new vertex and recursively resolves encroachment of
+// the two halves.
+func (r *refiner) splitSegment(a, b mesh.VertexID) error {
+	v, err := r.m.SplitEdge(a, b)
+	if err == mesh.ErrDuplicate {
+		return nil // edge too short to split further
+	}
+	if err != nil {
+		return fmt.Errorf("delaunay: splitting segment: %w", err)
+	}
+	r.stats.SegmentSplits++
+	r.queueAround(v)
+	// The two halves may themselves be encroached.
+	for _, half := range [][2]mesh.VertexID{{a, v}, {v, b}} {
+		if r.capped() {
+			return nil
+		}
+		if r.m.IsConstrained(half[0], half[1]) && r.encroached(half[0], half[1]) {
+			if err := r.splitSegment(half[0], half[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// splitAllEncroached scans all constrained edges and splits the encroached
+// ones to a fixpoint.
+func (r *refiner) splitAllEncroached() error {
+	for {
+		if r.capped() {
+			r.stats.Capped = true
+			return nil
+		}
+		var queue [][2]mesh.VertexID
+		r.m.ForEachConstrained(func(a, b mesh.VertexID) {
+			if r.encroached(a, b) {
+				queue = append(queue, [2]mesh.VertexID{a, b})
+			}
+		})
+		if len(queue) == 0 {
+			return nil
+		}
+		// ForEachConstrained iterates a map; sort for determinism.
+		sort.Slice(queue, func(i, j int) bool {
+			if queue[i][0] != queue[j][0] {
+				return queue[i][0] < queue[j][0]
+			}
+			return queue[i][1] < queue[j][1]
+		})
+		for _, e := range queue {
+			if !r.m.IsConstrained(e[0], e[1]) {
+				continue // already split
+			}
+			if err := r.splitSegment(e[0], e[1]); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// queueAround pushes all triangles incident to v onto the bad-candidate
+// stack (they are rechecked at pop time).
+func (r *refiner) queueAround(v mesh.VertexID) {
+	for _, t := range r.m.IncidentTriangles(v) {
+		r.bad = append(r.bad, t)
+	}
+}
+
+// refineTriangle attempts to kill bad triangle t by inserting its
+// circumcenter (or off-center); if the new point would encroach constrained
+// segments, those segments are split instead (Ruppert's rule).
+func (r *refiner) refineTriangle(t mesh.TriID) error {
+	tr := r.m.Triangle(t)
+	var c geom.Point
+	var ok bool
+	if r.opts.OffCenters {
+		c, ok = tr.OffCenter(r.beta)
+	} else {
+		c, ok = tr.Circumcenter()
+	}
+	if !ok {
+		return fmt.Errorf("delaunay: degenerate triangle %d", t)
+	}
+
+	// Find the constrained segments the would-be cavity of c exposes, and
+	// test them for encroachment by c.
+	segs, loc := r.cavitySegments(c, t)
+	var encroachedSegs [][2]mesh.VertexID
+	for _, s := range segs {
+		seg := geom.Segment{A: r.m.Vertex(s[0]), B: r.m.Vertex(s[1])}
+		if seg.DiametralContains(c) {
+			encroachedSegs = append(encroachedSegs, s)
+		}
+	}
+	if loc.Kind == mesh.LocateFailed && len(encroachedSegs) == 0 {
+		// The circumcenter escaped the (constrained-bounded) domain without
+		// crossing an encroached segment: split the segment the walk from t
+		// toward c is blocked by.
+		if s, found := r.blockingSegment(t, c); found {
+			encroachedSegs = append(encroachedSegs, s)
+		} else {
+			// Numerical corner case: give up on this triangle.
+			return nil
+		}
+	}
+
+	if len(encroachedSegs) > 0 && r.opts.NoSegmentSplit {
+		// Segments are frozen: leave this triangle be.
+		r.stats.Skipped++
+		return nil
+	}
+	if len(encroachedSegs) > 0 {
+		for _, s := range encroachedSegs {
+			if r.capped() {
+				return nil
+			}
+			if r.m.IsConstrained(s[0], s[1]) {
+				if err := r.splitSegment(s[0], s[1]); err != nil {
+					return err
+				}
+			}
+		}
+		// The triangle may still be bad; requeue it.
+		if r.m.Alive(t) {
+			r.bad = append(r.bad, t)
+		}
+		return nil
+	}
+
+	switch loc.Kind {
+	case mesh.LocateOnVert:
+		return nil // circumcenter coincides with an existing vertex
+	case mesh.LocateFailed:
+		return nil
+	}
+	v, err := r.m.InsertPoint(c, loc.Tri)
+	if err == mesh.ErrDuplicate || err == mesh.ErrOutside {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("delaunay: inserting Steiner point: %w", err)
+	}
+	r.stats.SteinerPoints++
+	r.queueAround(v)
+	return nil
+}
+
+// cavitySegments computes, without mutating the mesh, the constrained edges
+// on the boundary of the Bowyer–Watson cavity that inserting c would carve.
+// It returns the located position of c as well.
+func (r *refiner) cavitySegments(c geom.Point, hint mesh.TriID) ([][2]mesh.VertexID, mesh.Location) {
+	loc := r.m.Locate(c, hint)
+	if loc.Kind == mesh.LocateFailed || loc.Kind == mesh.LocateOnVert {
+		return nil, loc
+	}
+	inCavity := map[mesh.TriID]bool{loc.Tri: true}
+	stack := []mesh.TriID{loc.Tri}
+	var segs [][2]mesh.VertexID
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		tr := r.m.Tri(t)
+		for i := 0; i < 3; i++ {
+			a := tr.V[(i+1)%3]
+			b := tr.V[(i+2)%3]
+			n := tr.N[i]
+			if r.m.IsConstrained(a, b) {
+				segs = append(segs, [2]mesh.VertexID{a, b})
+				continue
+			}
+			if n == mesh.NoTri || inCavity[n] {
+				continue
+			}
+			if r.m.Triangle(n).CircumcircleContains(c) {
+				inCavity[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return segs, loc
+}
+
+// blockingSegment walks from triangle t toward target and returns the first
+// constrained edge the walk would have to cross.
+func (r *refiner) blockingSegment(t mesh.TriID, target geom.Point) ([2]mesh.VertexID, bool) {
+	cur := t
+	prev := mesh.NoTri
+	from := r.m.Triangle(t).Centroid()
+	for step := 0; step < r.m.NumTriangles()+8; step++ {
+		tr := r.m.Tri(cur)
+		moved := false
+		for i := 0; i < 3; i++ {
+			a := tr.V[(i+1)%3]
+			b := tr.V[(i+2)%3]
+			pa, pb := r.m.Vertex(a), r.m.Vertex(b)
+			if geom.Orient2D(pa, pb, target) != geom.Negative {
+				continue // target not beyond this edge
+			}
+			if !geom.SegmentsProperlyIntersect(from, target, pa, pb) {
+				continue
+			}
+			if r.m.IsConstrained(a, b) {
+				return [2]mesh.VertexID{a, b}, true
+			}
+			n := tr.N[i]
+			if n == mesh.NoTri || n == prev {
+				continue
+			}
+			prev, cur = cur, n
+			moved = true
+			break
+		}
+		if !moved {
+			break
+		}
+	}
+	return [2]mesh.VertexID{}, false
+}

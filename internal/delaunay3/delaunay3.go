@@ -1,0 +1,147 @@
+// Package delaunay3 implements size-driven Delaunay refinement of box
+// domains in 3-D: tetrahedra whose longest edge exceeds the sizing field are
+// split by inserting their circumcenter (when it falls inside the box) or a
+// point on their longest edge. The edge-length criterion deliberately avoids
+// chasing sliver tetrahedra — the flat, short-edged elements whose
+// circumradii explode and make circumradius-driven refinement in 3-D
+// non-terminating without the full sliver-removal machinery.
+//
+// Quality (radius-edge) refinement is supported as a secondary criterion;
+// unlike in 2-D it carries no termination guarantee (slivers again), so a
+// vertex cap should accompany aggressive bounds.
+package delaunay3
+
+import (
+	"fmt"
+
+	"mrts/internal/geom3"
+	"mrts/internal/mesh3"
+)
+
+// Options control 3-D refinement.
+type Options struct {
+	// Size is the target edge-length field: a tetrahedron whose longest
+	// edge exceeds Size(centroid) is split. Required.
+	Size func(geom3.Point) float64
+	// RadiusEdgeBound, when positive, additionally splits tets with a
+	// larger circumradius-to-shortest-edge ratio. No termination
+	// guarantee; combine with MaxVertices.
+	RadiusEdgeBound float64
+	// MaxVertices caps refinement (0 = none).
+	MaxVertices int
+}
+
+// Stats reports a refinement run.
+type Stats struct {
+	Inserted int
+	Capped   bool
+}
+
+// longestEdgeSplit returns the midpoint of the tet's longest edge pulled a
+// quarter of the way toward the centroid: strictly interior to the tet, so
+// the insertion never degenerates on an existing edge or face.
+func longestEdgeSplit(g geom3.Tet) geom3.Point {
+	pts := [4]geom3.Point{g.A, g.B, g.C, g.D}
+	bi, bj, best := 0, 1, -1.0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if d := pts[i].Dist2(pts[j]); d > best {
+				best, bi, bj = d, i, j
+			}
+		}
+	}
+	a, b := pts[bi], pts[bj]
+	mid := geom3.Pt((a.X+b.X)/2, (a.Y+b.Y)/2, (a.Z+b.Z)/2)
+	c := g.Centroid()
+	return mid.Add(c.Sub(mid).Scale(0.25))
+}
+
+// NewBoxMesh builds the initial Delaunay mesh of a box: the super
+// tetrahedron plus the eight box corners.
+func NewBoxMesh(box geom3.Box) (*mesh3.Mesh, error) {
+	m := mesh3.New()
+	m.InitSuper(box)
+	for _, x := range []float64{box.Min.X, box.Max.X} {
+		for _, y := range []float64{box.Min.Y, box.Max.Y} {
+			for _, z := range []float64{box.Min.Z, box.Max.Z} {
+				if _, err := m.InsertPoint(geom3.Pt(x, y, z), mesh3.NoTet); err != nil && err != mesh3.ErrDuplicate {
+					return nil, fmt.Errorf("delaunay3: corner insert: %w", err)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Refine splits interior tetrahedra (those not touching a super vertex)
+// until all meet the size (and optional quality) bounds, inserting
+// circumcenters clamped to the box.
+func Refine(m *mesh3.Mesh, box geom3.Box, opts Options) (Stats, error) {
+	if opts.Size == nil {
+		return Stats{}, fmt.Errorf("delaunay3: Options.Size is required")
+	}
+	var stats Stats
+	isBad := func(t mesh3.TetID) bool {
+		if m.HasSuperVertex(t) {
+			return false
+		}
+		g := m.Geom(t)
+		c := g.Centroid()
+		if !box.Contains(c) {
+			return false
+		}
+		if h := opts.Size(c); h > 0 && g.LongestEdge() > h {
+			return true
+		}
+		if opts.RadiusEdgeBound > 0 && g.RadiusEdgeRatio() > opts.RadiusEdgeBound {
+			return true
+		}
+		return false
+	}
+
+	var bad []mesh3.TetID
+	m.ForEachTet(func(t mesh3.TetID, _ mesh3.Tet) {
+		if isBad(t) {
+			bad = append(bad, t)
+		}
+	})
+	for len(bad) > 0 {
+		if opts.MaxVertices > 0 && m.NumVertices() >= opts.MaxVertices {
+			stats.Capped = true
+			return stats, nil
+		}
+		t := bad[len(bad)-1]
+		bad = bad[:len(bad)-1]
+		if !m.Alive(t) || !isBad(t) {
+			continue
+		}
+		g := m.Geom(t)
+		cc, ok := g.Circumcenter()
+		if !ok {
+			continue
+		}
+		// Circumcenters of boundary tets can fall outside the box (there
+		// are no constrained facets to split in this kernel); fall back to
+		// an interior point near the longest edge's midpoint, which stays
+		// inside the box by convexity and still shrinks the offending tet.
+		if !box.Contains(cc) {
+			cc = longestEdgeSplit(g)
+		}
+		v, err := m.InsertPoint(cc, t)
+		if err == mesh3.ErrDuplicate || err == mesh3.ErrOutside {
+			continue
+		}
+		if err != nil {
+			return stats, fmt.Errorf("delaunay3: inserting Steiner point: %w", err)
+		}
+		stats.Inserted++
+		// Requeue the star of the new vertex: scan live tets incident to
+		// v via a local walk from its hint tet.
+		for _, nt := range m.StarOf(v) {
+			if isBad(nt) {
+				bad = append(bad, nt)
+			}
+		}
+	}
+	return stats, nil
+}

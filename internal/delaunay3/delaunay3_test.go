@@ -1,0 +1,187 @@
+package delaunay3
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mrts/internal/geom3"
+	"mrts/internal/mesh3"
+)
+
+func unitBox() geom3.Box {
+	return geom3.NewBox(geom3.Pt(0, 0, 0), geom3.Pt(1, 1, 1))
+}
+
+func TestNewBoxMesh(t *testing.T) {
+	m, err := NewBoxMesh(unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+	var vol float64
+	m.ForEachTet(func(id mesh3.TetID, _ mesh3.Tet) {
+		if !m.HasSuperVertex(id) {
+			vol += m.Geom(id).Volume()
+		}
+	})
+	if math.Abs(vol-1) > 1e-9 {
+		t.Fatalf("cube volume = %v, want 1", vol)
+	}
+}
+
+func TestRefineUniform(t *testing.T) {
+	m, err := NewBoxMesh(unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 0.16
+	stats, err := Refine(m, unitBox(), Options{
+		Size: func(geom3.Point) float64 { return h },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Capped || stats.Inserted == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+	// Every interior tet with its centroid in the box meets the bound.
+	m.ForEachTet(func(id mesh3.TetID, _ mesh3.Tet) {
+		if m.HasSuperVertex(id) {
+			return
+		}
+		g := m.Geom(id)
+		if !unitBox().Contains(g.Centroid()) {
+			return
+		}
+		if l := g.LongestEdge(); l > h+1e-12 {
+			t.Errorf("tet %d longest edge %v exceeds %v", id, l, h)
+		}
+	})
+	// Volume conservation, up to the thin boundary layer that super-vertex
+	// tets can claim when a hull facet is nearly flat (the super tet is
+	// large but finite).
+	var vol float64
+	m.ForEachTet(func(id mesh3.TetID, _ mesh3.Tet) {
+		if !m.HasSuperVertex(id) {
+			vol += m.Geom(id).Volume()
+		}
+	})
+	if vol < 0.99 || vol > 1.0+1e-9 {
+		t.Errorf("volume = %v, want ≈1", vol)
+	}
+	t.Logf("uniform h=%v: %d tets, %d inserted, vol=%.6f", h, m.NumInteriorTets(), stats.Inserted, vol)
+}
+
+func TestRefineGraded3(t *testing.T) {
+	m, err := NewBoxMesh(unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := func(p geom3.Point) float64 {
+		d := p.Dist(geom3.Pt(0, 0, 0))
+		return 0.08 + 0.2*d
+	}
+	if _, err := Refine(m, unitBox(), Options{Size: size}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Gradation: mean element size near the origin must be clearly smaller
+	// than far away (min/max would be dominated by boundary slivers).
+	var nearSum, farSum float64
+	var nearN, farN int
+	m.ForEachTet(func(id mesh3.TetID, _ mesh3.Tet) {
+		if m.HasSuperVertex(id) {
+			return
+		}
+		g := m.Geom(id)
+		c := g.Centroid()
+		l := g.LongestEdge()
+		switch d := c.Dist(geom3.Pt(0, 0, 0)); {
+		case d < 0.3:
+			nearSum += l
+			nearN++
+		case d > 1.2:
+			farSum += l
+			farN++
+		}
+	})
+	if nearN == 0 || farN == 0 {
+		t.Fatal("regions empty")
+	}
+	nearAvg, farAvg := nearSum/float64(nearN), farSum/float64(farN)
+	if !(nearAvg*1.5 < farAvg) {
+		t.Errorf("weak gradation: near avg %v vs far avg %v", nearAvg, farAvg)
+	}
+}
+
+func TestRefineCap(t *testing.T) {
+	m, err := NewBoxMesh(unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Refine(m, unitBox(), Options{
+		Size:        func(geom3.Point) float64 { return 0.01 },
+		MaxVertices: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Capped {
+		t.Error("expected cap")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineRequiresSize(t *testing.T) {
+	m, _ := NewBoxMesh(unitBox())
+	if _, err := Refine(m, unitBox(), Options{}); err == nil {
+		t.Fatal("nil Size should fail")
+	}
+}
+
+func TestEncodeDecodeRoundtrip3(t *testing.T) {
+	m, err := NewBoxMesh(unitBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refine(m, unitBox(), Options{Size: func(geom3.Point) float64 { return 0.25 }}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != m.EncodedSize() {
+		t.Errorf("EncodedSize = %d, actual %d", m.EncodedSize(), buf.Len())
+	}
+	var m2 mesh3.Mesh
+	if err := m2.DecodeFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumTets() != m.NumTets() || m2.NumVertices() != m.NumVertices() {
+		t.Fatalf("counts drifted: %d/%d tets, %d/%d verts",
+			m2.NumTets(), m.NumTets(), m2.NumVertices(), m.NumVertices())
+	}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumInteriorTets() != m.NumInteriorTets() {
+		t.Error("interior count changed")
+	}
+}

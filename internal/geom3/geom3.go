@@ -1,0 +1,356 @@
+// Package geom3 provides the 3-D geometric primitives for tetrahedral
+// meshing: points, exact orientation and in-sphere predicates (floating
+// point filter with math/big fallback, after Shewchuk), circumspheres and
+// element size measures. The paper's mesh generation methods run in both
+// 2-D and 3-D; the MRTS code paths are dimension-independent, and this
+// package backs the 3-D build.
+package geom3
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Point is a point in 3-space.
+type Point struct {
+	X, Y, Z float64
+}
+
+// Pt is shorthand for Point{x, y, z}.
+func Pt(x, y, z float64) Point { return Point{x, y, z} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s, p.Z * s} }
+
+// Dot returns the dot product.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y + p.Z*q.Z }
+
+// Cross returns the cross product p × q.
+func (p Point) Cross(q Point) Point {
+	return Point{
+		p.Y*q.Z - p.Z*q.Y,
+		p.Z*q.X - p.X*q.Z,
+		p.X*q.Y - p.Y*q.X,
+	}
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	d := p.Sub(q)
+	return math.Sqrt(d.Dot(d))
+}
+
+// Dist2 returns the squared distance.
+func (p Point) Dist2(q Point) float64 {
+	d := p.Sub(q)
+	return d.Dot(d)
+}
+
+// Eq reports exact equality.
+func (p Point) Eq(q Point) bool { return p == q }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g, %g)", p.X, p.Y, p.Z) }
+
+// Box is an axis-aligned box.
+type Box struct {
+	Min, Max Point
+}
+
+// NewBox returns the box spanning the two corners in any order.
+func NewBox(a, b Point) Box {
+	return Box{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)},
+	}
+}
+
+// Center returns the box center.
+func (b Box) Center() Point {
+	return Point{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2, (b.Min.Z + b.Max.Z) / 2}
+}
+
+// Contains reports whether p lies inside b (inclusive).
+func (b Box) Contains(p Point) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Diagonal returns the length of the box diagonal.
+func (b Box) Diagonal() float64 { return b.Min.Dist(b.Max) }
+
+// Sign is the sign of a determinant.
+type Sign int
+
+// Determinant signs.
+const (
+	Negative Sign = -1
+	Zero     Sign = 0
+	Positive Sign = 1
+)
+
+// Forward error bounds (Shewchuk).
+const (
+	epsilon3    = 2.220446049250313e-16 / 2
+	o3dErrBound = (7.0 + 56.0*epsilon3) * epsilon3
+	ispErrBound = (16.0 + 224.0*epsilon3) * epsilon3
+)
+
+func signOf(x float64) Sign {
+	switch {
+	case x > 0:
+		return Positive
+	case x < 0:
+		return Negative
+	default:
+		return Zero
+	}
+}
+
+func abs3(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Orient3D returns Positive if d lies on the positive side of the plane
+// through a, b, c — the side the right-hand-rule normal of the
+// counter-clockwise triangle (a, b, c) points to — Negative on the other
+// side, and Zero if the four points are coplanar. The result is exact.
+func Orient3D(a, b, c, d Point) Sign {
+	adx, ady, adz := a.X-d.X, a.Y-d.Y, a.Z-d.Z
+	bdx, bdy, bdz := b.X-d.X, b.Y-d.Y, b.Z-d.Z
+	cdx, cdy, cdz := c.X-d.X, c.Y-d.Y, c.Z-d.Z
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+
+	det := adz*(bdxcdy-cdxbdy) + bdz*(cdxady-adxcdy) + cdz*(adxbdy-bdxady)
+	permanent := (abs3(bdxcdy)+abs3(cdxbdy))*abs3(adz) +
+		(abs3(cdxady)+abs3(adxcdy))*abs3(bdz) +
+		(abs3(adxbdy)+abs3(bdxady))*abs3(cdz)
+	errBound := o3dErrBound * permanent
+	if det > errBound || -det > errBound {
+		return signOf(-det) // Shewchuk's det is positive *below* the plane
+	}
+	return orient3DExact(a, b, c, d)
+}
+
+func orient3DExact(a, b, c, d Point) Sign {
+	const prec = 256
+	nf := func(x float64) *big.Float { return big.NewFloat(x).SetPrec(prec) }
+	sub := func(x, y float64) *big.Float { return new(big.Float).SetPrec(prec).Sub(nf(x), nf(y)) }
+	mul := func(x, y *big.Float) *big.Float { return new(big.Float).SetPrec(prec).Mul(x, y) }
+	sb := func(x, y *big.Float) *big.Float { return new(big.Float).SetPrec(prec).Sub(x, y) }
+	ad := func(x, y *big.Float) *big.Float { return new(big.Float).SetPrec(prec).Add(x, y) }
+
+	adx, ady, adz := sub(a.X, d.X), sub(a.Y, d.Y), sub(a.Z, d.Z)
+	bdx, bdy, bdz := sub(b.X, d.X), sub(b.Y, d.Y), sub(b.Z, d.Z)
+	cdx, cdy, cdz := sub(c.X, d.X), sub(c.Y, d.Y), sub(c.Z, d.Z)
+
+	t1 := mul(adz, sb(mul(bdx, cdy), mul(cdx, bdy)))
+	t2 := mul(bdz, sb(mul(cdx, ady), mul(adx, cdy)))
+	t3 := mul(cdz, sb(mul(adx, bdy), mul(bdx, ady)))
+	det := ad(ad(t1, t2), t3)
+	return Sign(-det.Sign())
+}
+
+// InSphere returns Positive if point e lies strictly inside the sphere
+// through a, b, c, d (which must be positively oriented: Orient3D(a,b,c,d)
+// > 0), Negative outside, Zero on the sphere. Exact.
+func InSphere(a, b, c, d, e Point) Sign {
+	aex, aey, aez := a.X-e.X, a.Y-e.Y, a.Z-e.Z
+	bex, bey, bez := b.X-e.X, b.Y-e.Y, b.Z-e.Z
+	cex, cey, cez := c.X-e.X, c.Y-e.Y, c.Z-e.Z
+	dex, dey, dez := d.X-e.X, d.Y-e.Y, d.Z-e.Z
+
+	aexbey := aex * bey
+	bexaey := bex * aey
+	ab := aexbey - bexaey
+	bexcey := bex * cey
+	cexbey := cex * bey
+	bc := bexcey - cexbey
+	cexdey := cex * dey
+	dexcey := dex * cey
+	cd := cexdey - dexcey
+	dexaey := dex * aey
+	aexdey := aex * dey
+	da := dexaey - aexdey
+	aexcey := aex * cey
+	cexaey := cex * aey
+	ac := aexcey - cexaey
+	bexdey := bex * dey
+	dexbey := dex * bey
+	bd := bexdey - dexbey
+
+	abc := aez*bc - bez*ac + cez*ab
+	bcd := bez*cd - cez*bd + dez*bc
+	cda := cez*da + dez*ac + aez*cd
+	dab := dez*ab + aez*bd + bez*da
+
+	alift := aex*aex + aey*aey + aez*aez
+	blift := bex*bex + bey*bey + bez*bez
+	clift := cex*cex + cey*cey + cez*cez
+	dlift := dex*dex + dey*dey + dez*dez
+
+	det := (dlift*abc - clift*dab) + (blift*cda - alift*bcd)
+
+	aezplus := abs3(aez)
+	bezplus := abs3(bez)
+	cezplus := abs3(cez)
+	dezplus := abs3(dez)
+	aexbeyplus := abs3(aexbey)
+	bexaeyplus := abs3(bexaey)
+	bexceyplus := abs3(bexcey)
+	cexbeyplus := abs3(cexbey)
+	cexdeyplus := abs3(cexdey)
+	dexceyplus := abs3(dexcey)
+	dexaeyplus := abs3(dexaey)
+	aexdeyplus := abs3(aexdey)
+	aexceyplus := abs3(aexcey)
+	cexaeyplus := abs3(cexaey)
+	bexdeyplus := abs3(bexdey)
+	dexbeyplus := abs3(dexbey)
+	permanent := ((cexdeyplus+dexceyplus)*bezplus+
+		(dexbeyplus+bexdeyplus)*cezplus+
+		(bexceyplus+cexbeyplus)*dezplus)*alift +
+		((dexaeyplus+aexdeyplus)*cezplus+
+			(aexceyplus+cexaeyplus)*dezplus+
+			(cexdeyplus+dexceyplus)*aezplus)*blift +
+		((aexbeyplus+bexaeyplus)*dezplus+
+			(bexdeyplus+dexbeyplus)*aezplus+
+			(dexaeyplus+aexdeyplus)*bezplus)*clift +
+		((bexceyplus+cexbeyplus)*aezplus+
+			(cexaeyplus+aexceyplus)*bezplus+
+			(aexbeyplus+bexaeyplus)*cezplus)*dlift
+	errBound := ispErrBound * permanent
+	if det > errBound || -det > errBound {
+		return signOf(-det) // sign follows the flipped orientation convention
+	}
+	return inSphereExact(a, b, c, d, e)
+}
+
+func inSphereExact(a, b, c, d, e Point) Sign {
+	const prec = 512
+	nf := func(x float64) *big.Float { return big.NewFloat(x).SetPrec(prec) }
+	sub := func(x, y float64) *big.Float { return new(big.Float).SetPrec(prec).Sub(nf(x), nf(y)) }
+	mul := func(x, y *big.Float) *big.Float { return new(big.Float).SetPrec(prec).Mul(x, y) }
+	sb := func(x, y *big.Float) *big.Float { return new(big.Float).SetPrec(prec).Sub(x, y) }
+	ad := func(x, y *big.Float) *big.Float { return new(big.Float).SetPrec(prec).Add(x, y) }
+
+	type row struct{ x, y, z, lift *big.Float }
+	mk := func(p Point) row {
+		x, y, z := sub(p.X, e.X), sub(p.Y, e.Y), sub(p.Z, e.Z)
+		lift := ad(ad(mul(x, x), mul(y, y)), mul(z, z))
+		return row{x, y, z, lift}
+	}
+	ra, rb, rc, rd := mk(a), mk(b), mk(c), mk(d)
+
+	// 4x4 determinant | x y z lift | expanded along lift column.
+	det3 := func(p, q, r row) *big.Float {
+		t1 := mul(p.x, sb(mul(q.y, r.z), mul(r.y, q.z)))
+		t2 := mul(q.x, sb(mul(r.y, p.z), mul(p.y, r.z)))
+		t3 := mul(r.x, sb(mul(p.y, q.z), mul(q.y, p.z)))
+		return ad(ad(t1, t2), t3)
+	}
+	// det = -lift_a*det3(b,c,d) + lift_b*det3(a,c,d)
+	//       -lift_c*det3(a,b,d) + lift_d*det3(a,b,c)
+	det := new(big.Float).SetPrec(prec)
+	det.Sub(det, mul(ra.lift, det3(rb, rc, rd)))
+	det.Add(det, mul(rb.lift, det3(ra, rc, rd)))
+	det.Sub(det, mul(rc.lift, det3(ra, rb, rd)))
+	det.Add(det, mul(rd.lift, det3(ra, rb, rc)))
+	return Sign(-det.Sign())
+}
+
+// Tet is a tetrahedron given by its corners.
+type Tet struct {
+	A, B, C, D Point
+}
+
+// Volume returns the signed volume (positive for positively oriented tets).
+func (t Tet) Volume() float64 {
+	return t.B.Sub(t.A).Cross(t.C.Sub(t.A)).Dot(t.D.Sub(t.A)) / 6
+}
+
+// Centroid returns the centroid.
+func (t Tet) Centroid() Point {
+	return Point{
+		(t.A.X + t.B.X + t.C.X + t.D.X) / 4,
+		(t.A.Y + t.B.Y + t.C.Y + t.D.Y) / 4,
+		(t.A.Z + t.B.Z + t.C.Z + t.D.Z) / 4,
+	}
+}
+
+// Circumcenter returns the circumcenter and whether it is well-defined.
+func (t Tet) Circumcenter() (Point, bool) {
+	// Solve 2 (P - A) · x = |P|² - |A|² for P in {B, C, D} relative to A.
+	b := t.B.Sub(t.A)
+	c := t.C.Sub(t.A)
+	d := t.D.Sub(t.A)
+	det := b.Cross(c).Dot(d) * 2
+	if det == 0 {
+		return Point{}, false
+	}
+	b2, c2, d2 := b.Dot(b), c.Dot(c), d.Dot(d)
+	x := c.Cross(d).Scale(b2).Add(d.Cross(b).Scale(c2)).Add(b.Cross(c).Scale(d2)).Scale(1 / det)
+	return t.A.Add(x), true
+}
+
+// Circumradius returns the circumradius (+Inf for degenerate tets).
+func (t Tet) Circumradius() float64 {
+	cc, ok := t.Circumcenter()
+	if !ok {
+		return math.Inf(1)
+	}
+	return cc.Dist(t.A)
+}
+
+// LongestEdge returns the longest of the six edge lengths.
+func (t Tet) LongestEdge() float64 {
+	m := t.A.Dist(t.B)
+	for _, d := range []float64{
+		t.A.Dist(t.C), t.A.Dist(t.D), t.B.Dist(t.C), t.B.Dist(t.D), t.C.Dist(t.D),
+	} {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ShortestEdge returns the shortest of the six edge lengths.
+func (t Tet) ShortestEdge() float64 {
+	m := t.A.Dist(t.B)
+	for _, d := range []float64{
+		t.A.Dist(t.C), t.A.Dist(t.D), t.B.Dist(t.C), t.B.Dist(t.D), t.C.Dist(t.D),
+	} {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RadiusEdgeRatio returns circumradius / shortest edge, the standard 3-D
+// quality measure (≈ 0.612 for a regular tetrahedron).
+func (t Tet) RadiusEdgeRatio() float64 {
+	se := t.ShortestEdge()
+	if se == 0 {
+		return math.Inf(1)
+	}
+	return t.Circumradius() / se
+}

@@ -1,0 +1,204 @@
+package geom3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(1, 2, 3), Pt(4, 5, 6)
+	if p.Add(q) != Pt(5, 7, 9) {
+		t.Error("Add")
+	}
+	if q.Sub(p) != Pt(3, 3, 3) {
+		t.Error("Sub")
+	}
+	if p.Scale(2) != Pt(2, 4, 6) {
+		t.Error("Scale")
+	}
+	if p.Dot(q) != 4+10+18 {
+		t.Error("Dot")
+	}
+	if Pt(1, 0, 0).Cross(Pt(0, 1, 0)) != Pt(0, 0, 1) {
+		t.Error("Cross")
+	}
+	if Pt(0, 0, 0).Dist(Pt(2, 3, 6)) != 7 {
+		t.Error("Dist")
+	}
+	if Pt(0, 0, 0).Dist2(Pt(2, 3, 6)) != 49 {
+		t.Error("Dist2")
+	}
+}
+
+func TestBox(t *testing.T) {
+	b := NewBox(Pt(1, 1, 1), Pt(0, 0, 0))
+	if b.Min != Pt(0, 0, 0) || b.Max != Pt(1, 1, 1) {
+		t.Fatal("NewBox normalization")
+	}
+	if b.Center() != Pt(0.5, 0.5, 0.5) {
+		t.Error("Center")
+	}
+	if !b.Contains(Pt(0.5, 0.5, 0.5)) || b.Contains(Pt(2, 0, 0)) {
+		t.Error("Contains")
+	}
+	if math.Abs(b.Diagonal()-math.Sqrt(3)) > 1e-12 {
+		t.Error("Diagonal")
+	}
+}
+
+func TestOrient3DBasic(t *testing.T) {
+	a, b, c := Pt(0, 0, 0), Pt(1, 0, 0), Pt(0, 1, 0)
+	if Orient3D(a, b, c, Pt(0, 0, 1)) != Positive {
+		t.Error("above should be Positive")
+	}
+	if Orient3D(a, b, c, Pt(0, 0, -1)) != Negative {
+		t.Error("below should be Negative")
+	}
+	if Orient3D(a, b, c, Pt(5, 5, 0)) != Zero {
+		t.Error("coplanar should be Zero")
+	}
+}
+
+func TestOrient3DNearDegenerate(t *testing.T) {
+	a, b, c := Pt(0, 0, 0), Pt(1, 0, 0), Pt(0, 1, 0)
+	for i := 30; i < 48; i++ {
+		eps := math.Ldexp(1, -i)
+		if Orient3D(a, b, c, Pt(0.3, 0.3, eps)) != Positive {
+			t.Fatalf("eps=2^-%d misclassified (above)", i)
+		}
+		if Orient3D(a, b, c, Pt(0.3, 0.3, -eps)) != Negative {
+			t.Fatalf("eps=2^-%d misclassified (below)", i)
+		}
+	}
+}
+
+func TestOrient3DSwapAntisymmetry(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz float64) bool {
+		a, b, c, d := Pt(ax, ay, az), Pt(bx, by, bz), Pt(cx, cy, cz), Pt(dx, dy, dz)
+		return Orient3D(a, b, c, d) == -Orient3D(b, a, c, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInSphereBasic(t *testing.T) {
+	// Regular-ish tet with circumsphere around the origin region.
+	a, b, c, d := Pt(0, 0, 0), Pt(1, 0, 0), Pt(0, 1, 0), Pt(0, 0, 1)
+	if Orient3D(a, b, c, d) != Positive {
+		t.Fatal("test tet not positively oriented")
+	}
+	cc, ok := (geomTet(a, b, c, d)).Circumcenter()
+	if !ok {
+		t.Fatal("no circumcenter")
+	}
+	if InSphere(a, b, c, d, cc) != Positive {
+		t.Error("circumcenter should be inside the circumsphere")
+	}
+	if InSphere(a, b, c, d, Pt(10, 10, 10)) != Negative {
+		t.Error("far point should be outside")
+	}
+	// A cocircular point: reflect a vertex through the center.
+	e := cc.Add(cc.Sub(a))
+	if InSphere(a, b, c, d, e) != Zero {
+		t.Error("antipodal point should be on the sphere")
+	}
+}
+
+func geomTet(a, b, c, d Point) Tet { return Tet{A: a, B: b, C: c, D: d} }
+
+func TestInSphereNearBoundary(t *testing.T) {
+	a, b, c, d := Pt(0, 0, 0), Pt(1, 0, 0), Pt(0, 1, 0), Pt(0, 0, 1)
+	cc, _ := geomTet(a, b, c, d).Circumcenter()
+	r := cc.Dist(a)
+	for i := 40; i < 50; i++ {
+		eps := math.Ldexp(1, -i)
+		in := Pt(cc.X+r-eps, cc.Y, cc.Z)
+		out := Pt(cc.X+r+eps, cc.Y, cc.Z)
+		if InSphere(a, b, c, d, in) != Positive {
+			t.Fatalf("eps=2^-%d: inside point misclassified", i)
+		}
+		if InSphere(a, b, c, d, out) != Negative {
+			t.Fatalf("eps=2^-%d: outside point misclassified", i)
+		}
+	}
+}
+
+func TestTetMeasures(t *testing.T) {
+	tet := geomTet(Pt(0, 0, 0), Pt(1, 0, 0), Pt(0, 1, 0), Pt(0, 0, 1))
+	if math.Abs(tet.Volume()-1.0/6) > 1e-12 {
+		t.Errorf("Volume = %v", tet.Volume())
+	}
+	if tet.Centroid() != Pt(0.25, 0.25, 0.25) {
+		t.Errorf("Centroid = %v", tet.Centroid())
+	}
+	cc, ok := tet.Circumcenter()
+	if !ok {
+		t.Fatal("no circumcenter")
+	}
+	if cc.Dist(Pt(0.5, 0.5, 0.5)) > 1e-12 {
+		t.Errorf("Circumcenter = %v, want (0.5,0.5,0.5)", cc)
+	}
+	if math.Abs(tet.Circumradius()-math.Sqrt(3)/2) > 1e-12 {
+		t.Errorf("Circumradius = %v", tet.Circumradius())
+	}
+	if tet.LongestEdge() != math.Sqrt2 {
+		t.Errorf("LongestEdge = %v", tet.LongestEdge())
+	}
+	if tet.ShortestEdge() != 1 {
+		t.Errorf("ShortestEdge = %v", tet.ShortestEdge())
+	}
+	// Degenerate tet.
+	deg := geomTet(Pt(0, 0, 0), Pt(1, 0, 0), Pt(2, 0, 0), Pt(3, 0, 0))
+	if _, ok := deg.Circumcenter(); ok {
+		t.Error("degenerate tet should have no circumcenter")
+	}
+	if !math.IsInf(deg.Circumradius(), 1) {
+		t.Error("degenerate circumradius should be +Inf")
+	}
+}
+
+func TestCircumcenterEquidistant3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		tet := geomTet(
+			Pt(rng.Float64(), rng.Float64(), rng.Float64()),
+			Pt(rng.Float64(), rng.Float64(), rng.Float64()),
+			Pt(rng.Float64(), rng.Float64(), rng.Float64()),
+			Pt(rng.Float64(), rng.Float64(), rng.Float64()),
+		)
+		if math.Abs(tet.Volume()) < 1e-4 {
+			continue
+		}
+		cc, ok := tet.Circumcenter()
+		if !ok {
+			t.Fatal("circumcenter should exist")
+		}
+		da := cc.Dist(tet.A)
+		tol := 1e-6 * (1 + da)
+		for _, p := range []Point{tet.B, tet.C, tet.D} {
+			if math.Abs(cc.Dist(p)-da) > tol {
+				t.Fatalf("not equidistant: %v vs %v", cc.Dist(p), da)
+			}
+		}
+	}
+}
+
+func TestRadiusEdgeRatio(t *testing.T) {
+	// Regular tetrahedron: ratio = sqrt(6)/4 / ... = sqrt(3/8) ≈ 0.612.
+	h := math.Sqrt(3) / 2
+	reg := geomTet(
+		Pt(0, 0, 0), Pt(1, 0, 0), Pt(0.5, h, 0),
+		Pt(0.5, h/3, math.Sqrt(2.0/3.0)),
+	)
+	want := math.Sqrt(3.0 / 8.0)
+	if got := reg.RadiusEdgeRatio(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("regular tet ratio = %v, want %v", got, want)
+	}
+	zero := geomTet(Pt(0, 0, 0), Pt(0, 0, 0), Pt(1, 0, 0), Pt(0, 1, 0))
+	if !math.IsInf(zero.RadiusEdgeRatio(), 1) {
+		t.Error("zero edge should give +Inf ratio")
+	}
+}

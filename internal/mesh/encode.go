@@ -1,0 +1,211 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mrts/internal/geom"
+)
+
+const (
+	encodeMagic   = 0x4D525453 // "MRTS"
+	encodeVersion = 1
+)
+
+// EncodedSize returns the exact number of bytes EncodeTo will write for the
+// current mesh state. The out-of-core layer uses it for memory accounting.
+func (m *Mesh) EncodedSize() int {
+	return 4 + 4 + // magic, version
+		4 + 16*len(m.verts) + // vertex count + coordinates
+		12 + // super vertices
+		4 + 12*m.nAlive + // triangle count + vertex triples
+		4 + 8*len(m.constrained) // constraint count + pairs
+}
+
+// EncodeTo writes a compact binary encoding of the mesh to w. Triangle IDs
+// are not preserved (dead slots are compacted); vertex IDs are preserved.
+func (m *Mesh) EncodeTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch [16]byte
+
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	putI32 := func(v int32) error { return putU32(uint32(v)) }
+
+	if err := putU32(encodeMagic); err != nil {
+		return err
+	}
+	if err := putU32(encodeVersion); err != nil {
+		return err
+	}
+	if err := putU32(uint32(len(m.verts))); err != nil {
+		return err
+	}
+	for _, p := range m.verts {
+		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(scratch[8:16], math.Float64bits(p.Y))
+		if _, err := bw.Write(scratch[:16]); err != nil {
+			return err
+		}
+	}
+	for _, s := range m.super {
+		if err := putI32(int32(s)); err != nil {
+			return err
+		}
+	}
+	if err := putU32(uint32(m.nAlive)); err != nil {
+		return err
+	}
+	for i := range m.tris {
+		if !m.alive[i] {
+			continue
+		}
+		for k := 0; k < 3; k++ {
+			if err := putI32(int32(m.tris[i].V[k])); err != nil {
+				return err
+			}
+		}
+	}
+	if err := putU32(uint32(len(m.constrained))); err != nil {
+		return err
+	}
+	for k := range m.constrained {
+		if err := putI32(int32(k.a)); err != nil {
+			return err
+		}
+		if err := putI32(int32(k.b)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeFrom reads a mesh previously written by EncodeTo and replaces the
+// receiver's contents. Triangle adjacency is rebuilt from the vertex triples.
+func (m *Mesh) DecodeFrom(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var scratch [16]byte
+
+	getU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+
+	magic, err := getU32()
+	if err != nil {
+		return err
+	}
+	if magic != encodeMagic {
+		return fmt.Errorf("mesh: bad magic %#x", magic)
+	}
+	version, err := getU32()
+	if err != nil {
+		return err
+	}
+	if version != encodeVersion {
+		return fmt.Errorf("mesh: unsupported version %d", version)
+	}
+
+	nv, err := getU32()
+	if err != nil {
+		return err
+	}
+	verts := make([]geom.Point, nv)
+	for i := range verts {
+		if _, err := io.ReadFull(br, scratch[:16]); err != nil {
+			return err
+		}
+		verts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:8]))
+		verts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(scratch[8:16]))
+	}
+	var super [3]VertexID
+	for i := range super {
+		v, err := getU32()
+		if err != nil {
+			return err
+		}
+		super[i] = VertexID(int32(v))
+	}
+	nt, err := getU32()
+	if err != nil {
+		return err
+	}
+	tris := make([]Tri, nt)
+	for i := range tris {
+		for k := 0; k < 3; k++ {
+			v, err := getU32()
+			if err != nil {
+				return err
+			}
+			id := VertexID(int32(v))
+			if id < 0 || int(id) >= len(verts) {
+				return fmt.Errorf("mesh: triangle %d references vertex %d out of range", i, id)
+			}
+			tris[i].V[k] = id
+		}
+		tris[i].N = [3]TriID{NoTri, NoTri, NoTri}
+	}
+	nc, err := getU32()
+	if err != nil {
+		return err
+	}
+	constrained := make(map[edgeKey]bool, nc)
+	for i := uint32(0); i < nc; i++ {
+		a, err := getU32()
+		if err != nil {
+			return err
+		}
+		b, err := getU32()
+		if err != nil {
+			return err
+		}
+		constrained[mkEdge(VertexID(int32(a)), VertexID(int32(b)))] = true
+	}
+
+	// Rebuild adjacency from directed half-edges.
+	type dedge struct{ a, b VertexID }
+	half := make(map[dedge]TriID, 3*len(tris))
+	for i := range tris {
+		for k := 0; k < 3; k++ {
+			a := tris[i].V[(k+1)%3]
+			b := tris[i].V[(k+2)%3]
+			half[dedge{a, b}] = TriID(i)
+		}
+	}
+	for i := range tris {
+		for k := 0; k < 3; k++ {
+			a := tris[i].V[(k+1)%3]
+			b := tris[i].V[(k+2)%3]
+			if n, ok := half[dedge{b, a}]; ok {
+				tris[i].N[k] = n
+			}
+		}
+	}
+
+	m.verts = verts
+	m.tris = tris
+	m.alive = make([]bool, len(tris))
+	m.vertTri = make([]TriID, len(verts))
+	for i := range m.vertTri {
+		m.vertTri[i] = NoTri
+	}
+	for i := range tris {
+		m.alive[i] = true
+		for k := 0; k < 3; k++ {
+			m.vertTri[tris[i].V[k]] = TriID(i)
+		}
+	}
+	m.free = nil
+	m.constrained = constrained
+	m.super = super
+	m.nAlive = len(tris)
+	return nil
+}

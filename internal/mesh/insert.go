@@ -1,0 +1,179 @@
+package mesh
+
+import "mrts/internal/geom"
+
+// InsertPoint inserts p into the triangulation using the Bowyer–Watson
+// cavity algorithm and returns the new vertex ID. hint is a triangle to
+// start point location from (NoTri is allowed).
+//
+// If p coincides with an existing vertex, that vertex is returned together
+// with ErrDuplicate. If p falls on a constrained edge, the edge is split:
+// both halves are marked constrained.
+//
+// The cavity search never crosses constrained edges, so inserting a point
+// strictly inside a region bounded by constrained segments only retriangulates
+// that region — the property the subdomain-local refinement of UPDR/NUPDR and
+// PCDM relies on.
+func (m *Mesh) InsertPoint(p geom.Point, hint TriID) (VertexID, error) {
+	return m.insertLocated(p, m.Locate(p, hint))
+}
+
+// SplitEdge inserts the midpoint of the existing edge (a, b) by a purely
+// topological seed (no point location), which is robust even when the
+// floating-point midpoint falls a few ulps off the segment — the common case
+// for boundary segments of non-axis-aligned domains. If the edge is
+// constrained both halves end up constrained.
+func (m *Mesh) SplitEdge(a, b VertexID) (VertexID, error) {
+	t := m.findEdge(a, b)
+	if t == NoTri {
+		return NoVertex, ErrNoPath
+	}
+	mid := m.verts[a].Mid(m.verts[b])
+	if mid.Eq(m.verts[a]) || mid.Eq(m.verts[b]) {
+		return NoVertex, ErrDuplicate // edge too short to split in float64
+	}
+	i := m.edgeIndex(t, a, b)
+	return m.insertLocated(mid, Location{Kind: LocateOnEdge, Tri: t, Edge: i})
+}
+
+func (m *Mesh) insertLocated(p geom.Point, loc Location) (VertexID, error) {
+	switch loc.Kind {
+	case LocateFailed:
+		return NoVertex, ErrOutside
+	case LocateOnVert:
+		return loc.Vert, ErrDuplicate
+	}
+
+	var (
+		splitA, splitB VertexID = NoVertex, NoVertex
+		excludeEdge    edgeKey
+		hasExclude     bool
+	)
+	seeds := []TriID{loc.Tri}
+	if loc.Kind == LocateOnEdge {
+		tr := m.tris[loc.Tri]
+		a := tr.V[(loc.Edge+1)%3]
+		b := tr.V[(loc.Edge+2)%3]
+		if m.IsConstrained(a, b) {
+			// Split a constrained segment: temporarily unmark it so the
+			// cavity may span both sides, and remember to mark the halves.
+			splitA, splitB = a, b
+			m.SetConstrained(a, b, false)
+			excludeEdge, hasExclude = mkEdge(a, b), true
+		}
+		if n := tr.N[loc.Edge]; n != NoTri {
+			seeds = append(seeds, n)
+		}
+	}
+
+	// Grow the cavity: triangles whose circumcircle strictly contains p,
+	// reached without crossing constrained edges. The cavity is kept as an
+	// ordered list (discovery order) so that retriangulation — and hence
+	// everything downstream of it — is deterministic.
+	inCavity := make(map[TriID]bool, 8)
+	var cavity []TriID
+	stack := make([]TriID, 0, 8)
+	for _, s := range seeds {
+		if !inCavity[s] {
+			inCavity[s] = true
+			cavity = append(cavity, s)
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		tr := m.tris[t]
+		for i := 0; i < 3; i++ {
+			n := tr.N[i]
+			if n == NoTri || inCavity[n] {
+				continue
+			}
+			a := tr.V[(i+1)%3]
+			b := tr.V[(i+2)%3]
+			if m.IsConstrained(a, b) {
+				continue
+			}
+			if m.Triangle(n).CircumcircleContains(p) {
+				inCavity[n] = true
+				cavity = append(cavity, n)
+				stack = append(stack, n)
+			}
+		}
+	}
+
+	// Collect cavity boundary edges (a, b) with the outside triangle, CCW
+	// as seen from inside the cavity. The edge being split (if any) is
+	// excluded: p lies on it, so it contributes the two hull edges (a,p),
+	// (p,b) instead of a degenerate fan triangle.
+	type bedge struct {
+		a, b VertexID
+		out  TriID
+	}
+	var boundary []bedge
+	for _, t := range cavity {
+		tr := m.tris[t]
+		for i := 0; i < 3; i++ {
+			a := tr.V[(i+1)%3]
+			b := tr.V[(i+2)%3]
+			n := tr.N[i]
+			if n != NoTri && inCavity[n] {
+				continue
+			}
+			if hasExclude && mkEdge(a, b) == excludeEdge {
+				continue
+			}
+			boundary = append(boundary, bedge{a, b, n})
+		}
+	}
+
+	v := m.addVertex(p)
+
+	for _, t := range cavity {
+		m.killTri(t)
+	}
+
+	// Retriangulate: fan of (v, a, b) triangles. Wire internal edges via
+	// the boundary chain: successor of (v,a,b) across edge (b,v) is the
+	// triangle whose first base vertex is b; predecessor across (v,a) is
+	// the one whose second base vertex is a.
+	byA := make(map[VertexID]TriID, len(boundary))
+	byB := make(map[VertexID]TriID, len(boundary))
+	created := make([]TriID, 0, len(boundary))
+	for _, e := range boundary {
+		t := m.newTri(v, e.a, e.b)
+		byA[e.a] = t
+		byB[e.b] = t
+		created = append(created, t)
+	}
+	for i, e := range boundary {
+		t := created[i]
+		m.tris[t].N[0] = NoTri
+		if e.out != NoTri {
+			m.link(t, 0, e.out)
+		}
+		if nb, ok := byA[e.b]; ok {
+			m.tris[t].N[1] = nb // edge (b, v)
+		} else {
+			m.tris[t].N[1] = NoTri
+		}
+		if pb, ok := byB[e.a]; ok {
+			m.tris[t].N[2] = pb // edge (v, a)
+		} else {
+			m.tris[t].N[2] = NoTri
+		}
+	}
+
+	if splitA != NoVertex {
+		m.SetConstrained(splitA, v, true)
+		m.SetConstrained(v, splitB, true)
+		if m.splitHook != nil {
+			m.splitHook(m.verts[splitA], m.verts[splitB], p)
+		}
+	}
+	return v, nil
+}
+
+// InsertVertexAt adds p as a vertex without touching the triangulation.
+// It is used when assembling meshes from serialized parts.
+func (m *Mesh) InsertVertexAt(p geom.Point) VertexID { return m.addVertex(p) }

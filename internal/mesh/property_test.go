@@ -1,0 +1,166 @@
+package mesh
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrts/internal/geom"
+)
+
+// TestPropertyRandomInsertionsKeepInvariants drives the kernel with random
+// point sets and checks the full invariant set after every build: structural
+// validity, the Delaunay property, and Euler's relation.
+func TestPropertyRandomInsertionsKeepInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%120) + 3
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		m.InitSuper(geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1)))
+		inserted := 3 // super vertices
+		for i := 0; i < n; i++ {
+			p := geom.Pt(rng.Float64(), rng.Float64())
+			if _, err := m.InsertPoint(p, NoTri); err == nil {
+				inserted++
+			} else if err != ErrDuplicate {
+				return false
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		if err := m.CheckDelaunay(); err != nil {
+			t.Logf("delaunay: %v", err)
+			return false
+		}
+		// Euler: triangles = 2V - 2 - hull; hull is the super triangle (3).
+		return m.NumTriangles() == 2*inserted-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyClusteredPoints stresses near-degenerate input: many points
+// packed into a tiny region plus cocircular rings.
+func TestPropertyClusteredPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := New()
+	m.InitSuper(geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1)))
+	// Tight cluster.
+	for i := 0; i < 100; i++ {
+		p := geom.Pt(0.5+rng.Float64()*1e-6, 0.5+rng.Float64()*1e-6)
+		if _, err := m.InsertPoint(p, NoTri); err != nil && err != ErrDuplicate {
+			t.Fatal(err)
+		}
+	}
+	// Cocircular ring (grid-snapped angles generate exact duplicates of
+	// coordinates and many cocircular quadruples).
+	for i := 0; i < 64; i++ {
+		x := 0.5 + 0.25*cos64(i)
+		y := 0.5 + 0.25*sin64(i)
+		if _, err := m.InsertPoint(geom.Pt(x, y), NoTri); err != nil && err != ErrDuplicate {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cos64(i int) float64 {
+	table := [4]float64{1, 0, -1, 0}
+	return table[i%4] * (1 + float64(i/4)*0.01)
+}
+
+func sin64(i int) float64 {
+	table := [4]float64{0, 1, 0, -1}
+	return table[i%4] * (1 + float64(i/4)*0.01)
+}
+
+// TestPropertySplitEdgeConsistency splits random constrained edges and
+// verifies constraint bookkeeping stays exact.
+func TestPropertySplitEdgeConsistency(t *testing.T) {
+	m := carveSquare(t, 40, 21)
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 30; round++ {
+		// Pick a random constrained edge.
+		type e struct{ a, b VertexID }
+		var edges []e
+		m.ForEachConstrained(func(a, b VertexID) { edges = append(edges, e{a, b}) })
+		if len(edges) == 0 {
+			t.Fatal("no constrained edges")
+		}
+		pick := edges[rng.Intn(len(edges))]
+		before := m.NumConstrained()
+		v, err := m.SplitEdge(pick.a, pick.b)
+		if err == ErrDuplicate {
+			continue // too short to split
+		}
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		if m.IsConstrained(pick.a, pick.b) {
+			t.Fatal("parent segment still constrained")
+		}
+		if !m.IsConstrained(pick.a, v) || !m.IsConstrained(v, pick.b) {
+			t.Fatal("halves not constrained")
+		}
+		if m.NumConstrained() != before+1 {
+			t.Fatalf("constraint count %d -> %d", before, m.NumConstrained())
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPropertyEncodeDecodeIdempotent round-trips random meshes twice and
+// compares the byte streams (a canonical-form check modulo triangle order).
+func TestPropertyEncodeDecodeIdempotent(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		m := buildRandom(t, 80, seed)
+		var b1 bytesBuffer
+		if err := m.EncodeTo(&b1); err != nil {
+			t.Fatal(err)
+		}
+		var m2 Mesh
+		if err := m2.DecodeFrom(&b1); err != nil {
+			t.Fatal(err)
+		}
+		var b2 bytesBuffer
+		if err := m2.EncodeTo(&b2); err != nil {
+			t.Fatal(err)
+		}
+		var m3 Mesh
+		if err := m3.DecodeFrom(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if m3.NumTriangles() != m.NumTriangles() || m3.NumVertices() != m.NumVertices() {
+			t.Fatalf("seed %d: counts drifted", seed)
+		}
+		if err := m3.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// bytesBuffer is a minimal io.ReadWriter for the round-trip test.
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *bytesBuffer) Read(p []byte) (int, error) {
+	if len(w.b) == 0 {
+		return 0, errEOF
+	}
+	n := copy(p, w.b)
+	w.b = w.b[n:]
+	return n, nil
+}
+
+var errEOF = io.EOF

@@ -1,0 +1,35 @@
+package mesh
+
+// IncidentTriangles returns all live triangles incident to v, in ring order
+// (open fans at the hull are still fully covered). Returns nil if v has no
+// incident triangle.
+func (m *Mesh) IncidentTriangles(v VertexID) []TriID {
+	start := m.IncidentTri(v)
+	if start == NoTri {
+		return nil
+	}
+	ring, err := m.triangleRing(v, start)
+	if err != nil {
+		return nil
+	}
+	return ring
+}
+
+// EdgeTriangles returns the one or two live triangles having edge (a, b).
+// Returns nil if (a, b) is not an edge of the triangulation.
+func (m *Mesh) EdgeTriangles(a, b VertexID) []TriID {
+	t := m.findEdge(a, b)
+	if t == NoTri {
+		return nil
+	}
+	out := []TriID{t}
+	if i := m.edgeIndex(t, a, b); i >= 0 {
+		if n := m.tris[t].N[i]; n != NoTri {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// VertexDegree returns the number of triangles incident to v.
+func (m *Mesh) VertexDegree(v VertexID) int { return len(m.IncidentTriangles(v)) }

@@ -1,0 +1,190 @@
+package mesh3
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mrts/internal/geom3"
+)
+
+const (
+	encodeMagic   = 0x4D455333 // "MES3"
+	encodeVersion = 1
+)
+
+// EncodedSize returns the exact byte count EncodeTo writes.
+func (m *Mesh) EncodedSize() int {
+	return 4 + 4 + 4 + 24*len(m.verts) + 16 + 4 + 16*m.nAlive
+}
+
+// EncodeTo writes a compact binary encoding (vertices + tet vertex
+// quadruples; adjacency is rebuilt on decode).
+func (m *Mesh) EncodeTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var b [24]byte
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(b[:4], v)
+		_, err := bw.Write(b[:4])
+		return err
+	}
+	if err := putU32(encodeMagic); err != nil {
+		return err
+	}
+	if err := putU32(encodeVersion); err != nil {
+		return err
+	}
+	if err := putU32(uint32(len(m.verts))); err != nil {
+		return err
+	}
+	for _, p := range m.verts {
+		binary.LittleEndian.PutUint64(b[0:8], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(p.Y))
+		binary.LittleEndian.PutUint64(b[16:24], math.Float64bits(p.Z))
+		if _, err := bw.Write(b[:24]); err != nil {
+			return err
+		}
+	}
+	for _, s := range m.super {
+		if err := putU32(uint32(int32(s))); err != nil {
+			return err
+		}
+	}
+	if err := putU32(uint32(m.nAlive)); err != nil {
+		return err
+	}
+	for i := range m.tets {
+		if !m.alive[i] {
+			continue
+		}
+		for k := 0; k < 4; k++ {
+			if err := putU32(uint32(int32(m.tets[i].V[k]))); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeFrom replaces the mesh with one read from r, rebuilding adjacency
+// from shared faces.
+func (m *Mesh) DecodeFrom(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var b [24]byte
+	getU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, b[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:4]), nil
+	}
+	magic, err := getU32()
+	if err != nil {
+		return err
+	}
+	if magic != encodeMagic {
+		return fmt.Errorf("mesh3: bad magic %#x", magic)
+	}
+	version, err := getU32()
+	if err != nil {
+		return err
+	}
+	if version != encodeVersion {
+		return fmt.Errorf("mesh3: unsupported version %d", version)
+	}
+	nv, err := getU32()
+	if err != nil {
+		return err
+	}
+	verts := make([]geom3.Point, nv)
+	for i := range verts {
+		if _, err := io.ReadFull(br, b[:24]); err != nil {
+			return err
+		}
+		verts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(b[0:8]))
+		verts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(b[8:16]))
+		verts[i].Z = math.Float64frombits(binary.LittleEndian.Uint64(b[16:24]))
+	}
+	var super [4]VertexID
+	for i := range super {
+		v, err := getU32()
+		if err != nil {
+			return err
+		}
+		super[i] = VertexID(int32(v))
+	}
+	nt, err := getU32()
+	if err != nil {
+		return err
+	}
+	tets := make([]Tet, nt)
+	for i := range tets {
+		for k := 0; k < 4; k++ {
+			v, err := getU32()
+			if err != nil {
+				return err
+			}
+			id := VertexID(int32(v))
+			if id < 0 || int(id) >= len(verts) {
+				return fmt.Errorf("mesh3: tet %d vertex %d out of range", i, id)
+			}
+			tets[i].V[k] = id
+		}
+		tets[i].N = [4]TetID{NoTet, NoTet, NoTet, NoTet}
+	}
+
+	// Rebuild adjacency: map sorted face triple -> halves.
+	type faceKey [3]VertexID
+	mkFace := func(a, b, c VertexID) faceKey {
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return faceKey{a, b, c}
+	}
+	type half struct {
+		tet  TetID
+		face int
+	}
+	faces := make(map[faceKey][]half, 2*len(tets))
+	for i := range tets {
+		for k := 0; k < 4; k++ {
+			f := faceIdx[k]
+			key := mkFace(tets[i].V[f[0]], tets[i].V[f[1]], tets[i].V[f[2]])
+			faces[key] = append(faces[key], half{TetID(i), k})
+		}
+	}
+	for key, hs := range faces {
+		if len(hs) > 2 {
+			return fmt.Errorf("mesh3: face %v shared by %d tets", key, len(hs))
+		}
+		if len(hs) == 2 {
+			tets[hs[0].tet].N[hs[0].face] = hs[1].tet
+			tets[hs[1].tet].N[hs[1].face] = hs[0].tet
+		}
+	}
+
+	m.verts = verts
+	m.tets = tets
+	m.alive = make([]bool, len(tets))
+	m.vertTet = make([]TetID, len(verts))
+	for i := range m.vertTet {
+		m.vertTet[i] = NoTet
+	}
+	for i := range tets {
+		m.alive[i] = true
+		for _, v := range tets[i].V {
+			m.vertTet[v] = TetID(i)
+		}
+	}
+	m.free = nil
+	m.super = super
+	m.nAlive = len(tets)
+	return nil
+}

@@ -1,0 +1,546 @@
+// Package mesh3 implements the 3-D tetrahedral Delaunay kernel: incremental
+// Bowyer–Watson insertion with exact predicates, point location by walking,
+// structural validation and binary serialization. Together with
+// internal/delaunay3 it backs the tetrahedral ("3-D") build of the mesh
+// generation methods; the paper generates "unstructured (i.e., triangular
+// and tetrahedral) meshes" and the MRTS code paths are dimension-agnostic.
+//
+// Scope note: this kernel triangulates point sets within a convex (box)
+// domain. Constrained facets (3-D CDT boundary recovery) are out of scope —
+// the 2-D engine carries the conformity experiments; the 3-D kernel
+// demonstrates the runtime's dimension independence.
+package mesh3
+
+import (
+	"errors"
+	"fmt"
+
+	"mrts/internal/geom3"
+)
+
+// VertexID identifies a vertex. Vertices are never removed.
+type VertexID int32
+
+// TetID identifies a tetrahedron; IDs are recycled as tets die.
+type TetID int32
+
+// NoTet is the nil tet ID.
+const NoTet TetID = -1
+
+// NoVertex is the nil vertex ID.
+const NoVertex VertexID = -1
+
+// Tet is one tetrahedron: V in positive orientation
+// (geom3.Orient3D(V0,V1,V2,V3) > 0), N[i] the neighbor across the face
+// opposite V[i].
+type Tet struct {
+	V [4]VertexID
+	N [4]TetID
+}
+
+// faceIdx[i] lists the vertex indices of the face opposite corner i,
+// ordered so that Orient3D(face..., V[i]) is Positive.
+var faceIdx = [4][3]int{
+	{1, 3, 2},
+	{0, 2, 3},
+	{0, 3, 1},
+	{0, 1, 2},
+}
+
+// Errors returned by mesh mutations.
+var (
+	ErrDuplicate = errors.New("mesh3: point coincides with an existing vertex")
+	ErrOutside   = errors.New("mesh3: point lies outside the triangulation")
+)
+
+// Mesh is a mutable tetrahedralization. Not safe for concurrent mutation.
+type Mesh struct {
+	verts   []geom3.Point
+	tets    []Tet
+	alive   []bool
+	free    []TetID
+	vertTet []TetID
+	super   [4]VertexID
+	nAlive  int
+}
+
+// New returns an empty mesh.
+func New() *Mesh {
+	return &Mesh{super: [4]VertexID{NoVertex, NoVertex, NoVertex, NoVertex}}
+}
+
+// NumVertices returns the vertex count including super vertices.
+func (m *Mesh) NumVertices() int { return len(m.verts) }
+
+// NumTets returns the live tetrahedron count.
+func (m *Mesh) NumTets() int { return m.nAlive }
+
+// Vertex returns the position of v.
+func (m *Mesh) Vertex(v VertexID) geom3.Point { return m.verts[v] }
+
+// Tet returns the record for t.
+func (m *Mesh) Tet(t TetID) Tet { return m.tets[t] }
+
+// Alive reports whether t is live.
+func (m *Mesh) Alive(t TetID) bool {
+	return t >= 0 && int(t) < len(m.tets) && m.alive[t]
+}
+
+// IsSuper reports whether v is a synthetic bounding vertex.
+func (m *Mesh) IsSuper(v VertexID) bool {
+	return v == m.super[0] || v == m.super[1] || v == m.super[2] || v == m.super[3]
+}
+
+// HasSuperVertex reports whether t touches a super vertex.
+func (m *Mesh) HasSuperVertex(t TetID) bool {
+	for _, v := range m.tets[t].V {
+		if m.IsSuper(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Geom returns the geometric tetrahedron for t.
+func (m *Mesh) Geom(t TetID) geom3.Tet {
+	r := m.tets[t]
+	return geom3.Tet{A: m.verts[r.V[0]], B: m.verts[r.V[1]], C: m.verts[r.V[2]], D: m.verts[r.V[3]]}
+}
+
+// ForEachTet calls f for every live tet.
+func (m *Mesh) ForEachTet(f func(TetID, Tet)) {
+	for i := range m.tets {
+		if m.alive[i] {
+			f(TetID(i), m.tets[i])
+		}
+	}
+}
+
+// NumInteriorTets counts live tets not touching a super vertex.
+func (m *Mesh) NumInteriorTets() int {
+	n := 0
+	m.ForEachTet(func(t TetID, _ Tet) {
+		if !m.HasSuperVertex(t) {
+			n++
+		}
+	})
+	return n
+}
+
+// InitSuper initializes the mesh with a huge tetrahedron enclosing box.
+// All points inserted later must lie within the box.
+func (m *Mesh) InitSuper(box geom3.Box) {
+	if len(m.verts) != 0 {
+		panic("mesh3: InitSuper on non-empty mesh")
+	}
+	c := box.Center()
+	d := box.Diagonal() + 1
+	const k = 64.0
+	s0 := m.addVertex(geom3.Pt(c.X-2*k*d, c.Y-k*d, c.Z-k*d))
+	s1 := m.addVertex(geom3.Pt(c.X+2*k*d, c.Y-k*d, c.Z-k*d))
+	s2 := m.addVertex(geom3.Pt(c.X, c.Y+2*k*d, c.Z-k*d))
+	s3 := m.addVertex(geom3.Pt(c.X, c.Y, c.Z+2*k*d))
+	m.super = [4]VertexID{s0, s1, s2, s3}
+	// Ensure positive orientation.
+	if geom3.Orient3D(m.verts[s0], m.verts[s1], m.verts[s2], m.verts[s3]) != geom3.Positive {
+		s1, s2 = s2, s1
+		m.super = [4]VertexID{s0, s1, s2, s3}
+	}
+	m.newTet([4]VertexID{s0, s1, s2, s3})
+}
+
+func (m *Mesh) addVertex(p geom3.Point) VertexID {
+	m.verts = append(m.verts, p)
+	m.vertTet = append(m.vertTet, NoTet)
+	return VertexID(len(m.verts) - 1)
+}
+
+func (m *Mesh) newTet(v [4]VertexID) TetID {
+	var id TetID
+	rec := Tet{V: v, N: [4]TetID{NoTet, NoTet, NoTet, NoTet}}
+	if n := len(m.free); n > 0 {
+		id = m.free[n-1]
+		m.free = m.free[:n-1]
+		m.tets[id] = rec
+		m.alive[id] = true
+	} else {
+		m.tets = append(m.tets, rec)
+		m.alive = append(m.alive, true)
+		id = TetID(len(m.tets) - 1)
+	}
+	m.nAlive++
+	for _, vv := range v {
+		m.vertTet[vv] = id
+	}
+	return id
+}
+
+func (m *Mesh) killTet(t TetID) {
+	if !m.alive[t] {
+		return
+	}
+	m.alive[t] = false
+	m.free = append(m.free, t)
+	m.nAlive--
+}
+
+// LocateKind classifies point location results.
+type LocateKind int
+
+// Location kinds. Face/edge incidences are folded into Inside: the cavity
+// algorithm handles them uniformly (a point on a shared face is strictly
+// inside both circumspheres).
+const (
+	LocateInside LocateKind = iota
+	LocateOnVert
+	LocateFailed
+)
+
+// Location is the result of Locate.
+type Location struct {
+	Kind LocateKind
+	Tet  TetID
+	Vert VertexID
+}
+
+// Locate finds a tetrahedron containing p by walking from hint.
+func (m *Mesh) Locate(p geom3.Point, hint TetID) Location {
+	t := hint
+	if t == NoTet || int(t) >= len(m.tets) || !m.alive[t] {
+		t = m.anyTet()
+		if t == NoTet {
+			return Location{Kind: LocateFailed}
+		}
+	}
+	maxSteps := 4*len(m.tets) + 64
+	prev := NoTet
+	for step := 0; step < maxSteps; step++ {
+		rec := m.tets[t]
+		for i := 0; i < 4; i++ {
+			if m.verts[rec.V[i]].Eq(p) {
+				return Location{Kind: LocateOnVert, Tet: t, Vert: rec.V[i]}
+			}
+		}
+		moved := false
+		start := int(t) % 4
+		var deferred TetID = NoTet
+		for k := 0; k < 4; k++ {
+			i := (start + k) % 4
+			f := faceIdx[i]
+			a := m.verts[rec.V[f[0]]]
+			b := m.verts[rec.V[f[1]]]
+			c := m.verts[rec.V[f[2]]]
+			if geom3.Orient3D(a, b, c, p) == geom3.Negative {
+				n := rec.N[i]
+				if n == NoTet {
+					return Location{Kind: LocateFailed}
+				}
+				if n == prev {
+					deferred = n
+					continue
+				}
+				prev, t = t, n
+				moved = true
+				break
+			}
+		}
+		if moved {
+			continue
+		}
+		if deferred != NoTet {
+			prev, t = t, deferred
+			continue
+		}
+		return Location{Kind: LocateInside, Tet: t}
+	}
+	return m.locateExhaustive(p)
+}
+
+func (m *Mesh) locateExhaustive(p geom3.Point) Location {
+	for i := range m.tets {
+		if !m.alive[i] {
+			continue
+		}
+		rec := m.tets[i]
+		inside := true
+		for j := 0; j < 4; j++ {
+			if m.verts[rec.V[j]].Eq(p) {
+				return Location{Kind: LocateOnVert, Tet: TetID(i), Vert: rec.V[j]}
+			}
+		}
+		for j := 0; j < 4 && inside; j++ {
+			f := faceIdx[j]
+			if geom3.Orient3D(m.verts[rec.V[f[0]]], m.verts[rec.V[f[1]]], m.verts[rec.V[f[2]]], p) == geom3.Negative {
+				inside = false
+			}
+		}
+		if inside {
+			return Location{Kind: LocateInside, Tet: TetID(i)}
+		}
+	}
+	return Location{Kind: LocateFailed}
+}
+
+func (m *Mesh) anyTet() TetID {
+	for i := range m.tets {
+		if m.alive[i] {
+			return TetID(i)
+		}
+	}
+	return NoTet
+}
+
+// circumsphereContains reports whether p is strictly inside t's
+// circumsphere.
+func (m *Mesh) circumsphereContains(t TetID, p geom3.Point) bool {
+	r := m.tets[t]
+	return geom3.InSphere(m.verts[r.V[0]], m.verts[r.V[1]], m.verts[r.V[2]], m.verts[r.V[3]], p) == geom3.Positive
+}
+
+// InsertPoint inserts p by the Bowyer–Watson cavity algorithm and returns
+// the new vertex. Returns the existing vertex with ErrDuplicate if p
+// coincides with one, and ErrOutside if p is outside the triangulation.
+func (m *Mesh) InsertPoint(p geom3.Point, hint TetID) (VertexID, error) {
+	loc := m.Locate(p, hint)
+	switch loc.Kind {
+	case LocateFailed:
+		return NoVertex, ErrOutside
+	case LocateOnVert:
+		return loc.Vert, ErrDuplicate
+	}
+
+	// Cavity BFS in discovery order (determinism).
+	inCavity := map[TetID]bool{loc.Tet: true}
+	cavity := []TetID{loc.Tet}
+	stack := []TetID{loc.Tet}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rec := m.tets[t]
+		for i := 0; i < 4; i++ {
+			n := rec.N[i]
+			if n == NoTet || inCavity[n] {
+				continue
+			}
+			if m.circumsphereContains(n, p) {
+				inCavity[n] = true
+				cavity = append(cavity, n)
+				stack = append(stack, n)
+			}
+		}
+	}
+
+	// Collect boundary faces (ordered triple + outside neighbor).
+	type bface struct {
+		a, b, c VertexID
+		out     TetID
+	}
+	var boundary []bface
+	for _, t := range cavity {
+		rec := m.tets[t]
+		for i := 0; i < 4; i++ {
+			n := rec.N[i]
+			if n != NoTet && inCavity[n] {
+				continue
+			}
+			f := faceIdx[i]
+			boundary = append(boundary, bface{rec.V[f[0]], rec.V[f[1]], rec.V[f[2]], n})
+		}
+	}
+
+	v := m.addVertex(p)
+	for _, t := range cavity {
+		m.killTet(t)
+	}
+
+	// New tets: (a, b, c, v), positively oriented because v lies on the
+	// cavity side of each boundary face.
+	type edgeKey struct{ a, b VertexID }
+	mkEdge := func(a, b VertexID) edgeKey {
+		if a > b {
+			a, b = b, a
+		}
+		return edgeKey{a, b}
+	}
+	type half struct {
+		tet  TetID
+		face int
+	}
+	edges := make(map[edgeKey][]half, 3*len(boundary)/2)
+	created := make([]TetID, len(boundary))
+	for i, bf := range boundary {
+		t := m.newTet([4]VertexID{bf.a, bf.b, bf.c, v})
+		created[i] = t
+		// Wire the base face (opposite v, index 3) to the outside.
+		if bf.out != NoTet {
+			m.link(t, 3, bf.out)
+		}
+		// The other three faces contain v plus one base edge:
+		// face 0 opp a: edge (b, c); face 1 opp b: edge (a, c);
+		// face 2 opp c: edge (a, b).
+		edges[mkEdge(bf.b, bf.c)] = append(edges[mkEdge(bf.b, bf.c)], half{t, 0})
+		edges[mkEdge(bf.a, bf.c)] = append(edges[mkEdge(bf.a, bf.c)], half{t, 1})
+		edges[mkEdge(bf.a, bf.b)] = append(edges[mkEdge(bf.a, bf.b)], half{t, 2})
+	}
+	for _, hs := range edges {
+		if len(hs) != 2 {
+			// Should not happen for a proper cavity; leave unwired.
+			continue
+		}
+		m.tets[hs[0].tet].N[hs[0].face] = hs[1].tet
+		m.tets[hs[1].tet].N[hs[1].face] = hs[0].tet
+	}
+	return v, nil
+}
+
+// link makes u the neighbor of t across t's face i and fixes u's backlink.
+func (m *Mesh) link(t TetID, i int, u TetID) {
+	m.tets[t].N[i] = u
+	f := faceIdx[i]
+	want := [3]VertexID{m.tets[t].V[f[0]], m.tets[t].V[f[1]], m.tets[t].V[f[2]]}
+	for j := 0; j < 4; j++ {
+		g := faceIdx[j]
+		got := [3]VertexID{m.tets[u].V[g[0]], m.tets[u].V[g[1]], m.tets[u].V[g[2]]}
+		if sameTriple(want, got) {
+			m.tets[u].N[j] = t
+			return
+		}
+	}
+	panic("mesh3: link: tets do not share the face")
+}
+
+func sameTriple(a, b [3]VertexID) bool {
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: positive orientation, neighbor
+// symmetry and shared faces.
+func (m *Mesh) Validate() error {
+	for i := range m.tets {
+		if !m.alive[i] {
+			continue
+		}
+		t := TetID(i)
+		rec := m.tets[i]
+		if geom3.Orient3D(m.verts[rec.V[0]], m.verts[rec.V[1]], m.verts[rec.V[2]], m.verts[rec.V[3]]) != geom3.Positive {
+			return fmt.Errorf("tet %d not positively oriented", t)
+		}
+		for k := 0; k < 4; k++ {
+			n := rec.N[k]
+			if n == NoTet {
+				continue
+			}
+			if int(n) >= len(m.tets) || !m.alive[n] {
+				return fmt.Errorf("tet %d neighbor %d dead", t, n)
+			}
+			f := faceIdx[k]
+			want := [3]VertexID{rec.V[f[0]], rec.V[f[1]], rec.V[f[2]]}
+			back := false
+			for j := 0; j < 4; j++ {
+				g := faceIdx[j]
+				got := [3]VertexID{m.tets[n].V[g[0]], m.tets[n].V[g[1]], m.tets[n].V[g[2]]}
+				if sameTriple(want, got) {
+					if m.tets[n].N[j] != t {
+						return fmt.Errorf("tet %d face %d: neighbor %d does not point back", t, k, n)
+					}
+					back = true
+				}
+			}
+			if !back {
+				return fmt.Errorf("tet %d face %d: neighbor %d does not share the face", t, k, n)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDelaunay verifies the Delaunay property: no vertex strictly inside
+// any tet's circumsphere (checked against neighbor apexes).
+func (m *Mesh) CheckDelaunay() error {
+	for i := range m.tets {
+		if !m.alive[i] {
+			continue
+		}
+		t := TetID(i)
+		rec := m.tets[i]
+		for k := 0; k < 4; k++ {
+			n := rec.N[k]
+			if n == NoTet || n < t {
+				continue
+			}
+			// Apex of n opposite the shared face.
+			var apex VertexID = NoVertex
+			for j := 0; j < 4; j++ {
+				if m.tets[n].N[j] == t {
+					apex = m.tets[n].V[j]
+				}
+			}
+			if apex == NoVertex {
+				return fmt.Errorf("tet %d: backlink missing on neighbor %d", t, n)
+			}
+			if m.circumsphereContains(t, m.verts[apex]) {
+				return fmt.Errorf("tet %d violates Delaunay against vertex %d", t, apex)
+			}
+		}
+	}
+	return nil
+}
+
+// StarOf returns all live tets incident to v (breadth-first over
+// face-adjacent tets sharing v, starting from v's hint).
+func (m *Mesh) StarOf(v VertexID) []TetID {
+	start := m.vertTet[v]
+	if start == NoTet || !m.alive[start] {
+		start = NoTet
+		for i := range m.tets {
+			if m.alive[i] {
+				for _, vv := range m.tets[i].V {
+					if vv == v {
+						start = TetID(i)
+						break
+					}
+				}
+			}
+			if start != NoTet {
+				break
+			}
+		}
+		if start == NoTet {
+			return nil
+		}
+		m.vertTet[v] = start
+	}
+	seen := map[TetID]bool{start: true}
+	out := []TetID{start}
+	stack := []TetID{start}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rec := m.tets[t]
+		for i := 0; i < 4; i++ {
+			if rec.V[i] == v {
+				continue // neighbor across this face does not contain v
+			}
+			n := rec.N[i]
+			if n == NoTet || seen[n] {
+				continue
+			}
+			seen[n] = true
+			out = append(out, n)
+			stack = append(stack, n)
+		}
+	}
+	return out
+}

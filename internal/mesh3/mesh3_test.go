@@ -1,0 +1,268 @@
+package mesh3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrts/internal/geom3"
+)
+
+func unitBox() geom3.Box {
+	return geom3.NewBox(geom3.Pt(0, 0, 0), geom3.Pt(1, 1, 1))
+}
+
+func buildRandom3(t testing.TB, n int, seed int64) *Mesh {
+	m := New()
+	m.InitSuper(unitBox())
+	rng := rand.New(rand.NewSource(seed))
+	hint := NoTet
+	for i := 0; i < n; i++ {
+		p := geom3.Pt(rng.Float64(), rng.Float64(), rng.Float64())
+		v, err := m.InsertPoint(p, hint)
+		if err != nil && err != ErrDuplicate {
+			t.Fatalf("insert %v: %v", p, err)
+		}
+		if v != NoVertex {
+			hint = m.vertTet[v]
+		}
+	}
+	return m
+}
+
+func TestInitSuper(t *testing.T) {
+	m := New()
+	m.InitSuper(unitBox())
+	if m.NumTets() != 1 {
+		t.Fatalf("tets = %d", m.NumTets())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertSingle(t *testing.T) {
+	m := New()
+	m.InitSuper(unitBox())
+	if _, err := m.InsertPoint(geom3.Pt(0.5, 0.5, 0.5), NoTet); err != nil {
+		t.Fatal(err)
+	}
+	// One interior point splits the super tet into 4.
+	if m.NumTets() != 4 {
+		t.Fatalf("tets = %d, want 4", m.NumTets())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate.
+	v, err := m.InsertPoint(geom3.Pt(0.5, 0.5, 0.5), NoTet)
+	if err != ErrDuplicate {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if m.IsSuper(v) {
+		t.Fatal("duplicate returned a super vertex")
+	}
+}
+
+func TestInsertOutside(t *testing.T) {
+	m := New()
+	m.InitSuper(unitBox())
+	if _, err := m.InsertPoint(geom3.Pt(1e9, 1e9, 1e9), NoTet); err != ErrOutside {
+		t.Fatalf("err = %v, want ErrOutside", err)
+	}
+}
+
+func TestRandomDelaunay3(t *testing.T) {
+	for _, n := range []int{10, 60, 200} {
+		m := buildRandom3(t, n, int64(n))
+		if err := m.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := m.CheckDelaunay(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGridDegenerate3(t *testing.T) {
+	// Grid points: many cospherical/coplanar quadruples stress the exact
+	// predicates.
+	m := New()
+	m.InitSuper(unitBox())
+	for i := 0; i <= 3; i++ {
+		for j := 0; j <= 3; j++ {
+			for k := 0; k <= 3; k++ {
+				p := geom3.Pt(float64(i)/3, float64(j)/3, float64(k)/3)
+				if _, err := m.InsertPoint(p, NoTet); err != nil && err != ErrDuplicate {
+					t.Fatalf("grid insert %v: %v", p, err)
+				}
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInteriorVolume(t *testing.T) {
+	// The interior tets (no super vertex) of a meshed unit cube with corner
+	// points must fill the cube's convex hull: volume 1.
+	m := New()
+	m.InitSuper(unitBox())
+	for _, x := range []float64{0, 1} {
+		for _, y := range []float64{0, 1} {
+			for _, z := range []float64{0, 1} {
+				if _, err := m.InsertPoint(geom3.Pt(x, y, z), NoTet); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		p := geom3.Pt(rng.Float64(), rng.Float64(), rng.Float64())
+		if _, err := m.InsertPoint(p, NoTet); err != nil && err != ErrDuplicate {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var vol float64
+	m.ForEachTet(func(id TetID, _ Tet) {
+		if !m.HasSuperVertex(id) {
+			vol += m.Geom(id).Volume()
+		}
+	})
+	if math.Abs(vol-1) > 1e-9 {
+		t.Errorf("interior volume = %v, want 1", vol)
+	}
+	if m.NumInteriorTets() == 0 {
+		t.Error("no interior tets")
+	}
+}
+
+func TestLocateModes3(t *testing.T) {
+	m := buildRandom3(t, 50, 9)
+	// Existing vertex (skip supers).
+	v := VertexID(5)
+	loc := m.Locate(m.Vertex(v), NoTet)
+	if loc.Kind != LocateOnVert || loc.Vert != v {
+		t.Fatalf("Locate(vertex) = %+v", loc)
+	}
+	// Centroid of some interior tet.
+	var tid TetID = NoTet
+	m.ForEachTet(func(id TetID, _ Tet) {
+		if tid == NoTet && !m.HasSuperVertex(id) {
+			tid = id
+		}
+	})
+	if tid == NoTet {
+		t.Skip("no interior tet")
+	}
+	c := m.Geom(tid).Centroid()
+	loc = m.Locate(c, NoTet)
+	if loc.Kind != LocateInside {
+		t.Fatalf("Locate(centroid) = %+v", loc)
+	}
+}
+
+func TestEulerRelation3(t *testing.T) {
+	// For a triangulation of the super-tet with n interior points, checking
+	// total tet count against the boundary-face relation:
+	// sum over tets of 4 faces = 2*interior faces + boundary faces (4).
+	m := buildRandom3(t, 80, 4)
+	interior := 0
+	boundary := 0
+	m.ForEachTet(func(id TetID, rec Tet) {
+		for k := 0; k < 4; k++ {
+			if rec.N[k] == NoTet {
+				boundary++
+			} else {
+				interior++
+			}
+		}
+	})
+	if boundary != 4 {
+		t.Errorf("super-tet hull should have 4 boundary faces, got %d", boundary)
+	}
+	if interior%2 != 0 {
+		t.Error("interior half-faces must pair up")
+	}
+}
+
+func TestPropertyRandomInsertions3(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 4
+		m := buildRandom3(t, n, seed)
+		if err := m.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := m.CheckDelaunay(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusteredPoints3(t *testing.T) {
+	m := New()
+	m.InitSuper(unitBox())
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 60; i++ {
+		p := geom3.Pt(0.5+rng.Float64()*1e-7, 0.5+rng.Float64()*1e-7, 0.5+rng.Float64()*1e-7)
+		if _, err := m.InsertPoint(p, NoTet); err != nil && err != ErrDuplicate {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarOf(t *testing.T) {
+	m := buildRandom3(t, 40, 6)
+	for v := VertexID(4); v < 10; v++ {
+		star := m.StarOf(v)
+		if len(star) == 0 {
+			t.Fatalf("vertex %d has empty star", v)
+		}
+		// Every tet in the star contains v; every live tet containing v is
+		// in the star.
+		inStar := map[TetID]bool{}
+		for _, s := range star {
+			inStar[s] = true
+			found := false
+			for _, vv := range m.Tet(s).V {
+				if vv == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("star tet %d does not contain %d", s, v)
+			}
+		}
+		m.ForEachTet(func(id TetID, rec Tet) {
+			for _, vv := range rec.V {
+				if vv == v && !inStar[id] {
+					t.Fatalf("tet %d contains %d but missing from star", id, v)
+				}
+			}
+		})
+	}
+}

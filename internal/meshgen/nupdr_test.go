@@ -1,0 +1,243 @@
+package meshgen
+
+import (
+	"math"
+	"testing"
+
+	"mrts/internal/cluster"
+	"mrts/internal/geom"
+)
+
+func TestGradedSizeForCalibration(t *testing.T) {
+	domain := geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1))
+	size := gradedSizeFor(domain, 6, 20000)
+	// The field must be finer at the center than at the corner.
+	if !(size(domain.Center()) < size(geom.Pt(0, 0))) {
+		t.Error("sizing not graded")
+	}
+	res, err := RunNUPDR(NUPDRConfig{TargetElements: 20000, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements < 10000 || res.Elements > 40000 {
+		t.Errorf("calibration off: %d elements for target 20000", res.Elements)
+	}
+}
+
+func TestBuildLeafTreeBalanced(t *testing.T) {
+	domain := geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1))
+	size := gradedSizeFor(domain, 8, 30000)
+	tree := buildLeafTree(domain, size, 1000)
+	if tree.NumLeaves() < 4 {
+		t.Fatalf("expected several leaves, got %d", tree.NumLeaves())
+	}
+	for _, leaf := range tree.Leaves() {
+		for _, nb := range tree.Neighbors(leaf) {
+			d := tree.Depth(nb) - tree.Depth(leaf)
+			if d > 1 || d < -1 {
+				t.Fatal("leaf tree not 2:1 balanced")
+			}
+		}
+	}
+}
+
+func TestEdgePointCycleFixedPortions(t *testing.T) {
+	a, b := geom.Pt(0, 0), geom.Pt(1, 0)
+	size := func(geom.Point) float64 { return 0.3 }
+	// No fixed portions: endpoints + forced midpoint + spacing points.
+	pts := edgePointCycle(a, b, size, nil)
+	if !pts[0].Eq(a) || !pts[len(pts)-1].Eq(b) {
+		t.Fatal("cycle must include endpoints")
+	}
+	foundMid := false
+	for _, p := range pts {
+		if p.Eq(geom.Pt(0.5, 0)) {
+			foundMid = true
+		}
+	}
+	if !foundMid {
+		t.Error("dyadic midpoint not forced")
+	}
+	// A fixed portion covering [0, 0.5] must be reused verbatim.
+	fixedPts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.123, 0), geom.Pt(0.5, 0)}
+	pts = edgePointCycle(a, b, size, []fixedPortion{{
+		A: geom.Pt(0, 0), B: geom.Pt(0.5, 0), Pts: fixedPts,
+	}})
+	if !pts[1].Eq(geom.Pt(0.123, 0)) {
+		t.Errorf("fixed points not reused: %v", pts)
+	}
+}
+
+func TestRunNUPDR(t *testing.T) {
+	res, err := RunNUPDR(NUPDRConfig{TargetElements: 15000, PEs: 4, MaxLeafElems: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforming {
+		t.Error("NUPDR leaves do not conform")
+	}
+	if res.Subdomains < 4 {
+		t.Errorf("expected over-decomposition, got %d leaves", res.Subdomains)
+	}
+	if res.Elements < 7000 {
+		t.Errorf("elements = %d", res.Elements)
+	}
+	t.Log(res)
+}
+
+func TestRunNUPDRSequentialConforms(t *testing.T) {
+	res, err := RunNUPDR(NUPDRConfig{TargetElements: 8000, PEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforming {
+		t.Error("sequential NUPDR not conforming")
+	}
+}
+
+func TestRunNUPDRBadConfig(t *testing.T) {
+	if _, err := RunNUPDR(NUPDRConfig{}); err == nil {
+		t.Fatal("zero target should fail")
+	}
+}
+
+func TestRunONUPDRInCore(t *testing.T) {
+	cl := newTestCluster(t, 2, 1<<30)
+	res, err := RunONUPDR(cl, NUPDRConfig{TargetElements: 10000, PEs: 2, MaxLeafElems: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforming {
+		t.Error("ONUPDR leaves do not conform")
+	}
+	// Compare against the in-core method: same decomposition and sizing,
+	// so counts should land close (order effects shift boundaries a bit).
+	ref, err := RunNUPDR(NUPDRConfig{TargetElements: 10000, PEs: 2, MaxLeafElems: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := float64(ref.Elements)*0.85, float64(ref.Elements)*1.15
+	if f := float64(res.Elements); f < lo || f > hi {
+		t.Errorf("ONUPDR elements %d far from NUPDR %d", res.Elements, ref.Elements)
+	}
+	if res.Subdomains != ref.Subdomains {
+		t.Errorf("decompositions differ: %d vs %d leaves", res.Subdomains, ref.Subdomains)
+	}
+	t.Log(res)
+}
+
+func TestRunONUPDROutOfCore(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{
+		Nodes:     2,
+		MemBudget: 300_000,
+		SpoolDir:  t.TempDir(),
+		Factory:   Factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := RunONUPDR(cl, NUPDRConfig{TargetElements: 15000, MaxLeafElems: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforming {
+		t.Error("OOC ONUPDR leaves do not conform")
+	}
+	if res.Mem.Evictions == 0 {
+		t.Error("expected evictions under a 300KB budget")
+	}
+	if res.Elements < 7000 {
+		t.Errorf("elements = %d", res.Elements)
+	}
+	t.Logf("OOC ONUPDR: %v; evictions=%d loads=%d", res, res.Mem.Evictions, res.Mem.Loads)
+}
+
+func TestSharedEdge(t *testing.T) {
+	a := geom.NewRect(geom.Pt(0, 0), geom.Pt(0.5, 0.5))
+	b := geom.NewRect(geom.Pt(0.5, 0), geom.Pt(1, 0.5))
+	p, q, ok := sharedEdge(a, b)
+	if !ok {
+		t.Fatal("rects share an edge")
+	}
+	if p.X != 0.5 || q.X != 0.5 || math.Abs(q.Y-p.Y-0.5) > 1e-12 {
+		t.Errorf("shared edge = %v-%v", p, q)
+	}
+	// Corner-touching rects share no positive-length edge.
+	c := geom.NewRect(geom.Pt(0.5, 0.5), geom.Pt(1, 1))
+	if _, _, ok := sharedEdge(a, c); ok {
+		t.Error("corner touch should not count")
+	}
+	// Disjoint rects.
+	d := geom.NewRect(geom.Pt(2, 2), geom.Pt(3, 3))
+	if _, _, ok := sharedEdge(a, d); ok {
+		t.Error("disjoint rects share nothing")
+	}
+	// Horizontal sharing.
+	e := geom.NewRect(geom.Pt(0, 0.5), geom.Pt(0.5, 1))
+	p, q, ok = sharedEdge(a, e)
+	if !ok || p.Y != 0.5 || q.Y != 0.5 {
+		t.Errorf("horizontal shared edge = %v-%v ok=%v", p, q, ok)
+	}
+}
+
+func TestRunONUPDRMulticast(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{
+		Nodes:     3,
+		MemBudget: 1 << 20,
+		Factory:   Factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := RunONUPDR(cl, NUPDRConfig{
+		TargetElements: 8000,
+		MaxLeafElems:   900,
+		UseMulticast:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforming {
+		t.Error("multicast ONUPDR leaves do not conform")
+	}
+	if res.Elements < 4000 {
+		t.Errorf("elements = %d", res.Elements)
+	}
+	// Collection migrates objects around; every leaf must still be owned
+	// by exactly one node.
+	total := 0
+	for _, rt := range cl.Runtimes() {
+		total += rt.NumLocalObjects()
+	}
+	if total != res.Subdomains+1 { // leaves + the queue object
+		t.Errorf("object count drifted: %d vs %d leaves + queue", total, res.Subdomains)
+	}
+	t.Log(res)
+}
+
+func TestRunONUPDRMulticastOutOfCore(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{
+		Nodes:     2,
+		MemBudget: 250_000,
+		SpoolDir:  t.TempDir(),
+		Factory:   Factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := RunONUPDR(cl, NUPDRConfig{
+		TargetElements: 12000,
+		MaxLeafElems:   900,
+		UseMulticast:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforming {
+		t.Error("OOC multicast ONUPDR not conforming")
+	}
+	t.Logf("%v evictions=%d", res, res.Mem.Evictions)
+}

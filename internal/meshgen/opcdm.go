@@ -1,0 +1,268 @@
+package meshgen
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mrts/internal/cluster"
+	"mrts/internal/core"
+	"mrts/internal/geom"
+	"mrts/internal/mesh"
+	"mrts/internal/workload"
+)
+
+// OPCDM handler IDs.
+const (
+	hSDRefine core.HandlerID = 301 // apply interface splits + refine
+	hSDReport core.HandlerID = 302 // report counts and hull for the audit
+	hSDWire   core.HandlerID = 303 // install neighbor pointers
+)
+
+// subdomainObj is the OPCDM mobile object: one subdomain with its live
+// constrained Delaunay mesh. The mesh is serialized only when the
+// out-of-core layer unloads the object (or it migrates).
+type subdomainObj struct {
+	Rect    geom.Rect
+	MaxArea float64
+	Beta    float64
+	Nbs     [4]core.MobilePtr // left, right, bottom, top (Nil at domain edge)
+
+	M *mesh.Mesh // nil until the first refine message
+}
+
+func (o *subdomainObj) TypeID() uint16 { return typeSubdomain }
+
+func (o *subdomainObj) SizeHint() int {
+	n := 128
+	if o.M != nil {
+		n += o.M.EncodedSize()
+	}
+	return n
+}
+
+func (o *subdomainObj) EncodeTo(w io.Writer) error {
+	if err := writeRect(w, o.Rect); err != nil {
+		return err
+	}
+	for _, f := range []float64{o.MaxArea, o.Beta} {
+		if err := writeF64(w, f); err != nil {
+			return err
+		}
+	}
+	for _, p := range o.Nbs {
+		if err := writePtr(w, p); err != nil {
+			return err
+		}
+	}
+	if o.M == nil {
+		return writeU32(w, 0)
+	}
+	if err := writeU32(w, 1); err != nil {
+		return err
+	}
+	return o.M.EncodeTo(w)
+}
+
+func (o *subdomainObj) DecodeFrom(r io.Reader) error {
+	var err error
+	if o.Rect, err = readRect(r); err != nil {
+		return err
+	}
+	if o.MaxArea, err = readF64(r); err != nil {
+		return err
+	}
+	if o.Beta, err = readF64(r); err != nil {
+		return err
+	}
+	for i := range o.Nbs {
+		if o.Nbs[i], err = readPtr(r); err != nil {
+			return err
+		}
+	}
+	has, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if has == 0 {
+		o.M = nil
+		return nil
+	}
+	o.M = mesh.New()
+	return o.M.DecodeFrom(r)
+}
+
+// opcdmShared collects the post-run reports.
+type opcdmShared struct {
+	mu      sync.Mutex
+	reports []opcdmReport
+}
+
+type opcdmReport struct {
+	rect     geom.Rect
+	elements int
+	vertices int
+	hull     []geom.Point
+}
+
+// registerOPCDM installs the OPCDM handlers on every node.
+func registerOPCDM(cl *cluster.Cluster, sh *opcdmShared) {
+	for _, rt := range cl.Runtimes() {
+		rt.Register(hSDRefine, func(c *core.Ctx, arg []byte) {
+			opcdmRefineHandler(c, c.Object().(*subdomainObj), arg)
+		})
+		rt.Register(hSDWire, func(c *core.Ctx, arg []byte) {
+			o := c.Object().(*subdomainObj)
+			ptrs, err := readPtrs(bytesReader(arg))
+			if err != nil || len(ptrs) != 4 {
+				return
+			}
+			copy(o.Nbs[:], ptrs)
+		})
+		rt.Register(hSDReport, func(c *core.Ctx, arg []byte) {
+			o := c.Object().(*subdomainObj)
+			rep := opcdmReport{rect: o.Rect}
+			if o.M != nil {
+				rep.elements = o.M.NumTriangles()
+				rep.vertices = o.M.NumVertices()
+				rep.hull = hullPointsOf(o.M)
+			}
+			sh.mu.Lock()
+			sh.reports = append(sh.reports, rep)
+			sh.mu.Unlock()
+		})
+	}
+}
+
+// opcdmRefineHandler applies incoming split points, refines the subdomain
+// and ships aggregated split messages to the neighbors — the fully
+// asynchronous, unstructured communication pattern of PCDM.
+func opcdmRefineHandler(c *core.Ctx, o *subdomainObj, arg []byte) {
+	var splits []geom.Point
+	if len(arg) > 0 {
+		var err error
+		splits, err = decodePoints(arg)
+		if err != nil {
+			return
+		}
+	}
+	if o.M == nil {
+		m, err := newSubdomainMesh(o.Rect)
+		if err != nil {
+			return
+		}
+		o.M = m
+	}
+	var hasNb [4]bool
+	for i, p := range o.Nbs {
+		hasNb[i] = !p.IsNil()
+	}
+	out, err := refineSubdomain(o.M, o.Rect, splits, o.MaxArea, o.Beta, hasNb)
+	if err != nil {
+		return
+	}
+	for side := 0; side < 4; side++ {
+		if len(out[side]) == 0 || o.Nbs[side].IsNil() {
+			continue
+		}
+		// Small messages, aggregated per neighbor (the paper's startup
+		// overhead optimization).
+		c.Post(o.Nbs[side], hSDRefine, encodePoints(out[side]))
+	}
+}
+
+// RunOPCDM executes the out-of-core constrained Delaunay method on an MRTS
+// cluster.
+func RunOPCDM(cl *cluster.Cluster, cfg PCDMConfig) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	sh := &opcdmShared{}
+	registerOPCDM(cl, sh)
+
+	g := cfg.Grid
+	maxArea := workload.UniformAreaFor(cfg.TargetElements, 1.0)
+	ptrs := make([]core.MobilePtr, g*g)
+	for j := 0; j < g; j++ {
+		for i := 0; i < g; i++ {
+			idx := j*g + i
+			node := idx % cl.Nodes()
+			o := &subdomainObj{Rect: blockRect(g, i, j), MaxArea: maxArea, Beta: cfg.QualityBound}
+			ptrs[idx] = cl.RT(node).CreateObject(o)
+		}
+	}
+	// Wire neighbor pointers through messages so the writes serialize with
+	// any swapping, then start refinement. Per-pair FIFO ordering makes the
+	// wire message arrive before the refine message.
+	for j := 0; j < g; j++ {
+		for i := 0; i < g; i++ {
+			idx := j*g + i
+			nbs := []core.MobilePtr{core.Nil, core.Nil, core.Nil, core.Nil}
+			if i > 0 {
+				nbs[sideLeft] = ptrs[idx-1]
+			}
+			if i+1 < g {
+				nbs[sideRight] = ptrs[idx+1]
+			}
+			if j > 0 {
+				nbs[sideBottom] = ptrs[idx-g]
+			}
+			if j+1 < g {
+				nbs[sideTop] = ptrs[idx+g]
+			}
+			rt := cl.RT(int(ptrs[idx].Home))
+			rt.Post(ptrs[idx], hSDWire, encodePtrList(nbs))
+			rt.Post(ptrs[idx], hSDRefine, nil)
+		}
+	}
+	cl.Wait()
+
+	// Gather counts and hulls.
+	for _, p := range ptrs {
+		cl.RT(int(p.Home)).Post(p, hSDReport, nil)
+	}
+	cl.Wait()
+
+	sh.mu.Lock()
+	reports := sh.reports
+	sh.mu.Unlock()
+	if len(reports) != g*g {
+		return Result{}, fmt.Errorf("meshgen: OPCDM reported %d of %d subdomains", len(reports), g*g)
+	}
+	elements, vertices := 0, 0
+	for _, r := range reports {
+		elements += r.elements
+		vertices += r.vertices
+	}
+	conforming := opcdmAudit(reports)
+	return Result{
+		Method:     "OPCDM",
+		Elements:   elements,
+		Vertices:   vertices,
+		Subdomains: g * g,
+		PEs:        cl.PEs(),
+		Elapsed:    time.Since(start),
+		Report:     cl.Report(),
+		Mem:        cl.MemStats(),
+		Conforming: conforming,
+	}, nil
+}
+
+func opcdmAudit(reports []opcdmReport) bool {
+	for i := range reports {
+		for j := i + 1; j < len(reports); j++ {
+			a, b, ok := sharedEdge(reports[i].rect, reports[j].rect)
+			if !ok {
+				continue
+			}
+			pa := edgePointsOn(reports[i].hull, a, b)
+			pb := edgePointsOn(reports[j].hull, a, b)
+			if !samePoints(pa, pb) {
+				return false
+			}
+		}
+	}
+	return true
+}

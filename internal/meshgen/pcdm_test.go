@@ -1,0 +1,150 @@
+package meshgen
+
+import (
+	"bytes"
+	"testing"
+
+	"mrts/internal/cluster"
+	"mrts/internal/core"
+	"mrts/internal/geom"
+)
+
+func TestInterfaceSide(t *testing.T) {
+	r := geom.NewRect(geom.Pt(0.25, 0.25), geom.Pt(0.5, 0.5))
+	cases := []struct {
+		p    geom.Point
+		want int
+	}{
+		{geom.Pt(0.25, 0.3), sideLeft},
+		{geom.Pt(0.5, 0.3), sideRight},
+		{geom.Pt(0.3, 0.25), sideBottom},
+		{geom.Pt(0.3, 0.5), sideTop},
+		{geom.Pt(0.3, 0.3), -1},
+	}
+	for _, c := range cases {
+		if got := interfaceSide(r, c.p); got != c.want {
+			t.Errorf("interfaceSide(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRunPCDMSequential(t *testing.T) {
+	res, err := RunPCDM(PCDMConfig{Grid: 3, TargetElements: 6000, PEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforming {
+		t.Error("PCDM subdomains do not conform at interfaces")
+	}
+	if res.Elements < 3000 || res.Elements > 12000 {
+		t.Errorf("elements = %d, want ≈6000", res.Elements)
+	}
+	if res.Subdomains != 9 {
+		t.Errorf("subdomains = %d", res.Subdomains)
+	}
+	t.Log(res)
+}
+
+func TestRunPCDMParallelConforms(t *testing.T) {
+	res, err := RunPCDM(PCDMConfig{Grid: 4, TargetElements: 10000, PEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforming {
+		t.Error("parallel PCDM not conforming")
+	}
+	t.Log(res)
+}
+
+func TestRunPCDMBadConfig(t *testing.T) {
+	if _, err := RunPCDM(PCDMConfig{}); err == nil {
+		t.Fatal("zero target should fail")
+	}
+}
+
+func TestRunOPCDMInCore(t *testing.T) {
+	cl := newTestCluster(t, 2, 1<<30)
+	res, err := RunOPCDM(cl, PCDMConfig{Grid: 3, TargetElements: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforming {
+		t.Error("OPCDM subdomains do not conform")
+	}
+	ref, err := RunPCDM(PCDMConfig{Grid: 3, TargetElements: 6000, PEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := float64(ref.Elements)*0.85, float64(ref.Elements)*1.15
+	if f := float64(res.Elements); f < lo || f > hi {
+		t.Errorf("OPCDM elements %d far from PCDM %d", res.Elements, ref.Elements)
+	}
+	t.Log(res)
+}
+
+func TestRunOPCDMOutOfCore(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{
+		Nodes:     2,
+		MemBudget: 100_000,
+		SpoolDir:  t.TempDir(),
+		Factory:   Factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := RunOPCDM(cl, PCDMConfig{Grid: 4, TargetElements: 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conforming {
+		t.Error("OOC OPCDM not conforming")
+	}
+	if res.Mem.Evictions == 0 {
+		t.Error("expected evictions under a 100KB budget")
+	}
+	t.Logf("OOC OPCDM: %v; evictions=%d loads=%d", res, res.Mem.Evictions, res.Mem.Loads)
+}
+
+func TestSubdomainObjRoundtrip(t *testing.T) {
+	m, err := newSubdomainMesh(geom.NewRect(geom.Pt(0, 0), geom.Pt(0.5, 0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &subdomainObj{
+		Rect:    geom.NewRect(geom.Pt(0, 0), geom.Pt(0.5, 0.5)),
+		MaxArea: 0.01, Beta: 1.5,
+		Nbs: [4]core.MobilePtr{core.MobilePtr{Home: 1, Seq: 2}, core.MobilePtr{}, core.MobilePtr{Home: 0, Seq: 9}, core.MobilePtr{}},
+		M:   m,
+	}
+	var buf bytes.Buffer
+	if err := o.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var o2 subdomainObj
+	if err := o2.DecodeFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if o2.Rect != o.Rect || o2.MaxArea != o.MaxArea || o2.Beta != o.Beta || o2.Nbs != o.Nbs {
+		t.Fatalf("metadata mismatch: %+v", o2)
+	}
+	if o2.M == nil || o2.M.NumTriangles() != m.NumTriangles() {
+		t.Fatal("mesh not restored")
+	}
+	if err := o2.M.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Empty-mesh roundtrip.
+	o3 := &subdomainObj{Rect: o.Rect}
+	var buf2 bytes.Buffer
+	if err := o3.EncodeTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var o4 subdomainObj
+	if err := o4.DecodeFrom(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if o4.M != nil {
+		t.Fatal("nil mesh should stay nil")
+	}
+}

@@ -1,0 +1,197 @@
+package meshgen
+
+import (
+	"testing"
+
+	"mrts/internal/cluster"
+	"mrts/internal/geom"
+)
+
+func TestBoundaryPointsDeterministic(t *testing.T) {
+	r1 := geom.NewRect(geom.Pt(0, 0), geom.Pt(0.5, 0.5))
+	r2 := geom.NewRect(geom.Pt(0.5, 0), geom.Pt(1, 0.5))
+	h := 0.07
+	p1 := boundaryPoints(r1, h)
+	p2 := boundaryPoints(r2, h)
+	// The shared edge x=0.5 must carry identical points from both sides.
+	e1 := edgePointsOn(p1, geom.Pt(0.5, 0), geom.Pt(0.5, 0.5))
+	e2 := edgePointsOn(p2, geom.Pt(0.5, 0), geom.Pt(0.5, 0.5))
+	if len(e1) < 2 {
+		t.Fatalf("too few shared-edge points: %d", len(e1))
+	}
+	if !samePoints(e1, e2) {
+		t.Fatalf("shared edge points differ:\n%v\n%v", e1, e2)
+	}
+}
+
+func TestEncodeDecodePoints(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1, 2), geom.Pt(-3.5, 4.25)}
+	got, err := decodePoints(encodePoints(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePoints(pts, got) {
+		t.Fatalf("roundtrip mismatch: %v", got)
+	}
+	if _, err := decodePoints([]byte{1}); err == nil {
+		t.Error("short payload should fail")
+	}
+}
+
+func TestRunUPDRSequential(t *testing.T) {
+	res, err := RunUPDR(UPDRConfig{Blocks: 3, TargetElements: 4000, PEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements < 2000 || res.Elements > 8000 {
+		t.Errorf("elements = %d, want ≈4000", res.Elements)
+	}
+	if !res.Conforming {
+		t.Error("blocks do not conform at interfaces")
+	}
+	if res.Subdomains != 9 {
+		t.Errorf("subdomains = %d", res.Subdomains)
+	}
+}
+
+func TestRunUPDRParallelMatchesSequential(t *testing.T) {
+	seq, err := RunUPDR(UPDRConfig{Blocks: 4, TargetElements: 6000, PEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunUPDR(UPDRConfig{Blocks: 4, TargetElements: 6000, PEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Elements != par.Elements {
+		t.Errorf("element count depends on PE count: %d vs %d", seq.Elements, par.Elements)
+	}
+	if !par.Conforming {
+		t.Error("parallel run not conforming")
+	}
+}
+
+func TestRunUPDRBadConfig(t *testing.T) {
+	if _, err := RunUPDR(UPDRConfig{}); err == nil {
+		t.Fatal("zero target should fail")
+	}
+}
+
+func newTestCluster(t *testing.T, nodes int, budget int64) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{
+		Nodes:          nodes,
+		WorkersPerNode: 1,
+		MemBudget:      budget,
+		Factory:        Factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestRunOUPDRInCore(t *testing.T) {
+	// Large budget: no swapping; result must match the in-core method.
+	seq, err := RunUPDR(UPDRConfig{Blocks: 3, TargetElements: 4000, PEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := newTestCluster(t, 2, 1<<30)
+	res, err := RunOUPDR(cl, UPDRConfig{Blocks: 3, TargetElements: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements != seq.Elements {
+		t.Errorf("OUPDR elements %d != UPDR %d", res.Elements, seq.Elements)
+	}
+	if !res.Conforming {
+		t.Error("OUPDR interfaces do not conform")
+	}
+	if res.Mem.Evictions != 0 {
+		t.Errorf("no evictions expected with huge budget, got %d", res.Mem.Evictions)
+	}
+}
+
+func TestRunOUPDROutOfCore(t *testing.T) {
+	// Tiny budget: blocks must swap to disk, and the result must still be
+	// identical to the in-core run.
+	seq, err := RunUPDR(UPDRConfig{Blocks: 4, TargetElements: 12000, PEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes:     2,
+		MemBudget: 200_000, // bytes; each block mesh is several 10s of KB
+		SpoolDir:  t.TempDir(),
+		Factory:   Factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := RunOUPDR(cl, UPDRConfig{Blocks: 4, TargetElements: 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements != seq.Elements {
+		t.Errorf("OOC run changed the mesh: %d vs %d elements", res.Elements, seq.Elements)
+	}
+	if !res.Conforming {
+		t.Error("OOC interfaces do not conform")
+	}
+	if res.Mem.Evictions == 0 {
+		t.Error("expected evictions under a 200KB budget")
+	}
+	t.Logf("OOC OUPDR: %v; evictions=%d loads=%d peak=%dKB",
+		res, res.Mem.Evictions, res.Mem.Loads, res.Mem.PeakMemUsed/1024)
+}
+
+func TestRunOUPDR3InCore(t *testing.T) {
+	cl := newTestCluster(t, 2, 1<<30)
+	res, err := RunOUPDR3(cl, OUPDR3Config{Blocks: 2, TargetElements: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements < 2500 || res.Elements > 30000 {
+		t.Errorf("elements = %d, want ≈8000 within 3x", res.Elements)
+	}
+	if res.Subdomains != 8 {
+		t.Errorf("subdomains = %d", res.Subdomains)
+	}
+	t.Log(res)
+}
+
+func TestRunOUPDR3OutOfCore(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{
+		Nodes:     2,
+		MemBudget: 100_000,
+		SpoolDir:  t.TempDir(),
+		Factory:   Factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := RunOUPDR3(cl, OUPDR3Config{Blocks: 3, TargetElements: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.Evictions == 0 {
+		t.Error("expected evictions under the tight budget")
+	}
+	// Re-run a second pass over the same (possibly evicted) blocks: the
+	// serialized tetrahedral meshes must survive the round-trip.
+	if res.Elements < 6000 {
+		t.Errorf("elements = %d", res.Elements)
+	}
+	t.Logf("OOC OUPDR3: %v evictions=%d loads=%d", res, res.Mem.Evictions, res.Mem.Loads)
+}
+
+func TestRunOUPDR3BadConfig(t *testing.T) {
+	cl := newTestCluster(t, 1, 1<<30)
+	if _, err := RunOUPDR3(cl, OUPDR3Config{}); err == nil {
+		t.Fatal("zero target should fail")
+	}
+}

@@ -1,0 +1,468 @@
+// Package ooc implements the MRTS out-of-core layer: it tracks every mobile
+// object's residency (in-core vs on disk), decides when and which objects to
+// swap, and exposes the control knobs the paper describes — five eviction
+// policies (LRU, LFU, MRU, MU, LU), a hard and a soft swapping threshold,
+// per-object priorities, and lock/unlock.
+//
+// Memory pressure is modeled by explicit byte accounting of serialized object
+// sizes against a per-node budget: the Go runtime's GC makes physical RAM
+// exhaustion both unportable and unsafe to provoke, while byte accounting
+// triggers the identical decision logic at the same thresholds (hard = a
+// multiple of the largest stored object, soft = a fraction of total memory).
+package ooc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ObjectID identifies a mobile object to the residency manager.
+type ObjectID uint64
+
+// Policy selects the eviction (swapping) scheme.
+type Policy string
+
+// The five swapping schemes implemented by the paper's storage layer.
+const (
+	// LRU evicts the least recently used object ("enjoys highest
+	// performance most of the time").
+	LRU Policy = "lru"
+	// LFU evicts the least frequently used object (accesses per unit of
+	// residence time); "for some applications (e.g., PCDM) the LFU can be
+	// up to 7% faster".
+	LFU Policy = "lfu"
+	// MRU evicts the most recently used object.
+	MRU Policy = "mru"
+	// MU evicts the object with the most total accesses.
+	MU Policy = "mu"
+	// LU evicts the object with the fewest total accesses.
+	LU Policy = "lu"
+)
+
+// Policies lists all supported eviction policies.
+func Policies() []Policy { return []Policy{LRU, LFU, MRU, MU, LU} }
+
+// Valid reports whether p is a known policy.
+func (p Policy) Valid() bool {
+	switch p {
+	case LRU, LFU, MRU, MU, LU:
+		return true
+	}
+	return false
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Budget is the node's memory budget in bytes for mobile objects.
+	Budget int64
+	// Policy is the eviction scheme. Empty means LRU.
+	Policy Policy
+	// HardMultiple defines the hard swapping threshold as a multiple of
+	// the size of the largest object currently stored on disk; checked on
+	// allocation. Zero means the paper's default of 2.
+	HardMultiple float64
+	// SoftFraction defines the soft swapping threshold as a fraction of
+	// the total budget: when free memory drops below it the layer is
+	// "advised" to start swapping. Zero means the paper's default of 1/2.
+	SoftFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = LRU
+	}
+	if c.HardMultiple == 0 {
+		c.HardMultiple = 2
+	}
+	if c.SoftFraction == 0 {
+		c.SoftFraction = 0.5
+	}
+	return c
+}
+
+type entry struct {
+	id         ObjectID
+	size       int64
+	inCore     bool
+	locked     int // lock count; > 0 pins the object in core
+	priority   int
+	lastAccess uint64 // logical clock of last access
+	firstSeen  uint64 // logical clock at registration / load
+	accesses   uint64
+	queueLen   int // pending messages (control layer input)
+}
+
+// Stats summarizes manager activity.
+type Stats struct {
+	Evictions   uint64
+	Loads       uint64
+	InCore      int
+	OutOfCore   int
+	MemUsed     int64
+	MemBudget   int64
+	PeakMemUsed int64
+}
+
+// Manager is the residency manager for one node. It is safe for concurrent
+// use.
+type Manager struct {
+	mu   sync.Mutex
+	cfg  Config
+	used int64
+	peak int64
+
+	clock         uint64
+	entries       map[ObjectID]*entry
+	largestStored int64 // largest object ever written to disk
+	evictions     uint64
+	loads         uint64
+}
+
+// NewManager returns a manager with the given configuration.
+func NewManager(cfg Config) *Manager {
+	return &Manager{
+		cfg:     cfg.withDefaults(),
+		entries: make(map[ObjectID]*entry),
+	}
+}
+
+// Policy returns the active eviction policy.
+func (m *Manager) Policy() Policy { return m.cfg.Policy }
+
+// Budget returns the memory budget in bytes.
+func (m *Manager) Budget() int64 { return m.cfg.Budget }
+
+// MemUsed returns the bytes currently accounted in-core.
+func (m *Manager) MemUsed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Register adds an object of the given size, in-core. It is an error to
+// register the same ID twice.
+func (m *Manager) Register(id ObjectID, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[id]; ok {
+		return fmt.Errorf("ooc: object %d already registered", id)
+	}
+	m.clock++
+	m.entries[id] = &entry{
+		id: id, size: size, inCore: true,
+		lastAccess: m.clock, firstSeen: m.clock,
+	}
+	m.addUsed(size)
+	return nil
+}
+
+// Unregister removes an object entirely (e.g. after migration to another
+// node).
+func (m *Manager) Unregister(id ObjectID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	if !ok {
+		return
+	}
+	if e.inCore {
+		m.used -= e.size
+	}
+	delete(m.entries, id)
+}
+
+// Touch records an access to id (message delivered / handler executed).
+func (m *Manager) Touch(id ObjectID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[id]; ok {
+		m.clock++
+		e.lastAccess = m.clock
+		e.accesses++
+	}
+}
+
+// SetSize updates the accounted size of id (objects grow during refinement).
+func (m *Manager) SetSize(id ObjectID, size int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	if !ok {
+		return
+	}
+	if e.inCore {
+		m.used += size - e.size
+		if m.used > m.peak {
+			m.peak = m.used
+		}
+	}
+	e.size = size
+}
+
+// Size returns the accounted size of id (0 if unknown).
+func (m *Manager) Size(id ObjectID) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[id]; ok {
+		return e.size
+	}
+	return 0
+}
+
+// Lock pins id in core: a locked object is never selected for eviction.
+// Locks nest; each Lock needs a matching Unlock.
+func (m *Manager) Lock(id ObjectID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[id]; ok {
+		e.locked++
+	}
+}
+
+// Unlock releases one pin.
+func (m *Manager) Unlock(id ObjectID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[id]; ok && e.locked > 0 {
+		e.locked--
+	}
+}
+
+// Locked reports whether id is pinned.
+func (m *Manager) Locked(id ObjectID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	return ok && e.locked > 0
+}
+
+// SetPriority sets the swapping priority hint: higher-priority objects are
+// kept in core longer. The default is 0.
+func (m *Manager) SetPriority(id ObjectID, pri int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[id]; ok {
+		e.priority = pri
+	}
+}
+
+// SetQueueLen informs the layer how many messages are pending for id — the
+// control layer input that biases swapping decisions (objects with queued
+// work are kept, idle ones go first).
+func (m *Manager) SetQueueLen(id ObjectID, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[id]; ok {
+		e.queueLen = n
+	}
+}
+
+// InCore reports whether id is resident.
+func (m *Manager) InCore(id ObjectID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	return ok && e.inCore
+}
+
+// MarkOut transitions id out of core (after its bytes hit the store).
+func (m *Manager) MarkOut(id ObjectID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	if !ok || !e.inCore {
+		return
+	}
+	e.inCore = false
+	m.used -= e.size
+	m.evictions++
+	if e.size > m.largestStored {
+		m.largestStored = e.size
+	}
+}
+
+// MarkIn transitions id back in core (after a load completes).
+func (m *Manager) MarkIn(id ObjectID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	if !ok || e.inCore {
+		return
+	}
+	e.inCore = true
+	m.clock++
+	e.lastAccess = m.clock
+	e.firstSeen = m.clock
+	m.loads++
+	m.addUsed(e.size)
+}
+
+func (m *Manager) addUsed(n int64) {
+	m.used += n
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+}
+
+// HardThreshold returns the current hard swapping threshold in bytes:
+// HardMultiple × the largest object stored so far. Allocations that would
+// leave less than this amount free force eviction.
+func (m *Manager) HardThreshold() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hardThresholdLocked()
+}
+
+func (m *Manager) hardThresholdLocked() int64 {
+	return int64(m.cfg.HardMultiple * float64(m.largestStored))
+}
+
+// SoftBreached reports whether free memory has dropped below the soft
+// threshold (SoftFraction × Budget): the advisory signal to start swapping.
+func (m *Manager) SoftBreached() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	free := m.cfg.Budget - m.used
+	return float64(free) < m.cfg.SoftFraction*float64(m.cfg.Budget)
+}
+
+// NeedForSoft returns how many bytes must be evicted to bring free memory
+// back above the soft threshold. Zero means the threshold is not breached.
+func (m *Manager) NeedForSoft() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	target := int64((1 - m.cfg.SoftFraction) * float64(m.cfg.Budget))
+	over := m.used - target
+	if over < 0 {
+		return 0
+	}
+	return over
+}
+
+// NeedForAlloc returns how many bytes must be evicted before extra bytes can
+// be allocated without violating the budget and the hard threshold. Zero
+// means the allocation fits.
+func (m *Manager) NeedForAlloc(extra int64) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	limit := m.cfg.Budget - m.hardThresholdLocked()
+	if limit < 0 {
+		limit = 0
+	}
+	over := m.used + extra - limit
+	if over < 0 {
+		return 0
+	}
+	return over
+}
+
+// PickVictims selects unlocked in-core objects to evict, in policy order,
+// until their sizes sum to at least need. Objects with pending messages and
+// higher priorities are avoided when possible: candidates are ranked by
+// priority, then queue length, then the policy key.
+func (m *Manager) PickVictims(need int64) []ObjectID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var cands []*entry
+	for _, e := range m.entries {
+		if e.inCore && e.locked == 0 {
+			cands = append(cands, e)
+		}
+	}
+	clock := m.clock
+	key := func(e *entry) float64 {
+		switch m.cfg.Policy {
+		case LRU:
+			return float64(e.lastAccess)
+		case MRU:
+			return -float64(e.lastAccess)
+		case LFU:
+			age := clock - e.firstSeen + 1
+			return float64(e.accesses) / float64(age)
+		case MU:
+			return -float64(e.accesses)
+		case LU:
+			return float64(e.accesses)
+		default:
+			return float64(e.lastAccess)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.priority != b.priority {
+			return a.priority < b.priority
+		}
+		if a.queueLen != b.queueLen {
+			return a.queueLen < b.queueLen
+		}
+		ka, kb := key(a), key(b)
+		if ka != kb {
+			return ka < kb
+		}
+		return a.id < b.id
+	})
+	var out []ObjectID
+	var freed int64
+	for _, e := range cands {
+		if freed >= need {
+			break
+		}
+		out = append(out, e.id)
+		freed += e.size
+	}
+	return out
+}
+
+// SuggestPrefetch returns up to limit out-of-core objects worth loading
+// ahead of need, ranked by pending message count then priority — the cache
+// population policy of the out-of-core layer.
+func (m *Manager) SuggestPrefetch(limit int) []ObjectID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var cands []*entry
+	for _, e := range m.entries {
+		if !e.inCore && (e.queueLen > 0 || e.priority > 0) {
+			cands = append(cands, e)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.queueLen != b.queueLen {
+			return a.queueLen > b.queueLen
+		}
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		return a.id < b.id
+	})
+	if limit > 0 && len(cands) > limit {
+		cands = cands[:limit]
+	}
+	out := make([]ObjectID, len(cands))
+	for i, e := range cands {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Snapshot returns current statistics.
+func (m *Manager) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Evictions:   m.evictions,
+		Loads:       m.loads,
+		MemUsed:     m.used,
+		MemBudget:   m.cfg.Budget,
+		PeakMemUsed: m.peak,
+	}
+	for _, e := range m.entries {
+		if e.inCore {
+			s.InCore++
+		} else {
+			s.OutOfCore++
+		}
+	}
+	return s
+}

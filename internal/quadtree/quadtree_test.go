@@ -1,0 +1,222 @@
+package quadtree
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mrts/internal/geom"
+)
+
+func unitTree() *Tree {
+	return New(geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1)))
+}
+
+func TestNewAndRoot(t *testing.T) {
+	tr := unitTree()
+	if tr.NumNodes() != 1 || tr.NumLeaves() != 1 {
+		t.Fatalf("nodes=%d leaves=%d", tr.NumNodes(), tr.NumLeaves())
+	}
+	if !tr.IsLeaf(tr.Root()) {
+		t.Fatal("root should start as a leaf")
+	}
+	if tr.Depth(tr.Root()) != 0 {
+		t.Fatal("root depth should be 0")
+	}
+	if tr.Parent(tr.Root()) != NoNode {
+		t.Fatal("root has no parent")
+	}
+}
+
+func TestSplitGeometry(t *testing.T) {
+	tr := unitTree()
+	kids := tr.Split(tr.Root())
+	if tr.NumLeaves() != 4 || tr.NumNodes() != 5 {
+		t.Fatalf("after split: leaves=%d nodes=%d", tr.NumLeaves(), tr.NumNodes())
+	}
+	if tr.IsLeaf(tr.Root()) {
+		t.Fatal("root should no longer be a leaf")
+	}
+	wants := [4]geom.Rect{
+		geom.NewRect(geom.Pt(0, 0), geom.Pt(0.5, 0.5)),
+		geom.NewRect(geom.Pt(0.5, 0), geom.Pt(1, 0.5)),
+		geom.NewRect(geom.Pt(0, 0.5), geom.Pt(0.5, 1)),
+		geom.NewRect(geom.Pt(0.5, 0.5), geom.Pt(1, 1)),
+	}
+	for i, k := range kids {
+		if got := tr.Bounds(k); got != wants[i] {
+			t.Errorf("quadrant %d bounds = %+v, want %+v", i, got, wants[i])
+		}
+		if tr.Depth(k) != 1 {
+			t.Errorf("child depth = %d", tr.Depth(k))
+		}
+		if tr.Parent(k) != tr.Root() {
+			t.Errorf("child parent wrong")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("splitting a non-leaf should panic")
+		}
+	}()
+	tr.Split(tr.Root())
+}
+
+func TestLeafAt(t *testing.T) {
+	tr := unitTree()
+	kids := tr.Split(tr.Root())
+	tr.Split(kids[NE])
+	cases := []struct {
+		p    geom.Point
+		want func(n NodeID) bool
+	}{
+		{geom.Pt(0.1, 0.1), func(n NodeID) bool { return n == kids[SW] }},
+		{geom.Pt(0.9, 0.1), func(n NodeID) bool { return n == kids[SE] }},
+		{geom.Pt(0.1, 0.9), func(n NodeID) bool { return n == kids[NW] }},
+		{geom.Pt(0.9, 0.9), func(n NodeID) bool { return tr.Depth(n) == 2 }},
+	}
+	for _, c := range cases {
+		n := tr.LeafAt(c.p)
+		if n == NoNode || !c.want(n) {
+			t.Errorf("LeafAt(%v) = %d", c.p, n)
+		}
+		if !tr.Bounds(n).Contains(c.p) {
+			t.Errorf("LeafAt(%v): bounds do not contain point", c.p)
+		}
+	}
+	if tr.LeafAt(geom.Pt(2, 2)) != NoNode {
+		t.Error("outside point should return NoNode")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	tr := unitTree()
+	kids := tr.Split(tr.Root())
+	// All four quadrants touch each other (corner at the center).
+	for _, k := range kids {
+		nbs := tr.Neighbors(k)
+		if len(nbs) != 3 {
+			t.Fatalf("quadrant %d: %d neighbors, want 3", k, len(nbs))
+		}
+		for _, nb := range nbs {
+			if nb == k {
+				t.Fatal("leaf listed as its own neighbor")
+			}
+		}
+	}
+	// Split SW further: NE of that sub-split touches all original quadrants.
+	sub := tr.Split(kids[SW])
+	nbs := tr.Neighbors(sub[NE])
+	if len(nbs) != 6 {
+		t.Fatalf("inner corner leaf: %d neighbors, want 6", len(nbs))
+	}
+}
+
+func TestLeavesIn(t *testing.T) {
+	tr := unitTree()
+	kids := tr.Split(tr.Root())
+	_ = kids
+	got := tr.LeavesIn(geom.NewRect(geom.Pt(0.6, 0.6), geom.Pt(0.9, 0.9)))
+	if len(got) != 1 {
+		t.Fatalf("LeavesIn(NE interior) = %d leaves", len(got))
+	}
+	all := tr.LeavesIn(geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1)))
+	if len(all) != 4 {
+		t.Fatalf("LeavesIn(all) = %d leaves", len(all))
+	}
+}
+
+func TestRefineToSize(t *testing.T) {
+	tr := unitTree()
+	splits := tr.RefineToSize(func(p geom.Point) float64 {
+		// Fine near origin.
+		return 0.05 + 0.4*math.Hypot(p.X, p.Y)
+	}, 0)
+	if splits == 0 {
+		t.Fatal("expected splits")
+	}
+	for _, leaf := range tr.Leaves() {
+		b := tr.Bounds(leaf)
+		h := 0.05 + 0.4*math.Hypot(b.Center().X, b.Center().Y)
+		if b.W() > h || b.H() > h {
+			t.Errorf("leaf %d (%v) exceeds size %v", leaf, b, h)
+		}
+	}
+	// Leaves near origin must be deeper than leaves far away.
+	dNear := tr.Depth(tr.LeafAt(geom.Pt(0.01, 0.01)))
+	dFar := tr.Depth(tr.LeafAt(geom.Pt(0.99, 0.99)))
+	if dNear <= dFar {
+		t.Errorf("expected gradation: near depth %d, far depth %d", dNear, dFar)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	tr := unitTree()
+	// Split SW corner repeatedly to create a sharp depth gradient.
+	n := tr.Root()
+	for i := 0; i < 6; i++ {
+		kids := tr.Split(n)
+		n = kids[SW]
+	}
+	tr.Balance()
+	for _, leaf := range tr.Leaves() {
+		for _, nb := range tr.Neighbors(leaf) {
+			if d := tr.Depth(nb) - tr.Depth(leaf); d > 1 || d < -1 {
+				t.Fatalf("2:1 balance violated: leaf depth %d vs neighbor depth %d",
+					tr.Depth(leaf), tr.Depth(nb))
+			}
+		}
+	}
+}
+
+func TestLeavesPartition(t *testing.T) {
+	// Leaves always tile the root: areas sum to the root area and LeafAt
+	// finds exactly one leaf for interior points.
+	tr := unitTree()
+	tr.RefineToSize(func(p geom.Point) float64 { return 0.07 + 0.3*p.X }, 0)
+	var area float64
+	for _, leaf := range tr.Leaves() {
+		b := tr.Bounds(leaf)
+		area += b.W() * b.H()
+	}
+	if math.Abs(area-1) > 1e-12 {
+		t.Errorf("leaf areas sum to %v, want 1", area)
+	}
+	f := func(x, y float64) bool {
+		p := geom.Pt(math.Abs(math.Mod(x, 1)), math.Abs(math.Mod(y, 1)))
+		n := tr.LeafAt(p)
+		return n != NoNode && tr.Bounds(n).Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	tr := unitTree()
+	tr.RefineToSize(func(p geom.Point) float64 { return 0.15 }, 0)
+	var buf bytes.Buffer
+	if err := tr.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != tr.EncodedSize() {
+		t.Errorf("EncodedSize = %d, actual %d", tr.EncodedSize(), buf.Len())
+	}
+	var tr2 Tree
+	if err := tr2.DecodeFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.NumNodes() != tr.NumNodes() || tr2.NumLeaves() != tr.NumLeaves() {
+		t.Fatalf("decode mismatch: nodes %d/%d leaves %d/%d",
+			tr2.NumNodes(), tr.NumNodes(), tr2.NumLeaves(), tr.NumLeaves())
+	}
+	for _, leaf := range tr.Leaves() {
+		if tr2.Bounds(leaf) != tr.Bounds(leaf) {
+			t.Fatalf("leaf %d bounds differ", leaf)
+		}
+	}
+	if err := (&Tree{}).DecodeFrom(bytes.NewReader([]byte{0, 1, 2, 3, 4, 5, 6, 7})); err == nil {
+		t.Error("bad magic should fail")
+	}
+}

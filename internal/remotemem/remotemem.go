@@ -1,0 +1,214 @@
+// Package remotemem implements the extension sketched in the paper's
+// conclusion: using "the memory of remote nodes as out-of-core media". A
+// Server turns one node into a memory server; a Client is a storage.Store
+// whose blobs live in that server's RAM, reached through the same one-sided
+// messaging layer the runtime uses. Plugging a Client in as a node's store
+// lets applications with large memory needs but limited parallelism spill to
+// a remote node instead of local disk, with no changes to the algorithm.
+package remotemem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"mrts/internal/comm"
+	"mrts/internal/storage"
+)
+
+// Wire handler IDs (distinct from the core runtime's 1-5 range; both sets
+// coexist on one endpoint).
+const (
+	wireReq  uint32 = 1001
+	wireResp uint32 = 1002
+)
+
+// Operation codes.
+const (
+	opPut byte = iota + 1
+	opGet
+	opDelete
+	opHas
+)
+
+// Response status codes.
+const (
+	stOK byte = iota + 1
+	stNotFound
+)
+
+// Server serves remote store requests from an in-memory map. Create it on
+// the node donating its memory.
+type Server struct {
+	ep  comm.Endpoint
+	mem *storage.MemStore
+}
+
+// NewServer attaches a memory server to ep.
+func NewServer(ep comm.Endpoint) *Server {
+	s := &Server{ep: ep, mem: storage.NewMem()}
+	ep.Register(wireReq, s.onRequest)
+	return s
+}
+
+// Stats exposes the underlying memory store counters.
+func (s *Server) Stats() storage.Stats { return s.mem.Stats() }
+
+func (s *Server) onRequest(msg comm.Message) {
+	if len(msg.Payload) < 13 {
+		return
+	}
+	op := msg.Payload[0]
+	reqID := binary.LittleEndian.Uint64(msg.Payload[1:9])
+	keyLen := int(binary.LittleEndian.Uint32(msg.Payload[9:13]))
+	if len(msg.Payload) < 13+keyLen+4 {
+		return
+	}
+	key := storage.Key(msg.Payload[13 : 13+keyLen])
+	dataLen := int(binary.LittleEndian.Uint32(msg.Payload[13+keyLen : 17+keyLen]))
+	data := msg.Payload[17+keyLen : 17+keyLen+dataLen]
+
+	status := stOK
+	var out []byte
+	switch op {
+	case opPut:
+		if err := s.mem.Put(key, data); err != nil {
+			status = stNotFound
+		}
+	case opGet:
+		d, err := s.mem.Get(key)
+		if err != nil {
+			status = stNotFound
+		} else {
+			out = d
+		}
+	case opDelete:
+		_ = s.mem.Delete(key)
+	case opHas:
+		if !s.mem.Has(key) {
+			status = stNotFound
+		}
+	}
+
+	resp := make([]byte, 9+4+len(out))
+	binary.LittleEndian.PutUint64(resp[0:8], reqID)
+	resp[8] = status
+	binary.LittleEndian.PutUint32(resp[9:13], uint32(len(out)))
+	copy(resp[13:], out)
+	_ = s.ep.Send(msg.From, wireResp, resp)
+}
+
+// Client is a storage.Store backed by a remote Server's memory.
+type Client struct {
+	ep     comm.Endpoint
+	server comm.NodeID
+
+	mu      sync.Mutex
+	next    uint64
+	pending map[uint64]chan response
+	closed  bool
+}
+
+type response struct {
+	status byte
+	data   []byte
+}
+
+// NewClient attaches a remote store client to ep, talking to the server on
+// the given node.
+func NewClient(ep comm.Endpoint, server comm.NodeID) *Client {
+	c := &Client{ep: ep, server: server, pending: make(map[uint64]chan response)}
+	ep.Register(wireResp, c.onResponse)
+	return c
+}
+
+func (c *Client) onResponse(msg comm.Message) {
+	if len(msg.Payload) < 13 {
+		return
+	}
+	reqID := binary.LittleEndian.Uint64(msg.Payload[0:8])
+	status := msg.Payload[8]
+	n := int(binary.LittleEndian.Uint32(msg.Payload[9:13]))
+	if len(msg.Payload) < 13+n {
+		return
+	}
+	data := make([]byte, n)
+	copy(data, msg.Payload[13:13+n])
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- response{status: status, data: data}
+	}
+}
+
+// call performs one synchronous request/response round trip.
+func (c *Client) call(op byte, key storage.Key, data []byte) (response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return response{}, storage.ErrClosed
+	}
+	c.next++
+	reqID := c.next
+	ch := make(chan response, 1)
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+
+	req := make([]byte, 13+len(key)+4+len(data))
+	req[0] = op
+	binary.LittleEndian.PutUint64(req[1:9], reqID)
+	binary.LittleEndian.PutUint32(req[9:13], uint32(len(key)))
+	copy(req[13:], key)
+	binary.LittleEndian.PutUint32(req[13+len(key):], uint32(len(data)))
+	copy(req[17+len(key):], data)
+	if err := c.ep.Send(c.server, wireReq, req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return response{}, fmt.Errorf("remotemem: %w", err)
+	}
+	return <-ch, nil
+}
+
+// Put implements storage.Store.
+func (c *Client) Put(key storage.Key, data []byte) error {
+	_, err := c.call(opPut, key, data)
+	return err
+}
+
+// Get implements storage.Store.
+func (c *Client) Get(key storage.Key) ([]byte, error) {
+	r, err := c.call(opGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	if r.status != stOK {
+		return nil, storage.ErrNotFound
+	}
+	return r.data, nil
+}
+
+// Delete implements storage.Store.
+func (c *Client) Delete(key storage.Key) error {
+	_, err := c.call(opDelete, key, nil)
+	return err
+}
+
+// Has implements storage.Store.
+func (c *Client) Has(key storage.Key) bool {
+	r, err := c.call(opHas, key, nil)
+	return err == nil && r.status == stOK
+}
+
+// Close implements storage.Store. In-flight calls receive ErrClosed-free
+// completion (their responses may still arrive); new calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
+
+var _ storage.Store = (*Client)(nil)

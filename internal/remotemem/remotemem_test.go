@@ -1,0 +1,127 @@
+package remotemem
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mrts/internal/comm"
+	"mrts/internal/storage"
+)
+
+func pair(t *testing.T) (*Client, *Server, func()) {
+	t.Helper()
+	tr := comm.NewInProc(2, comm.LatencyModel{})
+	srv := NewServer(tr.Endpoint(1))
+	cli := NewClient(tr.Endpoint(0), 1)
+	return cli, srv, func() { tr.Close() }
+}
+
+func TestPutGetDeleteHas(t *testing.T) {
+	cli, _, done := pair(t)
+	defer done()
+	if _, err := cli.Get("missing"); err != storage.ErrNotFound {
+		t.Fatalf("Get(missing) = %v", err)
+	}
+	if cli.Has("k") {
+		t.Fatal("Has before Put")
+	}
+	if err := cli.Put("k", []byte("remote bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if !cli.Has("k") {
+		t.Fatal("Has after Put")
+	}
+	got, err := cli.Get("k")
+	if err != nil || !bytes.Equal(got, []byte("remote bytes")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := cli.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if cli.Has("k") {
+		t.Fatal("Has after Delete")
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	cli, srv, done := pair(t)
+	defer done()
+	cli.Put("a", make([]byte, 100))
+	cli.Get("a")
+	s := srv.Stats()
+	if s.Puts != 1 || s.Gets != 1 || s.BytesWritten != 100 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	tr := comm.NewInProc(4, comm.LatencyModel{})
+	defer tr.Close()
+	NewServer(tr.Endpoint(3))
+	var wg sync.WaitGroup
+	for n := 0; n < 3; n++ {
+		cli := NewClient(tr.Endpoint(comm.NodeID(n)), 3)
+		wg.Add(1)
+		go func(n int, cli *Client) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := storage.Key(fmt.Sprintf("n%d-%d", n, i))
+				if err := cli.Put(k, []byte{byte(n), byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				d, err := cli.Get(k)
+				if err != nil || d[0] != byte(n) || d[1] != byte(i) {
+					t.Errorf("roundtrip %s: %v %v", k, d, err)
+					return
+				}
+			}
+		}(n, cli)
+	}
+	wg.Wait()
+}
+
+func TestClientClosed(t *testing.T) {
+	cli, _, done := pair(t)
+	defer done()
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Put("k", nil); err == nil {
+		t.Fatal("Put after Close should fail")
+	}
+}
+
+func TestSelfHostedServer(t *testing.T) {
+	// Client and server sharing one endpoint (a node spilling to itself —
+	// degenerate but must not deadlock).
+	tr := comm.NewInProc(1, comm.LatencyModel{})
+	defer tr.Close()
+	NewServer(tr.Endpoint(0))
+	cli := NewClient(tr.Endpoint(0), 0)
+	if err := cli.Put("x", []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Get("x")
+	if err != nil || string(got) != "self" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestLargeBlobs(t *testing.T) {
+	cli, _, done := pair(t)
+	defer done()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	if err := cli.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Get("big")
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("1MB roundtrip failed: len=%d err=%v", len(got), err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package render writes meshes as SVG images, for inspecting the output of
+// the generators (element grading, subdomain conformity) without external
+// tooling.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"mrts/internal/geom"
+	"mrts/internal/mesh"
+)
+
+// Options control the SVG output.
+type Options struct {
+	// WidthPx is the image width in pixels (height follows the aspect
+	// ratio). Zero means 800.
+	WidthPx int
+	// StrokeWidth is the edge line width in mesh units. Zero picks 0.15%
+	// of the bounding box diagonal.
+	StrokeWidth float64
+	// FillByQuality colors triangles from green (equilateral) to red
+	// (poor radius-edge ratio).
+	FillByQuality bool
+	// Constrained highlights constrained edges in a heavier stroke.
+	Constrained bool
+}
+
+// WriteSVG renders m to w.
+func WriteSVG(w io.Writer, m *mesh.Mesh, opts Options) error {
+	if m.NumTriangles() == 0 {
+		return fmt.Errorf("render: empty mesh")
+	}
+	if opts.WidthPx <= 0 {
+		opts.WidthPx = 800
+	}
+	var pts []geom.Point
+	m.ForEachTri(func(id mesh.TriID, tr mesh.Tri) {
+		for k := 0; k < 3; k++ {
+			pts = append(pts, m.Vertex(tr.V[k]))
+		}
+	})
+	bb := geom.BoundingRect(pts)
+	diag := math.Hypot(bb.W(), bb.H())
+	if opts.StrokeWidth <= 0 {
+		opts.StrokeWidth = diag * 0.0015
+	}
+	hPx := int(float64(opts.WidthPx) * bb.H() / bb.W())
+	if hPx <= 0 {
+		hPx = opts.WidthPx
+	}
+
+	bw := bufio.NewWriter(w)
+	// Flip Y: SVG grows downward, meshes upward.
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="%g %g %g %g">`+"\n",
+		opts.WidthPx, hPx, bb.Min.X, -bb.Max.Y, bb.W(), bb.H())
+	fmt.Fprintf(bw, `<g stroke="#334" stroke-width="%g" stroke-linejoin="round">`+"\n", opts.StrokeWidth)
+
+	m.ForEachTri(func(id mesh.TriID, tr mesh.Tri) {
+		a := m.Vertex(tr.V[0])
+		b := m.Vertex(tr.V[1])
+		c := m.Vertex(tr.V[2])
+		fill := "#e8ecf4"
+		if opts.FillByQuality {
+			fill = qualityColor(m.Triangle(id).Quality())
+		}
+		fmt.Fprintf(bw, `<polygon points="%g,%g %g,%g %g,%g" fill="%s"/>`+"\n",
+			a.X, -a.Y, b.X, -b.Y, c.X, -c.Y, fill)
+	})
+	fmt.Fprintln(bw, "</g>")
+
+	if opts.Constrained {
+		fmt.Fprintf(bw, `<g stroke="#b2182b" stroke-width="%g">`+"\n", opts.StrokeWidth*2.5)
+		m.ForEachConstrained(func(a, b mesh.VertexID) {
+			pa, pb := m.Vertex(a), m.Vertex(b)
+			fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g"/>`+"\n",
+				pa.X, -pa.Y, pb.X, -pb.Y)
+		})
+		fmt.Fprintln(bw, "</g>")
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// qualityColor maps a radius-edge ratio to a green→yellow→red fill.
+func qualityColor(q float64) string {
+	// 1/sqrt(3) ≈ 0.577 is equilateral; sqrt(2) is the default bound.
+	t := (q - 0.577) / (math.Sqrt2 - 0.577)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	r := int(120 + 135*t)
+	g := int(200 - 120*t)
+	return fmt.Sprintf("#%02x%02x60", r, g)
+}

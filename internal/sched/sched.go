@@ -1,0 +1,139 @@
+// Package sched is the computing layer substrate of the MRTS: task
+// schedulers that execute message-handler work over a fixed set of workers
+// (PEs). The paper's implementation wraps Intel TBB or Apple GCD; this
+// package provides two structurally analogous schedulers behind one
+// interface:
+//
+//   - WorkStealing: per-worker LIFO deques with FIFO stealing, the TBB model;
+//   - GlobalQueue: a single shared FIFO feeding a thread pool, the GCD model.
+//
+// Both support nested parallelism: a task may spawn subtasks through its
+// *Ctx, and joining helpers (ForEachN) execute pending work while waiting so
+// that blocked joins cannot deadlock the pool.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Task is a unit of work executed by a pool worker. Tasks are expected to
+// run to completion without blocking (the paper's recommendation for message
+// handler tasks); use Ctx.Spawn for nested parallelism.
+type Task func(*Ctx)
+
+// Ctx is the execution context handed to every task.
+type Ctx struct {
+	pool   Pool
+	worker int
+}
+
+// Worker returns the index of the worker executing the task, in [0,
+// Workers()).
+func (c *Ctx) Worker() int { return c.worker }
+
+// Pool returns the pool executing the task.
+func (c *Ctx) Pool() Pool { return c.pool }
+
+// Spawn schedules a subtask. On a work-stealing pool the subtask goes to the
+// current worker's local deque (LIFO); on a global-queue pool it is appended
+// to the shared queue.
+func (c *Ctx) Spawn(t Task) { c.pool.spawnFrom(c.worker, t) }
+
+// Pool schedules tasks over a fixed set of workers.
+type Pool interface {
+	// Submit schedules a task from outside the pool.
+	Submit(t Task)
+	// Wait blocks until every submitted task (including nested spawns) has
+	// completed. The pool remains usable afterwards.
+	Wait()
+	// Close shuts down the workers. The pool must be quiescent.
+	Close()
+	// Workers returns the number of worker goroutines.
+	Workers() int
+	// Name identifies the scheduler flavor ("workstealing" or "globalqueue").
+	Name() string
+
+	// spawnFrom schedules a task from worker w.
+	spawnFrom(w int, t Task)
+	// tryRunOne executes one pending task in the caller's goroutine, if any
+	// is immediately available. It reports whether a task ran. Used by
+	// joining helpers to help instead of blocking.
+	tryRunOne(helperWorker int) bool
+}
+
+// DefaultWorkers returns the worker count used when a non-positive count is
+// requested.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEachN runs f(0) … f(n-1) on the pool and returns when all have
+// completed. It may be called from inside a task (nested join): while
+// waiting, the caller helps execute pending tasks, so the join cannot
+// deadlock even on a single-worker pool.
+func ForEachN(p Pool, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(func(*Ctx) {
+			defer wg.Done()
+			f(i)
+		})
+	}
+	// Help while waiting.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if !p.tryRunOne(-1) {
+			// Nothing immediately runnable; yield and re-check.
+			runtime.Gosched()
+		}
+	}
+}
+
+// quiescence tracks outstanding-task counts shared by both pool flavors.
+type quiescence struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int
+}
+
+func newQuiescence() *quiescence {
+	q := &quiescence{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *quiescence) inc() {
+	q.mu.Lock()
+	q.pending++
+	q.mu.Unlock()
+}
+
+func (q *quiescence) dec() {
+	q.mu.Lock()
+	q.pending--
+	if q.pending == 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+func (q *quiescence) wait() {
+	q.mu.Lock()
+	for q.pending != 0 {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}

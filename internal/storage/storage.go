@@ -1,0 +1,324 @@
+// Package storage implements the MRTS storage layer: the facility that holds
+// serialized mobile objects out of core. The underlying medium is hidden
+// behind the Store interface — the paper mentions regular files, block
+// devices and databases; this package provides a real file-backed store, an
+// in-memory store for tests, and a latency-injecting wrapper that models a
+// disk's service time (seek + transfer) so that comp/IO overlap remains
+// measurable on fast hardware.
+//
+// Both blocking and asynchronous load/store operations are provided, matching
+// the paper ("blocking and non-blocking operations for loading and storing a
+// mobile object"). This functionality is used by the out-of-core layer and is
+// not normally called by applications.
+package storage
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key identifies a stored object within a Store.
+type Key string
+
+// ErrNotFound is returned when loading a key that was never stored.
+var ErrNotFound = errors.New("storage: object not found")
+
+// Store is a byte-blob store for serialized mobile objects.
+type Store interface {
+	// Put stores data under key, replacing any previous value.
+	Put(key Key, data []byte) error
+	// Get returns the data stored under key.
+	Get(key Key) ([]byte, error)
+	// Delete removes key. Deleting a missing key is not an error.
+	Delete(key Key) error
+	// Has reports whether key is present.
+	Has(key Key) bool
+	// Close releases resources.
+	Close() error
+}
+
+// Stats counts store traffic.
+type Stats struct {
+	Puts, Gets, Deletes uint64
+	BytesWritten        uint64
+	BytesRead           uint64
+}
+
+// AsyncResult is the completion handle of an asynchronous operation.
+type AsyncResult struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Done returns a channel closed when the operation completes.
+func (r *AsyncResult) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until completion and returns the result of the operation
+// (data is non-nil only for loads).
+func (r *AsyncResult) Wait() ([]byte, error) {
+	<-r.done
+	return r.data, r.err
+}
+
+// ErrClosed is returned by asynchronous operations submitted after Close.
+var ErrClosed = errors.New("storage: async store closed")
+
+// Async wraps a Store with a worker pool performing Put/Get in the
+// background, so the control layer can overlap disk I/O with computation —
+// the central claim of the paper's evaluation (Tables IV-VI). The internal
+// queue is unbounded (memory pressure is the out-of-core layer's job, not
+// the I/O queue's) and submission after Close fails cleanly instead of
+// racing the shutdown.
+type Async struct {
+	st Store
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	reads    []func() // demand loads jump ahead of eviction writes
+	writes   []func()
+	closed   bool
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+}
+
+// NewAsync returns an asynchronous facade over st with the given number of
+// I/O workers (<= 0 means 2, a typical per-node disk queue depth).
+func NewAsync(st Store, workers int) *Async {
+	if workers <= 0 {
+		workers = 2
+	}
+	a := &Async{st: st}
+	a.cond = sync.NewCond(&a.mu)
+	a.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go a.worker()
+	}
+	return a
+}
+
+func (a *Async) worker() {
+	defer a.wg.Done()
+	for {
+		a.mu.Lock()
+		for len(a.reads) == 0 && len(a.writes) == 0 && !a.closed {
+			a.cond.Wait()
+		}
+		var f func()
+		switch {
+		case len(a.reads) > 0: // reads first: a blocked load stalls a handler
+			f = a.reads[0]
+			a.reads = a.reads[1:]
+		case len(a.writes) > 0:
+			f = a.writes[0]
+			a.writes = a.writes[1:]
+		default:
+			a.mu.Unlock()
+			return
+		}
+		a.mu.Unlock()
+		f()
+	}
+}
+
+// submit enqueues f unless the store is closed.
+func (a *Async) submit(f func(), read bool) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return false
+	}
+	if read {
+		a.reads = append(a.reads, f)
+	} else {
+		a.writes = append(a.writes, f)
+	}
+	a.cond.Signal()
+	return true
+}
+
+// Store returns the underlying synchronous store.
+func (a *Async) Store() Store { return a.st }
+
+// InFlight returns the number of operations submitted but not yet complete.
+func (a *Async) InFlight() int { return int(a.inFlight.Load()) }
+
+// PutAsync schedules a background write.
+func (a *Async) PutAsync(key Key, data []byte) *AsyncResult {
+	r := &AsyncResult{done: make(chan struct{})}
+	a.inFlight.Add(1)
+	ok := a.submit(func() {
+		r.err = a.st.Put(key, data)
+		a.inFlight.Add(-1)
+		close(r.done)
+	}, false)
+	if !ok {
+		r.err = ErrClosed
+		a.inFlight.Add(-1)
+		close(r.done)
+	}
+	return r
+}
+
+// GetAsync schedules a background read.
+func (a *Async) GetAsync(key Key) *AsyncResult {
+	r := &AsyncResult{done: make(chan struct{})}
+	a.inFlight.Add(1)
+	ok := a.submit(func() {
+		r.data, r.err = a.st.Get(key)
+		a.inFlight.Add(-1)
+		close(r.done)
+	}, true)
+	if !ok {
+		r.err = ErrClosed
+		a.inFlight.Add(-1)
+		close(r.done)
+	}
+	return r
+}
+
+// Close drains queued operations and closes the underlying store. Operations
+// submitted after Close complete immediately with ErrClosed.
+func (a *Async) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	a.wg.Wait()
+	return a.st.Close()
+}
+
+// MemStore is an in-memory Store, used in tests and as the "remote memory as
+// out-of-core media" configuration sketched in the paper's conclusion.
+type MemStore struct {
+	mu    sync.RWMutex
+	data  map[Key][]byte
+	stats Stats
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore { return &MemStore{data: make(map[Key][]byte)} }
+
+// Put implements Store.
+func (s *MemStore) Put(key Key, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.data[key] = cp
+	s.stats.Puts++
+	s.stats.BytesWritten += uint64(len(data))
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key Key) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.data[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.stats.Gets++
+	s.stats.BytesRead += uint64(len(d))
+	cp := make([]byte, len(d))
+	copy(cp, d)
+	return cp, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key Key) error {
+	s.mu.Lock()
+	delete(s.data, key)
+	s.stats.Deletes++
+	s.mu.Unlock()
+	return nil
+}
+
+// Has implements Store.
+func (s *MemStore) Has(key Key) bool {
+	s.mu.RLock()
+	_, ok := s.data[key]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// Stats returns a snapshot of the store counters.
+func (s *MemStore) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// DiskModel is the service-time model of the latency-injecting wrapper: each
+// operation costs Seek plus size/BytesPerSec of transfer time.
+type DiskModel struct {
+	Seek        time.Duration
+	BytesPerSec float64
+}
+
+// ServiceTime returns the modeled duration of an operation on size bytes.
+func (m DiskModel) ServiceTime(size int) time.Duration {
+	d := m.Seek
+	if m.BytesPerSec > 0 {
+		d += time.Duration(float64(size) / m.BytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// LatencyStore wraps a Store and injects the DiskModel's service time into
+// every operation, serializing access like a single disk spindle.
+type LatencyStore struct {
+	inner Store
+	model DiskModel
+	mu    sync.Mutex // one spindle: operations do not proceed in parallel
+}
+
+// NewLatency wraps inner with the given model.
+func NewLatency(inner Store, model DiskModel) *LatencyStore {
+	return &LatencyStore{inner: inner, model: model}
+}
+
+func (s *LatencyStore) delay(size int) {
+	d := s.model.ServiceTime(size)
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	time.Sleep(d)
+	s.mu.Unlock()
+}
+
+// Put implements Store.
+func (s *LatencyStore) Put(key Key, data []byte) error {
+	s.delay(len(data))
+	return s.inner.Put(key, data)
+}
+
+// Get implements Store.
+func (s *LatencyStore) Get(key Key) ([]byte, error) {
+	d, err := s.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	s.delay(len(d))
+	return d, nil
+}
+
+// Delete implements Store.
+func (s *LatencyStore) Delete(key Key) error { return s.inner.Delete(key) }
+
+// Has implements Store.
+func (s *LatencyStore) Has(key Key) bool { return s.inner.Has(key) }
+
+// Close implements Store.
+func (s *LatencyStore) Close() error { return s.inner.Close() }

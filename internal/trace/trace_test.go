@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCategoryString(t *testing.T) {
+	if Comp.String() != "comp" || Comm.String() != "comm" || Disk.String() != "disk" {
+		t.Error("category names wrong")
+	}
+	if !strings.Contains(Category(9).String(), "9") {
+		t.Error("unknown category should print its number")
+	}
+}
+
+func TestAddAndReport(t *testing.T) {
+	c := NewCollector()
+	c.Add(Comp, 100*time.Millisecond)
+	c.Add(Comm, 50*time.Millisecond)
+	c.Add(Disk, 25*time.Millisecond)
+	c.Add(Comp, -time.Second) // negative durations ignored
+	r := c.Report()
+	if r.Comp != 100*time.Millisecond || r.Comm != 50*time.Millisecond || r.Disk != 25*time.Millisecond {
+		t.Fatalf("report %+v", r)
+	}
+	if r.Total <= 0 {
+		t.Fatal("total should be positive")
+	}
+}
+
+func TestTrackAndTimer(t *testing.T) {
+	c := NewCollector()
+	c.Track(Comp, func() { time.Sleep(20 * time.Millisecond) })
+	stop := c.Timer(Disk)
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	r := c.Report()
+	if r.Comp < 15*time.Millisecond {
+		t.Errorf("Comp = %v", r.Comp)
+	}
+	if r.Disk < 5*time.Millisecond {
+		t.Errorf("Disk = %v", r.Disk)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	r := Report{Comp: 50, Comm: 25, Disk: 25, Total: 100}
+	if got := r.Percent(Comp); got != 50 {
+		t.Errorf("Percent(Comp) = %v", got)
+	}
+	if got := r.Percent(Comm); got != 25 {
+		t.Errorf("Percent(Comm) = %v", got)
+	}
+	var zero Report
+	if zero.Percent(Comp) != 0 {
+		t.Error("zero report should be all zero")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	// Sum = 150, total = 100 → overlap = 50%.
+	r := Report{Comp: 80, Comm: 40, Disk: 30, Total: 100}
+	if got := r.Overlap(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Overlap = %v, want 50", got)
+	}
+	// Sum < total → clamped to 0.
+	r2 := Report{Comp: 30, Comm: 10, Disk: 10, Total: 100}
+	if got := r2.Overlap(); got != 0 {
+		t.Errorf("Overlap = %v, want 0", got)
+	}
+	var zero Report
+	if zero.Overlap() != 0 {
+		t.Error("zero total should be 0 overlap")
+	}
+}
+
+func TestOverlapConcurrentActivities(t *testing.T) {
+	// Two goroutines working concurrently in different categories must
+	// produce positive overlap.
+	c := NewCollector()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.Track(Comp, func() { time.Sleep(60 * time.Millisecond) })
+	}()
+	go func() {
+		defer wg.Done()
+		c.Track(Disk, func() { time.Sleep(60 * time.Millisecond) })
+	}()
+	wg.Wait()
+	r := c.Report()
+	if r.Overlap() < 20 {
+		t.Errorf("expected substantial overlap, got %.1f%% (%+v)", r.Overlap(), r)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Report{Comp: 60, Comm: 20, Disk: 10, Total: 100}
+	b := Report{Comp: 40, Comm: 30, Disk: 20, Total: 100}
+	m := Merge(100, a, b)
+	if m.Comp != 100 || m.Comm != 50 || m.Disk != 30 {
+		t.Fatalf("merge %+v", m)
+	}
+	if m.Total != 200 {
+		t.Fatalf("merge total %v", m.Total)
+	}
+	if got := m.Percent(Comp); got != 50 {
+		t.Errorf("merged Percent(Comp) = %v", got)
+	}
+}
+
+func TestSpeed(t *testing.T) {
+	if got := Speed(1000, time.Second, 4); got != 250 {
+		t.Errorf("Speed = %v, want 250", got)
+	}
+	if got := Speed(1000, 0, 4); got != 0 {
+		t.Error("zero time should be 0")
+	}
+	if got := Speed(1000, time.Second, 0); got != 0 {
+		t.Error("zero PEs should be 0")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Comp: 50, Comm: 25, Disk: 25, Total: 100}
+	s := r.String()
+	for _, want := range []string{"comp", "comm", "disk", "overlap"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(Comp, time.Microsecond)
+				c.Add(Comm, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	r := c.Report()
+	if r.Comp != 8000*time.Microsecond || r.Comm != 8000*time.Microsecond {
+		t.Fatalf("concurrent adds lost: %+v", r)
+	}
+}
