@@ -44,7 +44,7 @@ func Experiments() []string {
 	return []string{
 		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
-		"policies", "dirpolicies", "remotemem",
+		"policies", "dirpolicies", "remotemem", "faults",
 	}
 }
 
@@ -86,6 +86,8 @@ func Run(id string, opts Options) (*Table, error) {
 		return DirPolicies(opts)
 	case "remotemem":
 		return RemoteMem(opts)
+	case "faults":
+		return Faults(opts)
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, Experiments())
 	}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"mrts/internal/cluster"
+	"mrts/internal/comm"
+	"mrts/internal/meshgen"
+	"mrts/internal/ooc"
+	"mrts/internal/storage"
+)
+
+// faultCluster builds an out-of-core cluster like oocCluster, but with a
+// fault-injecting store and a retry policy on every node.
+func faultCluster(nodes, inCoreElems int, fault *storage.FaultConfig, retry storage.RetryPolicy) (*cluster.Cluster, func(), error) {
+	dir, err := os.MkdirTemp("", "mrts-faults-")
+	if err != nil {
+		return nil, nil, err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes:          nodes,
+		WorkersPerNode: 1,
+		MemBudget:      int64(inCoreElems * bytesPerElement / nodes),
+		Policy:         ooc.LRU,
+		SpoolDir:       dir,
+		Factory:        meshgen.Factory,
+		Network:        comm.LatencyModel{Latency: 200 * time.Microsecond, BytesPerSec: 100 << 20},
+		Disk:           storage.DiskModel{Seek: 600 * time.Microsecond, BytesPerSec: 150 << 20},
+		Fault:          fault,
+		Retry:          retry,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	return cl, func() { cl.Close(); os.RemoveAll(dir) }, nil
+}
+
+// Faults exercises the hardened swap path: the same out-of-core OUPDR
+// problem runs fault-free, under transient I/O faults (absorbed by the
+// retry layer: identical element count, no losses), and under permanent
+// faults (objects are lost, counted, and reported instead of silently
+// dropped — the cluster still terminates).
+func Faults(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "faults",
+		Title:   "OUPDR under injected storage faults (transient absorbed, permanent surfaced)",
+		Headers: []string{"run", "elements", "retries", "load-fail", "store-fail", "lost", "status"},
+		Notes: []string{
+			"transient faults (fail twice, then succeed) must not change the mesh: the retry layer absorbs them",
+			"permanent faults must surface as non-zero lost objects, never as a silent wedge or drop",
+		},
+	}
+	size := opts.size(40000)
+	budget := size / 3 // tight: the run must swap to exercise the fault paths
+	retry := storage.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   200 * time.Microsecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        17,
+	}
+
+	type run struct {
+		name  string
+		fault *storage.FaultConfig
+		retry storage.RetryPolicy
+	}
+	runs := []run{
+		{name: "fault-free"},
+		{
+			name: "transient",
+			fault: &storage.FaultConfig{
+				Seed:          42,
+				FailFirstGets: 2,
+				FailFirstPuts: 2,
+			},
+			retry: retry,
+		},
+		{
+			name: "permanent",
+			fault: &storage.FaultConfig{
+				Seed:        42,
+				GetFailProb: 1.0,
+				Permanent:   true,
+			},
+			retry: retry,
+		},
+	}
+
+	baseline := -1
+	for _, r := range runs {
+		cl, cleanup, err := faultCluster(opts.PEs, budget, r.fault, r.retry)
+		if err != nil {
+			return nil, err
+		}
+		res, err := meshgen.RunOUPDR(cl, meshgen.UPDRConfig{Blocks: 8, TargetElements: size})
+		stats := cl.SwapStats()
+		cleanup()
+		elements := 0
+		if err == nil {
+			elements = res.Elements
+		} else if r.name != "permanent" {
+			// Only the permanent run is allowed to lose work.
+			return nil, fmt.Errorf("bench: faults %s run: %w", r.name, err)
+		}
+		status := "ok"
+		switch r.name {
+		case "fault-free":
+			baseline = elements
+		case "transient":
+			if elements != baseline {
+				status = fmt.Sprintf("MISMATCH (want %d)", baseline)
+			} else if stats.ObjectsLost != 0 {
+				status = "UNEXPECTED LOSS"
+			} else {
+				status = "match"
+			}
+		case "permanent":
+			if stats.ObjectsLost > 0 {
+				status = "loss surfaced"
+			} else {
+				status = "NO LOSS SURFACED"
+			}
+		}
+		t.AddRow(r.name, fmtInt(elements), fmtInt(int(stats.Retries)),
+			fmtInt(int(stats.LoadFailures)), fmtInt(int(stats.StoreFailures)),
+			fmtInt(int(stats.ObjectsLost)), status)
+	}
+	return t, nil
+}

@@ -60,6 +60,17 @@ type Config struct {
 	Factory core.Factory
 	// IOWorkers per node (<= 0 means 2).
 	IOWorkers int
+	// Retry is each node's storage retry policy: transient I/O faults are
+	// absorbed with backoff inside the async facade before they can reach
+	// the swap path. Zero value = single attempt.
+	Retry storage.RetryPolicy
+	// Fault, when non-nil, wraps every node's store in a deterministic
+	// fault-injecting layer (the node index is folded into the seed so the
+	// nodes draw independent but reproducible fault sequences).
+	Fault *storage.FaultConfig
+	// OnSwapError, when non-nil, is installed on every node and receives
+	// swap-path failures that survived the retry budget.
+	OnSwapError func(node int, e core.SwapError)
 }
 
 // Cluster is a set of wired MRTS nodes.
@@ -117,6 +128,11 @@ func New(cfg Config) (*Cluster, error) {
 		if !cfg.RemoteMemory && (cfg.Disk.Seek > 0 || cfg.Disk.BytesPerSec > 0) {
 			st = storage.NewLatency(st, cfg.Disk)
 		}
+		if cfg.Fault != nil {
+			fc := *cfg.Fault
+			fc.Seed += int64(i) * 7919
+			st = storage.NewFault(st, fc)
+		}
 		col := trace.NewCollector()
 		var commDelay func(int) time.Duration
 		if cfg.Network.Latency > 0 || cfg.Network.BytesPerSec > 0 {
@@ -126,16 +142,24 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.Disk.Seek > 0 || cfg.Disk.BytesPerSec > 0 {
 			diskDelay = cfg.Disk.ServiceTime
 		}
+		var onSwapError func(core.SwapError)
+		if cfg.OnSwapError != nil {
+			node := i
+			hook := cfg.OnSwapError
+			onSwapError = func(e core.SwapError) { hook(node, e) }
+		}
 		rt := core.NewRuntime(core.Config{
-			Endpoint:  c.tr.Endpoint(comm.NodeID(i)),
-			Pool:      pool,
-			Factory:   cfg.Factory,
-			Mem:       ooc.Config{Budget: cfg.MemBudget, Policy: cfg.Policy},
-			Store:     st,
-			IOWorkers: cfg.IOWorkers,
-			Collector: col,
-			CommDelay: commDelay,
-			DiskDelay: diskDelay,
+			Endpoint:    c.tr.Endpoint(comm.NodeID(i)),
+			Pool:        pool,
+			Factory:     cfg.Factory,
+			Mem:         ooc.Config{Budget: cfg.MemBudget, Policy: cfg.Policy},
+			Store:       st,
+			IOWorkers:   cfg.IOWorkers,
+			Retry:       cfg.Retry,
+			OnSwapError: onSwapError,
+			Collector:   col,
+			CommDelay:   commDelay,
+			DiskDelay:   diskDelay,
 		})
 		c.pools = append(c.pools, pool)
 		c.rts = append(c.rts, rt)
@@ -187,6 +211,23 @@ func (c *Cluster) MemStats() ooc.Stats {
 		out.MemUsed += s.MemUsed
 		out.MemBudget += s.MemBudget
 		out.PeakMemUsed += s.PeakMemUsed
+		out.LoadFailures += s.LoadFailures
+		out.StoreFailures += s.StoreFailures
+		out.Retries += s.Retries
+		out.ObjectsLost += s.ObjectsLost
+	}
+	return out
+}
+
+// SwapStats aggregates the swap-failure statistics across nodes.
+func (c *Cluster) SwapStats() core.SwapStats {
+	var out core.SwapStats
+	for _, rt := range c.rts {
+		s := rt.SwapStats()
+		out.LoadFailures += s.LoadFailures
+		out.StoreFailures += s.StoreFailures
+		out.Retries += s.Retries
+		out.ObjectsLost += s.ObjectsLost
 	}
 	return out
 }

@@ -90,6 +90,8 @@ func (rt *Runtime) checkpointObject(p MobilePtr, st storage.Store, prefix string
 		blob, err = rt.encodeObject(lo.obj)
 	case stOut:
 		blob, err = rt.store.Store().Get(storeKey(p))
+	case stLost:
+		err = ErrObjectLost
 	default:
 		err = ErrBusy
 	}

@@ -89,4 +89,5 @@ var (
 	ErrNotLocal       = errors.New("core: object is not local")
 	ErrBusy           = errors.New("core: object is busy")
 	ErrShutdown       = errors.New("core: runtime is shut down")
+	ErrObjectLost     = errors.New("core: mobile object lost to a storage failure")
 )

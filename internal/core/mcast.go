@@ -202,6 +202,44 @@ func (t *mcastTable) objectArrived(rt *Runtime, ptr MobilePtr) {
 	}
 }
 
+// objectLost cancels every multicast waiting on ptr: the object can never
+// arrive, so the collection would hold its work unit (and its pins) forever
+// and wedge termination. Pinned members are released and the work accounted
+// off; the loss itself is surfaced by the swap path's error reporting.
+func (t *mcastTable) objectLost(rt *Runtime, ptr MobilePtr) {
+	t.mu.Lock()
+	ids := t.byPtr[ptr]
+	if len(ids) == 0 {
+		t.mu.Unlock()
+		return
+	}
+	var cancelled []*mcastEntry
+	for id := range ids {
+		e := t.pending[id]
+		if e == nil {
+			continue
+		}
+		cancelled = append(cancelled, e)
+		delete(t.pending, id)
+		for _, p := range e.ptrs {
+			if m := t.byPtr[p]; m != nil {
+				delete(m, id)
+				if len(m) == 0 {
+					delete(t.byPtr, p)
+				}
+			}
+		}
+	}
+	t.mu.Unlock()
+
+	for _, e := range cancelled {
+		for _, p := range e.pinned {
+			rt.mem.Unlock(oid(p))
+		}
+		rt.work.Add(-1)
+	}
+}
+
 // PendingMulticasts returns the number of multicasts still collecting.
 func (rt *Runtime) PendingMulticasts() int {
 	rt.mcasts.mu.Lock()

@@ -62,6 +62,11 @@ func (rt *Runtime) Migrate(ptr MobilePtr, dest NodeID) error {
 			lo.mu.Unlock()
 			return ErrBusy
 		}
+	case stLost:
+		// Terminal: returning ErrBusy here would make RequestMigration's
+		// retry loop spin forever on an object that can never move.
+		lo.mu.Unlock()
+		return ErrObjectLost
 	default: // stStoring, stLoading
 		lo.mu.Unlock()
 		return ErrBusy

@@ -29,6 +29,15 @@ type Config struct {
 	Store storage.Store
 	// IOWorkers is the storage layer's async worker count (<= 0 means 2).
 	IOWorkers int
+	// Retry configures transparent retry with exponential backoff for
+	// transient storage faults inside the async facade. The zero value
+	// means a single attempt per operation.
+	Retry storage.RetryPolicy
+	// OnSwapError, when non-nil, receives every swap-path failure that
+	// survived the retry budget: failed eviction writes (the object stays
+	// in core) and failed loads (the object is lost and its queue dropped).
+	// It runs on a runtime goroutine and must not block.
+	OnSwapError func(SwapError)
 	// Collector, when non-nil, receives comp/comm/disk time accounting.
 	Collector *trace.Collector
 	// CommDelay, when non-nil, gives the modeled wire time of a received
@@ -62,6 +71,10 @@ const (
 	stStoring
 	stOut
 	stLoading
+	// stLost is terminal: the object's blob could not be read back (or
+	// decoded) after the retry budget, so the object is unreachable.
+	// Messages to a lost object are dropped so termination still fires.
+	stLost
 )
 
 type localObject struct {
@@ -103,6 +116,13 @@ type Runtime struct {
 	recv    atomic.Int64 // app/install messages received from other nodes
 	swapOps atomic.Int64 // evictions/loads in flight (Close waits on this)
 
+	loadFailures  atomic.Uint64
+	storeFailures atomic.Uint64
+	objectsLost   atomic.Uint64
+	onSwapError   func(SwapError)
+	semu          sync.Mutex
+	swapErrs      []SwapError
+
 	commDelay func(int) time.Duration
 	diskDelay func(int) time.Duration
 
@@ -130,13 +150,24 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.PrefetchDepth <= 0 {
 		cfg.PrefetchDepth = 2
 	}
+	mem := ooc.NewManager(cfg.Mem)
+	// Mirror every absorbed retry into the ooc layer's accounting, chaining
+	// any observer the caller installed.
+	retry := cfg.Retry
+	userRetryHook := retry.OnRetry
+	retry.OnRetry = func(key storage.Key, attempt int, err error) {
+		mem.NoteRetries(1)
+		if userRetryHook != nil {
+			userRetryHook(key, attempt, err)
+		}
+	}
 	rt := &Runtime{
 		node:      cfg.Endpoint.Node(),
 		ep:        cfg.Endpoint,
 		pool:      cfg.Pool,
 		factory:   cfg.Factory,
-		mem:       ooc.NewManager(cfg.Mem),
-		store:     storage.NewAsync(cfg.Store, cfg.IOWorkers),
+		mem:       mem,
+		store:     storage.NewAsyncRetry(cfg.Store, cfg.IOWorkers, retry),
 		col:       cfg.Collector,
 		pfDepth:   cfg.PrefetchDepth,
 		objects:   make(map[MobilePtr]*localObject),
@@ -150,6 +181,7 @@ func NewRuntime(cfg Config) *Runtime {
 		dirPolicy: cfg.Directory,
 		numNodes:  cfg.NumNodes,
 	}
+	rt.onSwapError = cfg.OnSwapError
 	rt.ep.Register(wireApp, rt.onWireApp)
 	rt.ep.Register(wireDirUpdate, rt.onWireDirUpdate)
 	rt.ep.Register(wireInstall, rt.onWireInstall)
@@ -307,6 +339,14 @@ func (rt *Runtime) onWireDirUpdate(msg comm.Message) {
 // a drain task if in-core, a load if on disk.
 func (rt *Runtime) enqueueLocal(lo *localObject, q queued) {
 	lo.mu.Lock()
+	if lo.state == stLost {
+		// The object is unreachable (load failed after retries). Drop the
+		// message so termination is still detectable; the loss itself was
+		// already surfaced via the counters and OnSwapError.
+		lo.mu.Unlock()
+		rt.work.Add(-1)
+		return
+	}
 	lo.queue = append(lo.queue, q)
 	rt.mem.SetQueueLen(oid(lo.ptr), len(lo.queue))
 	switch lo.state {

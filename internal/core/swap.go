@@ -22,36 +22,39 @@ func (rt *Runtime) startLoadLocked(lo *localObject) {
 }
 
 // loadObject brings lo back in core: it makes room per the hard threshold,
-// reads the blob, deserializes, and reschedules pending work.
+// reads the blob, deserializes, and reschedules pending work. A load that
+// fails after the storage layer's retry budget loses the object: it enters
+// the terminal stLost state, its queue is dropped (termination must still
+// fire), and the failure is surfaced through the counters and OnSwapError —
+// never silently.
 func (rt *Runtime) loadObject(lo *localObject) {
 	id := oid(lo.ptr)
 	// Make room before the bytes arrive.
 	if need := rt.mem.NeedForAlloc(rt.mem.Size(id)); need > 0 {
-		rt.evictVictims(need, lo.ptr)
+		rt.evictVictims(need, lo.ptr, func() int64 {
+			return rt.mem.NeedForAlloc(rt.mem.Size(id))
+		})
 	}
 	t0 := time.Now()
 	blob, err := rt.store.GetAsync(storeKey(lo.ptr)).Wait()
 	rt.chargeDisk(len(blob), time.Since(t0))
-	if err != nil {
-		// The blob is missing or unreadable: the object is lost. Drop its
-		// queue so termination is still reached; surface via panic in
-		// debug builds would hide the accounting, so count the work off.
-		lo.mu.Lock()
-		n := len(lo.queue)
-		lo.queue = nil
-		lo.state = stOut
-		lo.mu.Unlock()
-		rt.work.Add(int64(-n))
-		return
+	op := SwapLoad
+	var obj Object
+	if err == nil {
+		op = SwapDecode
+		obj, err = rt.decodeObject(lo.typeID, blob)
 	}
-	obj, err := rt.decodeObject(lo.typeID, blob)
 	if err != nil {
 		lo.mu.Lock()
 		n := len(lo.queue)
 		lo.queue = nil
-		lo.state = stOut
+		lo.state = stLost
+		lo.wantLoad = false
 		lo.mu.Unlock()
+		rt.mem.SetQueueLen(id, 0)
 		rt.work.Add(int64(-n))
+		rt.mcasts.objectLost(rt, lo.ptr)
+		rt.noteSwapError(SwapError{Ptr: lo.ptr, Op: op, Err: err, Dropped: n, Lost: true})
 		return
 	}
 	lo.mu.Lock()
@@ -106,16 +109,21 @@ func (rt *Runtime) tryEvict(lo *localObject) bool {
 		rt.chargeDisk(len(blob), time.Since(t0))
 		lo.mu.Lock()
 		if err != nil {
-			// Write failed: restore the in-core copy (we still hold obj
-			// via the closure).
+			// Write failed after retries: restore the in-core copy (we
+			// still hold obj via the closure). The restore satisfies any
+			// load requested while storing, so wantLoad must be cleared —
+			// leaving it set would make the next successful eviction
+			// trigger a spurious immediate reload.
 			lo.obj = obj
 			lo.state = stInCore
+			lo.wantLoad = false
 			rt.mem.MarkIn(oid(lo.ptr))
 			if len(lo.queue) > 0 && !lo.scheduled {
 				lo.scheduled = true
 				rt.pool.Submit(func(sc *sched.Ctx) { rt.drain(lo, sc) })
 			}
 			lo.mu.Unlock()
+			rt.noteSwapError(SwapError{Ptr: lo.ptr, Op: SwapStore, Err: err})
 			return
 		}
 		lo.state = stOut
@@ -129,12 +137,16 @@ func (rt *Runtime) tryEvict(lo *localObject) bool {
 	return true
 }
 
-// evictVictims frees at least need bytes, skipping exclude.
-func (rt *Runtime) evictVictims(need int64, exclude MobilePtr) {
+// evictVictims evicts objects until residual reports no remaining need,
+// skipping exclude. need seeds the victim selection; the residual need is
+// re-read from the live accounting between victims rather than summed from
+// the pre-selected sizes — tryEvict re-serializes (and SetSizes) each
+// object, and a failed async write returns its bytes in-core, so sizes
+// captured before eviction go stale immediately.
+func (rt *Runtime) evictVictims(need int64, exclude MobilePtr, residual func() int64) {
 	if need <= 0 {
 		return
 	}
-	var freed int64
 	for _, vid := range rt.mem.PickVictims(need) {
 		if vid == oid(exclude) {
 			continue
@@ -143,12 +155,8 @@ func (rt *Runtime) evictVictims(need int64, exclude MobilePtr) {
 		if lo == nil {
 			continue
 		}
-		size := rt.mem.Size(vid)
-		if rt.tryEvict(lo) {
-			freed += size
-			if freed >= need {
-				return
-			}
+		if rt.tryEvict(lo) && residual() <= 0 {
+			return
 		}
 	}
 }
@@ -157,7 +165,7 @@ func (rt *Runtime) evictVictims(need int64, exclude MobilePtr) {
 // below the configured fraction, the out-of-core layer is "advised" to swap.
 func (rt *Runtime) maybeEvictForSoft() {
 	if need := rt.mem.NeedForSoft(); need > 0 {
-		rt.evictVictims(need, Nil)
+		rt.evictVictims(need, Nil, rt.mem.NeedForSoft)
 	}
 }
 

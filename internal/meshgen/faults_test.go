@@ -1,0 +1,115 @@
+package meshgen
+
+import (
+	"testing"
+	"time"
+
+	"mrts/internal/cluster"
+	"mrts/internal/core"
+	"mrts/internal/storage"
+)
+
+// faultTestCluster builds a swapping 2-node cluster over memory-backed
+// stores with the given fault config and retry policy.
+func faultTestCluster(t *testing.T, fault *storage.FaultConfig, retry storage.RetryPolicy, onSwap func(int, core.SwapError)) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{
+		Nodes:       2,
+		MemBudget:   200_000, // tiny: blocks must swap, exercising the fault paths
+		Factory:     Factory,
+		Fault:       fault,
+		Retry:       retry,
+		OnSwapError: onSwap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// TestOUPDRTransientFaultsProduceIdenticalMesh is the tentpole acceptance
+// test: an out-of-core OUPDR run whose every store key fails twice before
+// succeeding must complete with exactly the fault-free element count — the
+// retry layer absorbs the faults and nothing is lost.
+func TestOUPDRTransientFaultsProduceIdenticalMesh(t *testing.T) {
+	cfg := UPDRConfig{Blocks: 4, TargetElements: 12000}
+	clean := faultTestCluster(t, nil, storage.RetryPolicy{}, nil)
+	want, err := RunOUPDR(clean, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Mem.Evictions == 0 {
+		t.Fatal("fault-free run never swapped; the budget must force eviction")
+	}
+
+	cl := faultTestCluster(t,
+		&storage.FaultConfig{Seed: 7, FailFirstGets: 2, FailFirstPuts: 2},
+		storage.RetryPolicy{MaxAttempts: 5, BaseDelay: 50 * time.Microsecond, MaxDelay: time.Millisecond},
+		nil)
+	got, err := RunOUPDR(cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Elements != want.Elements {
+		t.Errorf("transient faults changed the mesh: %d vs %d elements", got.Elements, want.Elements)
+	}
+	if !got.Conforming {
+		t.Error("interfaces no longer conform under transient faults")
+	}
+	s := cl.SwapStats()
+	if s.ObjectsLost != 0 || s.LoadFailures != 0 || s.StoreFailures != 0 {
+		t.Errorf("transient faults leaked into SwapStats: %+v", s)
+	}
+	if s.Retries == 0 {
+		t.Error("no retries recorded; the fault injection did not engage")
+	}
+	if m := cl.MemStats(); m.Retries != s.Retries {
+		t.Errorf("ooc stats retries %d != swap stats retries %d", m.Retries, s.Retries)
+	}
+}
+
+// TestOUPDRPermanentFaultsFailLoudly: with every reload failing permanently,
+// swapped-out blocks are lost — the run must surface non-zero ObjectsLost
+// and SwapError callbacks, and the cluster must still terminate.
+func TestOUPDRPermanentFaultsFailLoudly(t *testing.T) {
+	done := make(chan struct{}, 1)
+	cl := faultTestCluster(t,
+		&storage.FaultConfig{Seed: 7, GetFailProb: 1, Permanent: true},
+		storage.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond},
+		func(node int, e core.SwapError) {
+			select {
+			case done <- struct{}{}:
+			default:
+			}
+		})
+
+	res, err := RunOUPDR(cl, UPDRConfig{Blocks: 4, TargetElements: 12000})
+	s := cl.SwapStats()
+	if s.ObjectsLost == 0 || s.LoadFailures == 0 {
+		t.Fatalf("permanent faults were silent: %+v (err=%v)", s, err)
+	}
+	select {
+	case <-done:
+	default:
+		t.Error("OnSwapError never fired for a permanent fault")
+	}
+	// The run either reports fewer elements than a clean run would, or an
+	// explicit error — never a silent full result. (All blocks that meshed
+	// before eviction still count; the lost ones are the gap.)
+	if err == nil && res.Elements <= 0 {
+		t.Errorf("run returned no error and no elements: %+v", res)
+	}
+	var errs []core.SwapError
+	for _, rt := range cl.Runtimes() {
+		errs = append(errs, rt.SwapErrors()...)
+	}
+	if len(errs) == 0 {
+		t.Error("no SwapErrors recorded on any node")
+	}
+	for _, e := range errs {
+		if e.Op != core.SwapLoad || !e.Lost {
+			t.Errorf("unexpected swap error shape: %+v", e)
+		}
+	}
+}

@@ -102,6 +102,14 @@ type Stats struct {
 	MemUsed     int64
 	MemBudget   int64
 	PeakMemUsed int64
+
+	// Swap-path failure accounting, reported into the manager by the
+	// runtime (the ooc layer decides residency; the control layer observes
+	// the I/O outcomes).
+	LoadFailures  uint64 // loads that failed after retry (incl. decode)
+	StoreFailures uint64 // eviction writes that failed after retry
+	Retries       uint64 // transient I/O faults absorbed by the retry layer
+	ObjectsLost   uint64 // objects made unreachable by a failed load
 }
 
 // Manager is the residency manager for one node. It is safe for concurrent
@@ -117,6 +125,11 @@ type Manager struct {
 	largestStored int64 // largest object ever written to disk
 	evictions     uint64
 	loads         uint64
+
+	loadFailures  uint64
+	storeFailures uint64
+	retries       uint64
+	objectsLost   uint64
 }
 
 // NewManager returns a manager with the given configuration.
@@ -446,16 +459,48 @@ func (m *Manager) SuggestPrefetch(limit int) []ObjectID {
 	return out
 }
 
+// NoteLoadFailure records a load (or decode) that failed after retry.
+func (m *Manager) NoteLoadFailure() {
+	m.mu.Lock()
+	m.loadFailures++
+	m.mu.Unlock()
+}
+
+// NoteStoreFailure records an eviction write that failed after retry.
+func (m *Manager) NoteStoreFailure() {
+	m.mu.Lock()
+	m.storeFailures++
+	m.mu.Unlock()
+}
+
+// NoteObjectLost records an object made unreachable by a failed load.
+func (m *Manager) NoteObjectLost() {
+	m.mu.Lock()
+	m.objectsLost++
+	m.mu.Unlock()
+}
+
+// NoteRetries records n transient I/O faults absorbed by the retry layer.
+func (m *Manager) NoteRetries(n uint64) {
+	m.mu.Lock()
+	m.retries += n
+	m.mu.Unlock()
+}
+
 // Snapshot returns current statistics.
 func (m *Manager) Snapshot() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Stats{
-		Evictions:   m.evictions,
-		Loads:       m.loads,
-		MemUsed:     m.used,
-		MemBudget:   m.cfg.Budget,
-		PeakMemUsed: m.peak,
+		Evictions:     m.evictions,
+		Loads:         m.loads,
+		MemUsed:       m.used,
+		MemBudget:     m.cfg.Budget,
+		PeakMemUsed:   m.peak,
+		LoadFailures:  m.loadFailures,
+		StoreFailures: m.storeFailures,
+		Retries:       m.retries,
+		ObjectsLost:   m.objectsLost,
 	}
 	for _, e := range m.entries {
 		if e.inCore {
@@ -465,4 +510,12 @@ func (m *Manager) Snapshot() Stats {
 		}
 	}
 	return s
+}
+
+// String implements fmt.Stringer for the report printers.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"evictions %d loads %d in-core %d out-of-core %d mem %d/%d (peak %d) retries %d load-fail %d store-fail %d lost %d",
+		s.Evictions, s.Loads, s.InCore, s.OutOfCore, s.MemUsed, s.MemBudget, s.PeakMemUsed,
+		s.Retries, s.LoadFailures, s.StoreFailures, s.ObjectsLost)
 }

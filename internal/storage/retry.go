@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy configures transparent retry of failed store operations inside
+// the Async facade: transient I/O faults are absorbed with exponential
+// backoff and jitter before they ever reach the runtime's swap path.
+// Permanent errors (IsPermanent) are never retried.
+//
+// The zero value disables retry (a single attempt per operation).
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per operation, including the
+	// first. Values <= 1 mean a single attempt (no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. Zero means 500µs.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 50ms.
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic (0 is a valid fixed seed).
+	Seed int64
+	// OnRetry, when non-nil, observes every retry before its backoff sleep.
+	// attempt is the 1-based number of the attempt that just failed.
+	OnRetry func(key Key, attempt int, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 500 * time.Microsecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	return p
+}
+
+// retrier executes operations under a RetryPolicy and counts retries.
+type retrier struct {
+	p       RetryPolicy
+	mu      sync.Mutex
+	rng     *rand.Rand
+	retries atomic.Uint64
+}
+
+func newRetrier(p RetryPolicy) *retrier {
+	p = p.withDefaults()
+	return &retrier{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// jitter returns a duration in [d/2, d] ("equal jitter"), decorrelating
+// concurrent waiters without losing the exponential envelope.
+func (r *retrier) jitter(d time.Duration) time.Duration {
+	r.mu.Lock()
+	f := 0.5 + 0.5*r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// do runs op, retrying transient failures within the attempt budget.
+func (r *retrier) do(key Key, op func() error) error {
+	var err error
+	delay := r.p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || attempt >= r.p.MaxAttempts || IsPermanent(err) {
+			return err
+		}
+		r.retries.Add(1)
+		if r.p.OnRetry != nil {
+			r.p.OnRetry(key, attempt, err)
+		}
+		time.Sleep(r.jitter(delay))
+		delay *= 2
+		if delay > r.p.MaxDelay {
+			delay = r.p.MaxDelay
+		}
+	}
+}

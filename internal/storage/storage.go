@@ -73,7 +73,8 @@ var ErrClosed = errors.New("storage: async store closed")
 // the I/O queue's) and submission after Close fails cleanly instead of
 // racing the shutdown.
 type Async struct {
-	st Store
+	st    Store
+	retry *retrier
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -85,12 +86,21 @@ type Async struct {
 }
 
 // NewAsync returns an asynchronous facade over st with the given number of
-// I/O workers (<= 0 means 2, a typical per-node disk queue depth).
+// I/O workers (<= 0 means 2, a typical per-node disk queue depth) and no
+// retry (a single attempt per operation).
 func NewAsync(st Store, workers int) *Async {
+	return NewAsyncRetry(st, workers, RetryPolicy{})
+}
+
+// NewAsyncRetry is NewAsync with a retry policy: transient operation
+// failures are retried with exponential backoff + jitter inside the worker,
+// so they never surface to the runtime's swap path. Permanent errors
+// (IsPermanent) fail immediately.
+func NewAsyncRetry(st Store, workers int, policy RetryPolicy) *Async {
 	if workers <= 0 {
 		workers = 2
 	}
-	a := &Async{st: st}
+	a := &Async{st: st, retry: newRetrier(policy)}
 	a.cond = sync.NewCond(&a.mu)
 	a.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -145,12 +155,15 @@ func (a *Async) Store() Store { return a.st }
 // InFlight returns the number of operations submitted but not yet complete.
 func (a *Async) InFlight() int { return int(a.inFlight.Load()) }
 
+// Retries returns the cumulative count of retried operations.
+func (a *Async) Retries() uint64 { return a.retry.retries.Load() }
+
 // PutAsync schedules a background write.
 func (a *Async) PutAsync(key Key, data []byte) *AsyncResult {
 	r := &AsyncResult{done: make(chan struct{})}
 	a.inFlight.Add(1)
 	ok := a.submit(func() {
-		r.err = a.st.Put(key, data)
+		r.err = a.retry.do(key, func() error { return a.st.Put(key, data) })
 		a.inFlight.Add(-1)
 		close(r.done)
 	}, false)
@@ -167,7 +180,10 @@ func (a *Async) GetAsync(key Key) *AsyncResult {
 	r := &AsyncResult{done: make(chan struct{})}
 	a.inFlight.Add(1)
 	ok := a.submit(func() {
-		r.data, r.err = a.st.Get(key)
+		r.err = a.retry.do(key, func() error {
+			r.data, r.err = a.st.Get(key)
+			return r.err
+		})
 		a.inFlight.Add(-1)
 		close(r.done)
 	}, true)
@@ -304,21 +320,29 @@ func (s *LatencyStore) Put(key Key, data []byte) error {
 	return s.inner.Put(key, data)
 }
 
-// Get implements Store.
+// Get implements Store. A miss still costs one seek: the disk finds out a
+// block is absent only after positioning the head.
 func (s *LatencyStore) Get(key Key) ([]byte, error) {
 	d, err := s.inner.Get(key)
 	if err != nil {
+		s.delay(0)
 		return nil, err
 	}
 	s.delay(len(d))
 	return d, nil
 }
 
-// Delete implements Store.
-func (s *LatencyStore) Delete(key Key) error { return s.inner.Delete(key) }
+// Delete implements Store. Directory updates cost one seek.
+func (s *LatencyStore) Delete(key Key) error {
+	s.delay(0)
+	return s.inner.Delete(key)
+}
 
-// Has implements Store.
-func (s *LatencyStore) Has(key Key) bool { return s.inner.Has(key) }
+// Has implements Store. Probing the directory costs one seek.
+func (s *LatencyStore) Has(key Key) bool {
+	s.delay(0)
+	return s.inner.Has(key)
+}
 
 // Close implements Store.
 func (s *LatencyStore) Close() error { return s.inner.Close() }
