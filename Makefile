@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick examples clean
+.PHONY: all build vet test race bench bench-quick trace bench-json bench-baseline lint examples clean
 
 all: build vet test
 
@@ -26,6 +26,29 @@ bench:
 # One quick iteration of every experiment at reduced scale.
 bench-quick:
 	$(GO) run ./cmd/mrtsbench -exp all -scale 0.1
+
+# Capture a Perfetto-loadable event trace of one experiment
+# (override: make trace EXP=fig8 SCALE=0.25).
+EXP ?= tab4
+SCALE ?= 0.25
+trace:
+	$(GO) run ./cmd/mrtsbench -exp $(EXP) -scale $(SCALE) -trace trace_$(EXP).json
+	@echo "open trace_$(EXP).json at https://ui.perfetto.dev"
+
+# Machine-readable metrics for the whole evaluation.
+bench-json:
+	$(GO) run ./cmd/mrtsbench -exp all -scale $(SCALE) -json BENCH.json
+
+# Regenerate the CI benchmark-regression baseline (same config as the
+# bench-smoke job in .github/workflows/ci.yml; commit the result).
+bench-baseline:
+	$(GO) run ./cmd/mrtsbench -exp tab1,tab4,fig8,faults -scale 0.05 -pes 2 -json ci/bench-baseline.json
+
+# gofmt check (staticcheck additionally runs in CI, where installing the
+# pinned version is possible).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -20,6 +20,7 @@ import (
 	"mrts/internal/geom"
 	"mrts/internal/mesh"
 	"mrts/internal/meshgen"
+	"mrts/internal/obs"
 	"mrts/internal/ooc"
 	"mrts/internal/render"
 	"mrts/internal/trace"
@@ -36,6 +37,7 @@ func main() {
 		spool    = flag.String("spool", "", "spool directory for OOC storage (default: temp dir)")
 		quality  = flag.Float64("quality", 0, "radius-edge quality bound (0 = sqrt 2)")
 		svgPath  = flag.String("svg", "", "also render an equivalent sequential mesh to this SVG file")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (OOC methods; open in Perfetto)")
 	)
 	flag.Parse()
 
@@ -43,6 +45,13 @@ func main() {
 	ooM := strings.HasPrefix(m, "o") && m != "updr"
 	var res meshgen.Result
 	var err error
+	var sink *obs.TraceSink
+	if *traceOut != "" {
+		if !ooM {
+			fatalf("-trace requires an OOC method (the tracer lives in the runtime cluster)")
+		}
+		sink = obs.NewTraceSink(obs.DefaultCapacity)
+	}
 
 	if !ooM {
 		switch m {
@@ -81,6 +90,7 @@ func main() {
 			Policy:    ooc.Policy(*policy),
 			SpoolDir:  dir,
 			Factory:   meshgen.Factory,
+			Trace:     sink,
 		})
 		if cerr != nil {
 			fatalf("cluster: %v", cerr)
@@ -121,6 +131,20 @@ func main() {
 			r.Percent(trace.Comp), r.Percent(trace.Comm), r.Percent(trace.Disk), r.Overlap())
 		fmt.Printf("evictions %d  loads %d  peak mem %d KB\n",
 			res.Mem.Evictions, res.Mem.Loads, res.Mem.PeakMemUsed/1024)
+	}
+	if sink != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		if err := obs.WriteChromeTrace(f, sink.Tracers()...); err != nil {
+			f.Close()
+			fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("trace: %v", err)
+		}
+		fmt.Printf("wrote trace to %s (open at https://ui.perfetto.dev)\n", *traceOut)
 	}
 }
 

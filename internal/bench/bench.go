@@ -23,10 +23,24 @@ type Table struct {
 	Headers []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics carries the machine-readable counterpart of the rendered
+	// rows: named scalar results (speeds, overlaps, times) keyed by a
+	// stable "sz<configured-size>/<metric>" convention so runs at the same
+	// scale can be diffed. This is what BENCH_*.json and the CI
+	// benchmark-regression gate consume.
+	Metrics map[string]float64
 }
 
 // AddRow appends a row of already-formatted cells.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// SetMetric records a machine-readable scalar result.
+func (t *Table) SetMetric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[name] = v
+}
 
 // Fprint renders the table with aligned columns.
 func (t *Table) Fprint(w io.Writer) {

@@ -11,6 +11,7 @@ import (
 	"mrts/internal/comm"
 	"mrts/internal/core"
 	"mrts/internal/meshgen"
+	"mrts/internal/obs"
 	"mrts/internal/ooc"
 	"mrts/internal/sched"
 	"mrts/internal/storage"
@@ -25,6 +26,10 @@ type Options struct {
 	// PEs is the processing element count for the in-core runs and the
 	// node count for out-of-core clusters (0 = 4).
 	PEs int
+	// Trace, when non-nil, wires structured event tracing into every
+	// cluster the experiments build; the caller exports the sink to a
+	// Perfetto-loadable file afterwards (mrtsbench -trace).
+	Trace *obs.TraceSink
 }
 
 func (o Options) withDefaults() Options {
@@ -99,8 +104,10 @@ const bytesPerElement = 22
 // oocCluster builds a cluster for an out-of-core run: per-node memory
 // budget, a real file spool with a disk service-time model, and a modeled
 // network. The budget is expressed via inCoreElems: the number of elements
-// that fit in memory cluster-wide; larger problems must swap.
-func oocCluster(nodes, inCoreElems int, policy ooc.Policy, sched cluster.SchedulerKind, workers int) (*cluster.Cluster, func(), error) {
+// that fit in memory cluster-wide; larger problems must swap. trace (from
+// Options.Trace, may be nil) enables event tracing, with the node labels
+// prefixed by label.
+func oocCluster(nodes, inCoreElems int, policy ooc.Policy, sched cluster.SchedulerKind, workers int, trace *obs.TraceSink, label string) (*cluster.Cluster, func(), error) {
 	dir, err := os.MkdirTemp("", "mrts-bench-")
 	if err != nil {
 		return nil, nil, err
@@ -116,6 +123,8 @@ func oocCluster(nodes, inCoreElems int, policy ooc.Policy, sched cluster.Schedul
 		SpoolDir:       dir,
 		Scheduler:      sched,
 		Factory:        meshgen.Factory,
+		Trace:          trace,
+		TraceLabel:     label,
 		// Regime-matched models: the paper's clusters balanced ~30k
 		// elements/s/PE of meshing against ~50 MB/s disks. Modern CPUs
 		// mesh ~10x faster, so scaling the disk model by the same factor
@@ -178,7 +187,7 @@ func methodPair(id, title, method string, sizes []int, opts Options) (*Table, er
 	// soft swapping threshold: these figures measure pure control-layer
 	// overhead on in-core problem sizes, like the paper's small runs.
 	maxSize := sizes[len(sizes)-1]
-	cl, cleanup, err := oocCluster(opts.PEs, maxSize*6, ooc.LRU, cluster.WorkStealing, 1)
+	cl, cleanup, err := oocCluster(opts.PEs, maxSize*6, ooc.LRU, cluster.WorkStealing, 1, opts.Trace, id+"/")
 	if err != nil {
 		return nil, err
 	}
@@ -190,6 +199,9 @@ func methodPair(id, title, method string, sizes []int, opts Options) (*Table, er
 		}
 		over := float64(oc.Elapsed-in.Elapsed) / float64(in.Elapsed) * 100
 		t.AddRow(fmtK(in.Elements), fmtDur(in.Elapsed), fmtDur(oc.Elapsed), fmtPct(over))
+		t.SetMetric(fmt.Sprintf("sz%d/time_incore_sec", s), in.Elapsed.Seconds())
+		t.SetMetric(fmt.Sprintf("sz%d/time_ooc_sec", s), oc.Elapsed.Seconds())
+		t.SetMetric(fmt.Sprintf("sz%d/overhead_pct", s), over)
 	}
 	return t, nil
 }
@@ -252,7 +264,8 @@ func oocScaling(id, title, method string, sizes []int, inCoreElems int, opts Opt
 		},
 	}
 	for _, s := range sizes {
-		cl, cleanup, err := oocCluster(opts.PEs, inCoreElems, ooc.LRU, cluster.WorkStealing, 1)
+		cl, cleanup, err := oocCluster(opts.PEs, inCoreElems, ooc.LRU, cluster.WorkStealing, 1,
+			opts.Trace, fmt.Sprintf("%s/sz%d/", id, s))
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +288,9 @@ func oocScaling(id, title, method string, sizes []int, inCoreElems int, opts Opt
 		}
 		t.AddRow(fmtK(res.Elements), fmtDur(res.Elapsed), perElem.String(),
 			fmtInt(int(res.Mem.Evictions)), fmtPct(res.Report.Percent(trace.Disk)))
+		t.SetMetric(fmt.Sprintf("sz%d/time_sec", s), res.Elapsed.Seconds())
+		t.SetMetric(fmt.Sprintf("sz%d/disk_pct", s), res.Report.Percent(trace.Disk))
+		t.SetMetric(fmt.Sprintf("sz%d/evictions", s), float64(res.Mem.Evictions))
 	}
 	return t, nil
 }
@@ -313,7 +329,7 @@ func speedTable(id, title, method string, sizes []int, opts Options) (*Table, er
 		Notes:   []string{"Speed = S/(T×N) in elements/sec/PE; the paper's point is that it stays ~constant"},
 	}
 	maxSize := sizes[len(sizes)-1]
-	cl, cleanup, err := oocCluster(opts.PEs, maxSize/2, ooc.LRU, cluster.WorkStealing, 1)
+	cl, cleanup, err := oocCluster(opts.PEs, maxSize/2, ooc.LRU, cluster.WorkStealing, 1, opts.Trace, id+"/")
 	if err != nil {
 		return nil, err
 	}
@@ -325,6 +341,8 @@ func speedTable(id, title, method string, sizes []int, opts Options) (*Table, er
 		}
 		t.AddRow(fmtK(in.Elements), fmtDur(in.Elapsed), fmtSpeed(in.Speed()),
 			fmtDur(oc.Elapsed), fmtSpeed(oc.Speed()))
+		t.SetMetric(fmt.Sprintf("sz%d/speed_incore", s), in.Speed())
+		t.SetMetric(fmt.Sprintf("sz%d/speed_ooc", s), oc.Speed())
 	}
 	return t, nil
 }
@@ -356,7 +374,8 @@ func overlapTable(id, title, method string, sizes []int, opts Options) (*Table, 
 		Notes:   []string{"paper: overlap exceeds 50% (up to 62%) on large out-of-core problems"},
 	}
 	for _, s := range sizes {
-		cl, cleanup, err := oocCluster(opts.PEs, s/3, ooc.LRU, cluster.WorkStealing, 1)
+		cl, cleanup, err := oocCluster(opts.PEs, s/3, ooc.LRU, cluster.WorkStealing, 1,
+			opts.Trace, fmt.Sprintf("%s/sz%d/", id, s))
 		if err != nil {
 			return nil, err
 		}
@@ -376,6 +395,10 @@ func overlapTable(id, title, method string, sizes []int, opts Options) (*Table, 
 		r := res.Report
 		t.AddRow(fmtK(res.Elements), fmtPct(r.Percent(trace.Comp)), fmtPct(r.Percent(trace.Comm)),
 			fmtPct(r.Percent(trace.Disk)), fmtPct(r.Overlap()))
+		t.SetMetric(fmt.Sprintf("sz%d/comp_pct", s), r.Percent(trace.Comp))
+		t.SetMetric(fmt.Sprintf("sz%d/comm_pct", s), r.Percent(trace.Comm))
+		t.SetMetric(fmt.Sprintf("sz%d/disk_pct", s), r.Percent(trace.Disk))
+		t.SetMetric(fmt.Sprintf("sz%d/overlap_pct", s), r.Overlap())
 	}
 	return t, nil
 }
@@ -411,23 +434,25 @@ func Table7(opts Options) (*Table, error) {
 	sizes := []int{opts.size(40000), opts.size(80000), opts.size(160000)}
 	for _, s := range sizes {
 		for _, kind := range []cluster.SchedulerKind{cluster.WorkStealing, cluster.GlobalQueue} {
-			t1, err := onupdrTime(s, kind, 1)
+			t1, err := onupdrTime(s, kind, 1, opts.Trace)
 			if err != nil {
 				return nil, err
 			}
-			t4, err := onupdrTime(s, kind, 4)
+			t4, err := onupdrTime(s, kind, 4, opts.Trace)
 			if err != nil {
 				return nil, err
 			}
 			t.AddRow(fmtK(s), string(kind), fmtDur(t1), fmtDur(t4),
 				fmt.Sprintf("%.2f", t1.Seconds()/t4.Seconds()))
+			t.SetMetric(fmt.Sprintf("sz%d/%s/speedup", s, kind), t1.Seconds()/t4.Seconds())
 		}
 	}
 	return t, nil
 }
 
-func onupdrTime(size int, kind cluster.SchedulerKind, workers int) (time.Duration, error) {
-	cl, cleanup, err := oocCluster(1, size*6, ooc.LRU, kind, workers)
+func onupdrTime(size int, kind cluster.SchedulerKind, workers int, sink *obs.TraceSink) (time.Duration, error) {
+	cl, cleanup, err := oocCluster(1, size*6, ooc.LRU, kind, workers,
+		sink, fmt.Sprintf("tab7/%s/w%d/", kind, workers))
 	if err != nil {
 		return 0, err
 	}
@@ -460,7 +485,8 @@ func Policies(opts Options) (*Table, error) {
 	}
 	size := opts.size(80000)
 	for _, p := range ooc.Policies() {
-		cl, cleanup, err := oocCluster(opts.PEs, size/3, p, cluster.WorkStealing, 1)
+		cl, cleanup, err := oocCluster(opts.PEs, size/3, p, cluster.WorkStealing, 1,
+			opts.Trace, fmt.Sprintf("policies/%s/", p))
 		if err != nil {
 			return nil, err
 		}
@@ -470,6 +496,7 @@ func Policies(opts Options) (*Table, error) {
 			return nil, err
 		}
 		t.AddRow("opcdm/"+string(p), fmtDur(res.Elapsed), fmtInt(int(res.Mem.Evictions)), fmtInt(int(res.Mem.Loads)))
+		t.SetMetric(fmt.Sprintf("sz%d/%s/time_sec", size, p), res.Elapsed.Seconds())
 	}
 	// A skewed synthetic access pattern (a hot working set with a long
 	// cold tail) separates the policies more sharply than PCDM's wave
@@ -674,10 +701,13 @@ func RemoteMem(opts Options) (*Table, error) {
 				RemoteMemory: true,
 				Factory:      meshgen.Factory,
 				Network:      comm.LatencyModel{Latency: 200 * time.Microsecond, BytesPerSec: 100 << 20},
+				Trace:        opts.Trace,
+				TraceLabel:   "remotemem/remote/",
 			})
 			cleanup = func() { cl.Close() }
 		} else {
-			cl, cleanup, err = oocCluster(opts.PEs, size/3, ooc.LRU, cluster.WorkStealing, 1)
+			cl, cleanup, err = oocCluster(opts.PEs, size/3, ooc.LRU, cluster.WorkStealing, 1,
+				opts.Trace, "remotemem/disk/")
 		}
 		if err != nil {
 			return nil, err
@@ -692,6 +722,11 @@ func RemoteMem(opts Options) (*Table, error) {
 			medium = "remote memory"
 		}
 		t.AddRow(medium, fmtDur(res.Elapsed), fmtInt(int(res.Mem.Evictions)), fmtInt(int(res.Mem.Loads)))
+		if remote {
+			t.SetMetric(fmt.Sprintf("sz%d/time_remote_sec", size), res.Elapsed.Seconds())
+		} else {
+			t.SetMetric(fmt.Sprintf("sz%d/time_disk_sec", size), res.Elapsed.Seconds())
+		}
 	}
 	return t, nil
 }

@@ -8,13 +8,14 @@ import (
 	"mrts/internal/cluster"
 	"mrts/internal/comm"
 	"mrts/internal/meshgen"
+	"mrts/internal/obs"
 	"mrts/internal/ooc"
 	"mrts/internal/storage"
 )
 
 // faultCluster builds an out-of-core cluster like oocCluster, but with a
 // fault-injecting store and a retry policy on every node.
-func faultCluster(nodes, inCoreElems int, fault *storage.FaultConfig, retry storage.RetryPolicy) (*cluster.Cluster, func(), error) {
+func faultCluster(nodes, inCoreElems int, fault *storage.FaultConfig, retry storage.RetryPolicy, sink *obs.TraceSink, label string) (*cluster.Cluster, func(), error) {
 	dir, err := os.MkdirTemp("", "mrts-faults-")
 	if err != nil {
 		return nil, nil, err
@@ -30,6 +31,8 @@ func faultCluster(nodes, inCoreElems int, fault *storage.FaultConfig, retry stor
 		Disk:           storage.DiskModel{Seek: 600 * time.Microsecond, BytesPerSec: 150 << 20},
 		Fault:          fault,
 		Retry:          retry,
+		Trace:          sink,
+		TraceLabel:     label,
 	})
 	if err != nil {
 		os.RemoveAll(dir)
@@ -91,7 +94,8 @@ func Faults(opts Options) (*Table, error) {
 
 	baseline := -1
 	for _, r := range runs {
-		cl, cleanup, err := faultCluster(opts.PEs, budget, r.fault, r.retry)
+		cl, cleanup, err := faultCluster(opts.PEs, budget, r.fault, r.retry,
+			opts.Trace, "faults/"+r.name+"/")
 		if err != nil {
 			return nil, err
 		}
@@ -127,6 +131,8 @@ func Faults(opts Options) (*Table, error) {
 		t.AddRow(r.name, fmtInt(elements), fmtInt(int(stats.Retries)),
 			fmtInt(int(stats.LoadFailures)), fmtInt(int(stats.StoreFailures)),
 			fmtInt(int(stats.ObjectsLost)), status)
+		t.SetMetric(fmt.Sprintf("sz%d/%s/elements", size, r.name), float64(elements))
+		t.SetMetric(fmt.Sprintf("sz%d/%s/objects_lost", size, r.name), float64(stats.ObjectsLost))
 	}
 	return t, nil
 }

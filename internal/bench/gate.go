@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GateConfig sets the tolerances for the benchmark-regression gate. The gate
+// only checks metrics that can regress in one interesting direction:
+//
+//   - */speed_*: throughput (elements/sec/PE) may not drop below
+//     baseline×SpeedTol — a relative lower bound, loose enough to absorb the
+//     machine-to-machine spread of CI runners but tight enough that a
+//     deliberate slowdown (a sleep in the swap path, a lost overlap) trips it.
+//   - */overlap_pct: the paper's headline quality metric may not drop more
+//     than OverlapTol absolute percentage points below baseline (overlap near
+//     zero makes relative bounds meaningless).
+//   - */time_*: wall times may not exceed baseline×TimeTol.
+//
+// Everything else in the documents (evictions, element counts, breakdown
+// percentages) is informational and not gated.
+type GateConfig struct {
+	// SpeedTol is the relative lower bound for speed metrics
+	// (current >= baseline*SpeedTol). 0 means the default 0.6.
+	SpeedTol float64
+	// OverlapTol is the allowed absolute drop, in percentage points, for
+	// overlap_pct metrics. 0 means the default 25.
+	OverlapTol float64
+	// TimeTol is the relative upper bound for time metrics
+	// (current <= baseline*TimeTol). 0 means the default 1.8.
+	TimeTol float64
+}
+
+func (g GateConfig) withDefaults() GateConfig {
+	if g.SpeedTol <= 0 {
+		g.SpeedTol = 0.6
+	}
+	if g.OverlapTol <= 0 {
+		g.OverlapTol = 25
+	}
+	if g.TimeTol <= 0 {
+		g.TimeTol = 1.8
+	}
+	return g
+}
+
+// Compare checks current against baseline and returns one human-readable
+// violation string per regression (empty slice = gate passes). A shape
+// mismatch (different scale or PEs) or a baseline metric missing from the
+// current run is itself a violation: silently comparing different runs would
+// make the gate pass vacuously.
+func Compare(baseline, current *Doc, cfg GateConfig) []string {
+	cfg = cfg.withDefaults()
+	var out []string
+	if baseline.Scale != current.Scale || baseline.PEs != current.PEs {
+		out = append(out, fmt.Sprintf(
+			"run shape mismatch: baseline scale=%g pes=%d, current scale=%g pes=%d",
+			baseline.Scale, baseline.PEs, current.Scale, current.PEs))
+		return out
+	}
+	for _, id := range baseline.ExperimentIDs() {
+		base := baseline.Experiments[id]
+		cur := current.Experiments[id]
+		if cur == nil {
+			out = append(out, fmt.Sprintf("%s: experiment missing from current run", id))
+			continue
+		}
+		keys := make([]string, 0, len(base))
+		for k := range base {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			want := base[k]
+			got, ok := cur[k]
+			kind := metricKind(k)
+			if kind == gateSkip {
+				continue
+			}
+			if !ok {
+				out = append(out, fmt.Sprintf("%s: %s missing from current run", id, k))
+				continue
+			}
+			switch kind {
+			case gateSpeed:
+				if floor := want * cfg.SpeedTol; got < floor {
+					out = append(out, fmt.Sprintf(
+						"%s: %s regressed: %.1f < %.1f (baseline %.1f × tol %.2f)",
+						id, k, got, floor, want, cfg.SpeedTol))
+				}
+			case gateOverlap:
+				if floor := want - cfg.OverlapTol; got < floor {
+					out = append(out, fmt.Sprintf(
+						"%s: %s regressed: %.1f%% < %.1f%% (baseline %.1f%% − %.0f pts)",
+						id, k, got, floor, want, cfg.OverlapTol))
+				}
+			case gateTime:
+				if ceil := want * cfg.TimeTol; got > ceil {
+					out = append(out, fmt.Sprintf(
+						"%s: %s regressed: %.3fs > %.3fs (baseline %.3fs × tol %.2f)",
+						id, k, got, ceil, want, cfg.TimeTol))
+				}
+			}
+		}
+	}
+	return out
+}
+
+type gateKind int
+
+const (
+	gateSkip gateKind = iota
+	gateSpeed
+	gateOverlap
+	gateTime
+)
+
+// metricKind classifies a metric name ("sz40000/speed_ooc" etc.) into the
+// bound the gate applies to it.
+func metricKind(name string) gateKind {
+	leaf := name
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		leaf = name[i+1:]
+	}
+	switch {
+	case strings.HasPrefix(leaf, "speed_"):
+		return gateSpeed
+	case leaf == "overlap_pct":
+		return gateOverlap
+	case strings.HasPrefix(leaf, "time_") && strings.HasSuffix(leaf, "_sec"):
+		return gateTime
+	default:
+		return gateSkip
+	}
+}

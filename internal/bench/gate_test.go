@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func docPair() (*Doc, *Doc) {
+	mk := func() *Doc {
+		d := NewDoc(Options{Scale: 0.1, PEs: 2})
+		d.Experiments["tab1"] = map[string]float64{
+			"sz2000/speed_incore": 30000,
+			"sz2000/speed_ooc":    25000,
+		}
+		d.Experiments["tab4"] = map[string]float64{
+			"sz4000/overlap_pct": 55,
+			"sz4000/comp_pct":    80,
+		}
+		d.Experiments["fig8"] = map[string]float64{
+			"sz3000/time_sec":  1.0,
+			"sz3000/evictions": 120,
+		}
+		return d
+	}
+	return mk(), mk()
+}
+
+func TestGatePassesOnIdenticalRuns(t *testing.T) {
+	base, cur := docPair()
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("identical runs must pass, got %v", v)
+	}
+}
+
+func TestGateToleratesNoise(t *testing.T) {
+	base, cur := docPair()
+	cur.Experiments["tab1"]["sz2000/speed_ooc"] = 25000 * 0.7 // within 0.6 floor
+	cur.Experiments["tab4"]["sz4000/overlap_pct"] = 55 - 20   // within 25-pt drop
+	cur.Experiments["fig8"]["sz3000/time_sec"] = 1.5          // within 1.8× ceiling
+	cur.Experiments["fig8"]["sz3000/evictions"] = 9999        // ungated
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("noisy-but-tolerable run must pass, got %v", v)
+	}
+}
+
+func TestGateCatchesSpeedRegression(t *testing.T) {
+	base, cur := docPair()
+	cur.Experiments["tab1"]["sz2000/speed_ooc"] = 25000 * 0.5
+	v := Compare(base, cur, GateConfig{})
+	if len(v) != 1 || !strings.Contains(v[0], "speed_ooc") {
+		t.Fatalf("want one speed violation, got %v", v)
+	}
+}
+
+func TestGateCatchesOverlapAndTimeRegression(t *testing.T) {
+	base, cur := docPair()
+	cur.Experiments["tab4"]["sz4000/overlap_pct"] = 5
+	cur.Experiments["fig8"]["sz3000/time_sec"] = 5.0
+	v := Compare(base, cur, GateConfig{})
+	if len(v) != 2 {
+		t.Fatalf("want overlap + time violations, got %v", v)
+	}
+}
+
+func TestGateRejectsShapeMismatch(t *testing.T) {
+	base, cur := docPair()
+	cur.PEs = 4
+	v := Compare(base, cur, GateConfig{})
+	if len(v) != 1 || !strings.Contains(v[0], "shape mismatch") {
+		t.Fatalf("want shape-mismatch violation, got %v", v)
+	}
+}
+
+func TestGateRejectsMissingMetricsAndExperiments(t *testing.T) {
+	base, cur := docPair()
+	delete(cur.Experiments["tab1"], "sz2000/speed_ooc")
+	delete(cur.Experiments, "fig8")
+	v := Compare(base, cur, GateConfig{})
+	if len(v) != 2 {
+		t.Fatalf("want missing-metric + missing-experiment violations, got %v", v)
+	}
+}
+
+func TestDocRoundTrip(t *testing.T) {
+	base, _ := docPair()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := base.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Compare(base, got, GateConfig{}); len(v) != 0 {
+		t.Fatalf("round-tripped doc must compare clean, got %v", v)
+	}
+	var buf bytes.Buffer
+	if err := base.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("WriteJSON must emit valid JSON")
+	}
+}
+
+func TestDocAddCollectsTableMetrics(t *testing.T) {
+	d := NewDoc(Options{})
+	tab := &Table{ID: "tab1"}
+	tab.SetMetric("sz100/speed_ooc", 42)
+	d.Add(tab)
+	d.Add(&Table{ID: "empty"}) // no metrics → no entry
+	if got := d.Experiments["tab1"]["sz100/speed_ooc"]; got != 42 {
+		t.Fatalf("metric not collected: %v", d.Experiments)
+	}
+	if _, ok := d.Experiments["empty"]; ok {
+		t.Fatal("metric-less table must not create an entry")
+	}
+}

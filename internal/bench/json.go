@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// DocSchema versions the BENCH_*.json layout; bump on incompatible change.
+const DocSchema = 1
+
+// Doc is the machine-readable result of one harness invocation: every
+// experiment's Table.Metrics keyed by experiment ID, plus the options that
+// shaped the run (the gate refuses to compare runs with different shapes).
+type Doc struct {
+	Schema      int                           `json:"schema"`
+	Scale       float64                       `json:"scale"`
+	PEs         int                           `json:"pes"`
+	Experiments map[string]map[string]float64 `json:"experiments"`
+}
+
+// NewDoc starts an empty document for the given options.
+func NewDoc(opts Options) *Doc {
+	opts = opts.withDefaults()
+	return &Doc{
+		Schema:      DocSchema,
+		Scale:       opts.Scale,
+		PEs:         opts.PEs,
+		Experiments: make(map[string]map[string]float64),
+	}
+}
+
+// Add records one experiment's metrics (no-op when the table carries none).
+func (d *Doc) Add(t *Table) {
+	if t == nil || len(t.Metrics) == 0 {
+		return
+	}
+	m := d.Experiments[t.ID]
+	if m == nil {
+		m = make(map[string]float64, len(t.Metrics))
+		d.Experiments[t.ID] = m
+	}
+	for k, v := range t.Metrics {
+		m[k] = v
+	}
+}
+
+// WriteJSON emits the document as indented JSON (keys sorted by
+// encoding/json) with a trailing newline.
+func (d *Doc) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile writes the document to path.
+func (d *Doc) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadDoc loads a BENCH_*.json document.
+func ReadDoc(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if d.Schema != DocSchema {
+		return nil, fmt.Errorf("bench: %s: schema %d, want %d", path, d.Schema, DocSchema)
+	}
+	return &d, nil
+}
+
+// ExperimentIDs returns the document's experiment IDs sorted.
+func (d *Doc) ExperimentIDs() []string {
+	ids := make([]string, 0, len(d.Experiments))
+	for id := range d.Experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

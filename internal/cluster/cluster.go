@@ -13,6 +13,7 @@ import (
 
 	"mrts/internal/comm"
 	"mrts/internal/core"
+	"mrts/internal/obs"
 	"mrts/internal/ooc"
 	"mrts/internal/remotemem"
 	"mrts/internal/sched"
@@ -71,17 +72,26 @@ type Config struct {
 	// OnSwapError, when non-nil, is installed on every node and receives
 	// swap-path failures that survived the retry budget.
 	OnSwapError func(node int, e core.SwapError)
+	// Trace, when non-nil, enables structured event tracing: every node
+	// draws a tracer from this sink (so timelines across nodes — and
+	// across clusters sharing the sink — align), installed on the node's
+	// endpoint, task pool and runtime. Export with obs.WriteChromeTrace.
+	Trace *obs.TraceSink
+	// TraceLabel prefixes the per-node tracer labels (e.g. "fig8/" makes
+	// "fig8/node0"), distinguishing clusters that share one sink.
+	TraceLabel string
 }
 
 // Cluster is a set of wired MRTS nodes.
 type Cluster struct {
-	cfg    Config
-	tr     *comm.InProcTransport
-	pools  []sched.Pool
-	rts    []*core.Runtime
-	cols   []*trace.Collector
-	memsrv *remotemem.Server
-	start  time.Time
+	cfg     Config
+	tr      *comm.InProcTransport
+	pools   []sched.Pool
+	rts     []*core.Runtime
+	cols    []*trace.Collector
+	tracers []*obs.Tracer
+	memsrv  *remotemem.Server
+	start   time.Time
 }
 
 // New builds and starts a cluster.
@@ -133,6 +143,12 @@ func New(cfg Config) (*Cluster, error) {
 			fc.Seed += int64(i) * 7919
 			st = storage.NewFault(st, fc)
 		}
+		var tracer *obs.Tracer
+		if cfg.Trace != nil {
+			tracer = cfg.Trace.NewTracer(fmt.Sprintf("%snode%d", cfg.TraceLabel, i))
+			pool.SetTracer(tracer)
+			c.tr.Endpoint(comm.NodeID(i)).SetTracer(tracer)
+		}
 		col := trace.NewCollector()
 		var commDelay func(int) time.Duration
 		if cfg.Network.Latency > 0 || cfg.Network.BytesPerSec > 0 {
@@ -158,12 +174,14 @@ func New(cfg Config) (*Cluster, error) {
 			Retry:       cfg.Retry,
 			OnSwapError: onSwapError,
 			Collector:   col,
+			Tracer:      tracer,
 			CommDelay:   commDelay,
 			DiskDelay:   diskDelay,
 		})
 		c.pools = append(c.pools, pool)
 		c.rts = append(c.rts, rt)
 		c.cols = append(c.cols, col)
+		c.tracers = append(c.tracers, tracer)
 	}
 	return c, nil
 }
@@ -217,6 +235,40 @@ func (c *Cluster) MemStats() ooc.Stats {
 		out.ObjectsLost += s.ObjectsLost
 	}
 	return out
+}
+
+// Tracers returns the per-node event tracers (nil entries when the
+// cluster was built without a TraceSink).
+func (c *Cluster) Tracers() []*obs.Tracer { return c.tracers }
+
+// PublishMetrics registers every node's runtime metrics into reg under
+// "node<i>." prefixes, plus cluster-level aggregates under "cluster.".
+// This is the unified registry view: one snapshot covers the trace
+// collectors, the ooc layer and the swap-failure counters of all nodes.
+func (c *Cluster) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for i, rt := range c.rts {
+		rt.PublishMetrics(reg, fmt.Sprintf("node%d.", i))
+	}
+	reg.Gauge("cluster.nodes", func() float64 { return float64(len(c.rts)) })
+	reg.Gauge("cluster.pes", func() float64 { return float64(c.PEs()) })
+	reg.Gauge("cluster.evictions", func() float64 { return float64(c.MemStats().Evictions) })
+	reg.Gauge("cluster.loads", func() float64 { return float64(c.MemStats().Loads) })
+	reg.Gauge("cluster.retries", func() float64 { return float64(c.SwapStats().Retries) })
+	reg.Gauge("cluster.objects_lost", func() float64 { return float64(c.SwapStats().ObjectsLost) })
+	reg.Gauge("cluster.overlap_pct", func() float64 { return c.Report().Overlap() })
+	reg.Gauge("cluster.disk_pct", func() float64 { return c.Report().Percent(trace.Disk) })
+}
+
+// Metrics returns a one-shot unified snapshot of the cluster's metrics, a
+// convenience wrapper over PublishMetrics for harness code that does not
+// keep a registry around.
+func (c *Cluster) Metrics() obs.Snapshot {
+	reg := obs.NewRegistry()
+	c.PublishMetrics(reg)
+	return reg.Snapshot()
 }
 
 // SwapStats aggregates the swap-failure statistics across nodes.

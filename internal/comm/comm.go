@@ -20,6 +20,8 @@ package comm
 import (
 	"errors"
 	"sync/atomic"
+
+	"mrts/internal/obs"
 )
 
 // NodeID identifies a node.
@@ -54,6 +56,10 @@ type Endpoint interface {
 	Close() error
 	// Stats returns a snapshot of this endpoint's counters.
 	Stats() Stats
+	// SetTracer installs a structured event tracer: sends are recorded as
+	// comm.send instants, handler dispatches as comm.deliver spans. A nil
+	// tracer (the default) disables recording. Safe to call at any time.
+	SetTracer(tr *obs.Tracer)
 }
 
 // Transport wires a set of endpoints together.

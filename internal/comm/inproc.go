@@ -3,7 +3,10 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"mrts/internal/obs"
 )
 
 // LatencyModel describes the simulated network cost of a message. The
@@ -39,9 +42,10 @@ type item struct {
 // inboxes); the paper's runtime queues application messages without bound
 // and relies on the out-of-core layer for memory pressure.
 type inprocEndpoint struct {
-	id    NodeID
-	tr    *InProcTransport
-	stats statCounters
+	id     NodeID
+	tr     *InProcTransport
+	stats  statCounters
+	tracer atomic.Pointer[obs.Tracer]
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -121,6 +125,7 @@ func (e *inprocEndpoint) Send(to NodeID, handler uint32, payload []byte) error {
 	dst.mu.Unlock()
 	e.stats.msgsSent.Add(1)
 	e.stats.bytesSent.Add(uint64(len(payload)))
+	e.tracer.Load().Emit(obs.KindCommSend, uint64(handler), int64(len(payload)))
 	return nil
 }
 
@@ -148,10 +153,15 @@ func (e *inprocEndpoint) dispatch() {
 		e.stats.msgsReceived.Add(1)
 		e.stats.bytesReceived.Add(uint64(len(it.msg.Payload)))
 		if h != nil {
+			sp := e.tracer.Load().Start(obs.KindCommDeliver, uint64(it.msg.Handler))
 			h(it.msg)
+			sp.End(int64(len(it.msg.Payload)))
 		}
 	}
 }
+
+// SetTracer implements Endpoint.
+func (e *inprocEndpoint) SetTracer(tr *obs.Tracer) { e.tracer.Store(tr) }
 
 func (e *inprocEndpoint) Close() error {
 	e.mu.Lock()

@@ -7,6 +7,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+
+	"mrts/internal/obs"
 )
 
 // TCPTransport connects n endpoints over real loopback TCP sockets: one
@@ -20,10 +23,11 @@ type TCPTransport struct {
 }
 
 type tcpEndpoint struct {
-	id    NodeID
-	tr    *TCPTransport
-	ln    net.Listener
-	stats statCounters
+	id     NodeID
+	tr     *TCPTransport
+	ln     net.Listener
+	stats  statCounters
+	tracer atomic.Pointer[obs.Tracer]
 
 	hmu      sync.RWMutex
 	handlers map[uint32]Handler
@@ -203,10 +207,15 @@ func (e *tcpEndpoint) dispatch() {
 		h := e.handlers[m.Handler]
 		e.hmu.RUnlock()
 		if h != nil {
+			sp := e.tracer.Load().Start(obs.KindCommDeliver, uint64(m.Handler))
 			h(m)
+			sp.End(int64(len(m.Payload)))
 		}
 	}
 }
+
+// SetTracer implements Endpoint.
+func (e *tcpEndpoint) SetTracer(tr *obs.Tracer) { e.tracer.Store(tr) }
 
 func (e *tcpEndpoint) connTo(to NodeID) (*tcpConn, error) {
 	e.cmu.Lock()
@@ -240,6 +249,7 @@ func (e *tcpEndpoint) Send(to NodeID, handler uint32, payload []byte) error {
 		if !e.inbox.push(Message{From: e.id, Handler: handler, Payload: payload}) {
 			return ErrClosed
 		}
+		e.tracer.Load().Emit(obs.KindCommSend, uint64(handler), int64(len(payload)))
 		return nil
 	}
 	tc, err := e.connTo(to)
@@ -263,6 +273,7 @@ func (e *tcpEndpoint) Send(to NodeID, handler uint32, payload []byte) error {
 	}
 	e.stats.msgsSent.Add(1)
 	e.stats.bytesSent.Add(uint64(len(payload)))
+	e.tracer.Load().Emit(obs.KindCommSend, uint64(handler), int64(len(payload)))
 	return nil
 }
 

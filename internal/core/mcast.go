@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"mrts/internal/comm"
+	"mrts/internal/obs"
 )
 
 // wireMcast carries a multicast mobile message to its collection node.
@@ -142,6 +143,7 @@ func (rt *Runtime) startMcast(ptrs []MobilePtr, deliver int, h HandlerID, arg []
 		t.byPtr[p][e.id] = true
 	}
 	t.mu.Unlock()
+	rt.tracer.Emit(obs.KindMcastStart, e.id, int64(len(ptrs)))
 
 	// Kick every pointer: local ones may already satisfy the condition;
 	// remote ones are pulled here.
@@ -192,6 +194,7 @@ func (t *mcastTable) objectArrived(rt *Runtime, ptr MobilePtr) {
 	t.mu.Unlock()
 
 	for _, e := range completed {
+		rt.tracer.Emit(obs.KindMcastDeliver, e.id, int64(e.deliver))
 		for i := 0; i < e.deliver; i++ {
 			rt.Post(e.ptrs[i], e.h, e.arg)
 		}
@@ -233,6 +236,7 @@ func (t *mcastTable) objectLost(rt *Runtime, ptr MobilePtr) {
 	t.mu.Unlock()
 
 	for _, e := range cancelled {
+		rt.tracer.Emit(obs.KindMcastCancel, e.id, int64(len(e.ptrs)))
 		for _, p := range e.pinned {
 			rt.mem.Unlock(oid(p))
 		}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"mrts/internal/obs"
+)
+
+// PublishMetrics registers this runtime's observable state into reg under
+// the given prefix (e.g. "node0."). It subsumes the three accounting
+// surfaces that grew separately — trace.Collector (comp/comm/disk time),
+// ooc.Stats (residency and swap counts) and SwapStats (failure/retry
+// counters) — plus the transport and directory counters, behind the
+// registry's uniform snapshot/delta semantics. Gauges read live state, so
+// one registration covers the whole run.
+func (rt *Runtime) PublishMetrics(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	// trace.Collector: category times in seconds plus the derived overlap.
+	if col := rt.col; col != nil {
+		reg.Gauge(prefix+"time.comp_sec", func() float64 { return col.Report().Comp.Seconds() })
+		reg.Gauge(prefix+"time.comm_sec", func() float64 { return col.Report().Comm.Seconds() })
+		reg.Gauge(prefix+"time.disk_sec", func() float64 { return col.Report().Disk.Seconds() })
+		reg.Gauge(prefix+"time.total_sec", func() float64 { return col.Report().Total.Seconds() })
+		reg.Gauge(prefix+"time.overlap_pct", func() float64 { return col.Report().Overlap() })
+	}
+	// ooc.Stats via the residency manager.
+	mem := rt.mem
+	reg.Gauge(prefix+"ooc.evictions", func() float64 { return float64(mem.Snapshot().Evictions) })
+	reg.Gauge(prefix+"ooc.loads", func() float64 { return float64(mem.Snapshot().Loads) })
+	reg.Gauge(prefix+"ooc.in_core", func() float64 { return float64(mem.Snapshot().InCore) })
+	reg.Gauge(prefix+"ooc.out_of_core", func() float64 { return float64(mem.Snapshot().OutOfCore) })
+	reg.Gauge(prefix+"ooc.mem_used", func() float64 { return float64(mem.MemUsed()) })
+	reg.Gauge(prefix+"ooc.mem_budget", func() float64 { return float64(mem.Budget()) })
+	reg.Gauge(prefix+"ooc.mem_peak", func() float64 { return float64(mem.Snapshot().PeakMemUsed) })
+	// SwapStats: the hardened swap path's failure surface.
+	reg.Gauge(prefix+"swap.retries", func() float64 { return float64(rt.SwapStats().Retries) })
+	reg.Gauge(prefix+"swap.load_failures", func() float64 { return float64(rt.SwapStats().LoadFailures) })
+	reg.Gauge(prefix+"swap.store_failures", func() float64 { return float64(rt.SwapStats().StoreFailures) })
+	reg.Gauge(prefix+"swap.objects_lost", func() float64 { return float64(rt.SwapStats().ObjectsLost) })
+	// Control-layer message accounting and directory behaviour.
+	reg.Gauge(prefix+"msg.work", func() float64 { return float64(rt.Work()) })
+	reg.Gauge(prefix+"msg.sent", func() float64 { return float64(rt.SentCount()) })
+	reg.Gauge(prefix+"msg.recv", func() float64 { return float64(rt.RecvCount()) })
+	reg.Gauge(prefix+"dir.forwarded", func() float64 { return float64(rt.ForwardedCount()) })
+	reg.Gauge(prefix+"dir.updates_sent", func() float64 { return float64(rt.DirUpdatesSent()) })
+	// Transport counters.
+	ep := rt.ep
+	reg.Gauge(prefix+"comm.msgs_sent", func() float64 { return float64(ep.Stats().MsgsSent) })
+	reg.Gauge(prefix+"comm.msgs_received", func() float64 { return float64(ep.Stats().MsgsReceived) })
+	reg.Gauge(prefix+"comm.bytes_sent", func() float64 { return float64(ep.Stats().BytesSent) })
+	reg.Gauge(prefix+"comm.bytes_received", func() float64 { return float64(ep.Stats().BytesReceived) })
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mrts/internal/comm"
+	"mrts/internal/obs"
 	"mrts/internal/ooc"
 	"mrts/internal/sched"
 	"mrts/internal/storage"
@@ -40,6 +41,13 @@ type Config struct {
 	OnSwapError func(SwapError)
 	// Collector, when non-nil, receives comp/comm/disk time accounting.
 	Collector *trace.Collector
+	// Tracer, when non-nil, receives structured trace events for the swap
+	// lifecycle (evict/load/retry/storefail/lost), application handler
+	// execution, and multicast progress. Events from the transport and the
+	// task pool are recorded by installing the same tracer there (see
+	// comm.Endpoint.SetTracer and sched.Pool.SetTracer); cluster.New wires
+	// all three from one TraceSink.
+	Tracer *obs.Tracer
 	// CommDelay, when non-nil, gives the modeled wire time of a received
 	// message of the given payload size; it is charged to the Comm
 	// account. The in-process transport serializes these delays on its
@@ -100,6 +108,7 @@ type Runtime struct {
 	mem     *ooc.Manager
 	store   *storage.Async
 	col     *trace.Collector
+	tracer  *obs.Tracer
 	pfDepth int
 
 	mu      sync.Mutex
@@ -151,12 +160,14 @@ func NewRuntime(cfg Config) *Runtime {
 		cfg.PrefetchDepth = 2
 	}
 	mem := ooc.NewManager(cfg.Mem)
-	// Mirror every absorbed retry into the ooc layer's accounting, chaining
-	// any observer the caller installed.
+	// Mirror every absorbed retry into the ooc layer's accounting and the
+	// event tracer, chaining any observer the caller installed.
 	retry := cfg.Retry
 	userRetryHook := retry.OnRetry
+	tracer := cfg.Tracer
 	retry.OnRetry = func(key storage.Key, attempt int, err error) {
 		mem.NoteRetries(1)
+		tracer.Emit(obs.KindSwapRetry, 0, int64(attempt))
 		if userRetryHook != nil {
 			userRetryHook(key, attempt, err)
 		}
@@ -169,6 +180,7 @@ func NewRuntime(cfg Config) *Runtime {
 		mem:       mem,
 		store:     storage.NewAsyncRetry(cfg.Store, cfg.IOWorkers, retry),
 		col:       cfg.Collector,
+		tracer:    cfg.Tracer,
 		pfDepth:   cfg.PrefetchDepth,
 		objects:   make(map[MobilePtr]*localObject),
 		dir:       make(map[MobilePtr]NodeID),
@@ -201,6 +213,9 @@ func (rt *Runtime) Mem() *ooc.Manager { return rt.mem }
 
 // Collector returns the trace collector (may be nil).
 func (rt *Runtime) Collector() *trace.Collector { return rt.col }
+
+// Tracer returns the structured event tracer (may be nil).
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.tracer }
 
 // Register installs a message handler under id. All nodes must register the
 // same IDs before posting any messages (SPMD model).
@@ -410,11 +425,13 @@ func (rt *Runtime) runHandler(ptr MobilePtr, obj Object, q queued, sc *sched.Ctx
 		return
 	}
 	ctx := &Ctx{rt: rt, Self: ptr, obj: obj, sc: sc}
+	sp := rt.tracer.Start(obs.KindHandler, uint64(oid(ptr)))
 	t0 := time.Now()
 	h(ctx, q.arg)
 	if rt.col != nil {
 		rt.col.Add(trace.Comp, time.Since(t0))
 	}
+	sp.End(int64(q.handler))
 	rt.mem.Touch(oid(ptr))
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"mrts/internal/obs"
 	"mrts/internal/ooc"
 	"mrts/internal/sched"
 )
@@ -35,6 +36,7 @@ func (rt *Runtime) loadObject(lo *localObject) {
 			return rt.mem.NeedForAlloc(rt.mem.Size(id))
 		})
 	}
+	sp := rt.tracer.Start(obs.KindSwapLoad, uint64(id))
 	t0 := time.Now()
 	blob, err := rt.store.GetAsync(storeKey(lo.ptr)).Wait()
 	rt.chargeDisk(len(blob), time.Since(t0))
@@ -44,6 +46,7 @@ func (rt *Runtime) loadObject(lo *localObject) {
 		op = SwapDecode
 		obj, err = rt.decodeObject(lo.typeID, blob)
 	}
+	sp.End(int64(len(blob)))
 	if err != nil {
 		lo.mu.Lock()
 		n := len(lo.queue)
@@ -53,6 +56,7 @@ func (rt *Runtime) loadObject(lo *localObject) {
 		lo.mu.Unlock()
 		rt.mem.SetQueueLen(id, 0)
 		rt.work.Add(int64(-n))
+		rt.tracer.Emit(obs.KindSwapLost, uint64(id), int64(n))
 		rt.mcasts.objectLost(rt, lo.ptr)
 		rt.noteSwapError(SwapError{Ptr: lo.ptr, Op: op, Err: err, Dropped: n, Lost: true})
 		return
@@ -89,9 +93,11 @@ func (rt *Runtime) tryEvict(lo *localObject) bool {
 	lo.state = stStoring
 	lo.mu.Unlock()
 
+	sp := rt.tracer.Start(obs.KindSwapEvict, uint64(id))
 	blob, err := rt.encodeObject(obj)
 	if err != nil {
 		// Serialization failed; keep the object in core.
+		sp.End(0)
 		lo.mu.Lock()
 		lo.obj = obj
 		lo.state = stInCore
@@ -107,6 +113,7 @@ func (rt *Runtime) tryEvict(lo *localObject) bool {
 		t0 := time.Now()
 		_, err := res.Wait()
 		rt.chargeDisk(len(blob), time.Since(t0))
+		sp.End(int64(len(blob)))
 		lo.mu.Lock()
 		if err != nil {
 			// Write failed after retries: restore the in-core copy (we
@@ -123,6 +130,7 @@ func (rt *Runtime) tryEvict(lo *localObject) bool {
 				rt.pool.Submit(func(sc *sched.Ctx) { rt.drain(lo, sc) })
 			}
 			lo.mu.Unlock()
+			rt.tracer.Emit(obs.KindSwapStoreFail, uint64(id), int64(len(blob)))
 			rt.noteSwapError(SwapError{Ptr: lo.ptr, Op: SwapStore, Err: err})
 			return
 		}

@@ -86,6 +86,27 @@ func TestOUPDRPermanentFaultsFailLoudly(t *testing.T) {
 
 	res, err := RunOUPDR(cl, UPDRConfig{Blocks: 4, TargetElements: 12000})
 	s := cl.SwapStats()
+	if s.ObjectsLost == 0 {
+		// Whether the run itself revisits an evicted block depends on
+		// scheduling (under -race the interface messages often land before
+		// any eviction). Force the issue: reload whatever ended the run out
+		// of core — with every Get failing permanently, any swapped-out
+		// block must surface as lost.
+		forced := false
+		for _, rt := range cl.Runtimes() {
+			for _, p := range rt.LocalObjects() {
+				if !rt.InCore(p) {
+					rt.Prefetch(p)
+					forced = true
+				}
+			}
+		}
+		if !forced {
+			t.Fatal("no block was ever evicted; the budget must force swapping")
+		}
+		cl.Wait()
+		s = cl.SwapStats()
+	}
 	if s.ObjectsLost == 0 || s.LoadFailures == 0 {
 		t.Fatalf("permanent faults were silent: %+v (err=%v)", s, err)
 	}

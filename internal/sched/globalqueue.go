@@ -1,12 +1,18 @@
 package sched
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"mrts/internal/obs"
+)
 
 // gqPool is the GCD-like scheduler: a single unbounded FIFO queue feeding a
 // fixed thread pool. Compared to work stealing it has no task locality and a
 // single point of contention — the structural difference Table VII of the
 // paper measures between the TBB and GCD builds.
 type gqPool struct {
+	tracer atomic.Pointer[obs.Tracer]
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []Task
@@ -33,6 +39,17 @@ func NewGlobalQueue(workers int) Pool {
 }
 
 func (p *gqPool) Name() string { return "globalqueue" }
+
+// SetTracer implements Pool.
+func (p *gqPool) SetTracer(tr *obs.Tracer) { p.tracer.Store(tr) }
+
+// runTask executes t inside a sched.run span.
+func (p *gqPool) runTask(ctx *Ctx, t Task) {
+	sp := p.tracer.Load().Start(obs.KindSchedRun, uint64(max(ctx.worker, 0)))
+	t(ctx)
+	sp.End(int64(ctx.worker))
+	p.q.dec()
+}
 
 func (p *gqPool) Workers() int { return p.nw }
 
@@ -83,8 +100,7 @@ func (p *gqPool) run(w int) {
 		for {
 			if t, ok := p.popLocked(); ok {
 				p.mu.Unlock()
-				t(ctx)
-				p.q.dec()
+				p.runTask(ctx, t)
 				break
 			}
 			if p.closed {
@@ -104,7 +120,6 @@ func (p *gqPool) tryRunOne(helperWorker int) bool {
 		return false
 	}
 	ctx := &Ctx{pool: p, worker: helperWorker}
-	t(ctx)
-	p.q.dec()
+	p.runTask(ctx, t)
 	return true
 }

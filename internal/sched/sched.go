@@ -15,6 +15,8 @@ package sched
 import (
 	"runtime"
 	"sync"
+
+	"mrts/internal/obs"
 )
 
 // Task is a unit of work executed by a pool worker. Tasks are expected to
@@ -53,6 +55,10 @@ type Pool interface {
 	Workers() int
 	// Name identifies the scheduler flavor ("workstealing" or "globalqueue").
 	Name() string
+	// SetTracer installs a structured event tracer: task executions are
+	// recorded as sched.run spans and successful steals as sched.steal
+	// instants. A nil tracer (the default) disables recording.
+	SetTracer(tr *obs.Tracer)
 
 	// spawnFrom schedules a task from worker w.
 	spawnFrom(w int, t Task)

@@ -3,6 +3,9 @@ package sched
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
+
+	"mrts/internal/obs"
 )
 
 // wsPool is the TBB-like scheduler: each worker owns a deque; it pops its
@@ -10,6 +13,7 @@ import (
 // when idle.
 type wsPool struct {
 	deques  []*deque
+	tracer  atomic.Pointer[obs.Tracer]
 	q       *quiescence
 	wake    *sync.Cond
 	wakeMu  sync.Mutex
@@ -80,6 +84,17 @@ func NewWorkStealing(workers int) Pool {
 
 func (p *wsPool) Name() string { return "workstealing" }
 
+// SetTracer implements Pool.
+func (p *wsPool) SetTracer(tr *obs.Tracer) { p.tracer.Store(tr) }
+
+// runTask executes t on worker w inside a sched.run span.
+func (p *wsPool) runTask(ctx *Ctx, t Task) {
+	sp := p.tracer.Load().Start(obs.KindSchedRun, uint64(max(ctx.worker, 0)))
+	t(ctx)
+	sp.End(int64(ctx.worker))
+	p.q.dec()
+}
+
 func (p *wsPool) Workers() int { return len(p.deques) }
 
 func (p *wsPool) Submit(t Task) {
@@ -134,6 +149,7 @@ func (p *wsPool) grab(w int) (Task, bool) {
 			continue
 		}
 		if t, ok := p.deques[v].stealTop(); ok {
+			p.tracer.Load().Emit(obs.KindSchedSteal, uint64(max(w, 0)), int64(v))
 			return t, true
 		}
 	}
@@ -146,8 +162,7 @@ func (p *wsPool) run(w int) {
 	for {
 		t, ok := p.grab(w)
 		if ok {
-			t(ctx)
-			p.q.dec()
+			p.runTask(ctx, t)
 			continue
 		}
 		// Park. Re-check for work under the wake lock: enqueue pushes the
@@ -160,8 +175,7 @@ func (p *wsPool) run(w int) {
 		}
 		if t, ok := p.grab(w); ok {
 			p.wakeMu.Unlock()
-			t(ctx)
-			p.q.dec()
+			p.runTask(ctx, t)
 			continue
 		}
 		p.sleep++
@@ -181,7 +195,6 @@ func (p *wsPool) tryRunOne(helperWorker int) bool {
 		return false
 	}
 	ctx := &Ctx{pool: p, worker: helperWorker}
-	t(ctx)
-	p.q.dec()
+	p.runTask(ctx, t)
 	return true
 }
