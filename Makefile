@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick trace bench-json bench-baseline lint examples clean
+.PHONY: all build vet test race bench bench-quick bench-pipeline trace bench-json bench-baseline lint examples clean
 
 all: build vet test
 
@@ -27,6 +27,11 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/mrtsbench -exp all -scale 0.1
 
+# The swap I/O scheduler sweep: workers × prefetch depth on OUPDR
+# (override: make bench-pipeline SCALE=0.5).
+bench-pipeline:
+	$(GO) run ./cmd/mrtsbench -exp pipeline -scale $(SCALE)
+
 # Capture a Perfetto-loadable event trace of one experiment
 # (override: make trace EXP=fig8 SCALE=0.25).
 EXP ?= tab4
@@ -42,7 +47,7 @@ bench-json:
 # Regenerate the CI benchmark-regression baseline (same config as the
 # bench-smoke job in .github/workflows/ci.yml; commit the result).
 bench-baseline:
-	$(GO) run ./cmd/mrtsbench -exp tab1,tab4,fig8,faults -scale 0.05 -pes 2 -json ci/bench-baseline.json
+	$(GO) run ./cmd/mrtsbench -exp tab1,tab4,fig8,faults,pipeline -scale 0.05 -pes 2 -json ci/bench-baseline.json
 
 # gofmt check (staticcheck additionally runs in CI, where installing the
 # pinned version is possible).

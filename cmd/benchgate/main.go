@@ -28,6 +28,7 @@ func main() {
 		speedTol     = flag.Float64("speed-tol", 0, "relative speed floor (0 = default 0.6)")
 		overlapTol   = flag.Float64("overlap-tol", 0, "allowed overlap drop in points (0 = default 25)")
 		timeTol      = flag.Float64("time-tol", 0, "relative time ceiling (0 = default 1.8)")
+		waitTol      = flag.Float64("wait-tol", 0, "relative demand-wait ceiling (0 = default 5)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cfg := bench.GateConfig{SpeedTol: *speedTol, OverlapTol: *overlapTol, TimeTol: *timeTol}
+	cfg := bench.GateConfig{SpeedTol: *speedTol, OverlapTol: *overlapTol, TimeTol: *timeTol, WaitTol: *waitTol}
 	violations := bench.Compare(baseline, current, cfg)
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s:\n", len(violations), *baselinePath)

@@ -49,7 +49,7 @@ func Experiments() []string {
 	return []string{
 		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
-		"policies", "dirpolicies", "remotemem", "faults",
+		"policies", "dirpolicies", "remotemem", "faults", "pipeline",
 	}
 }
 
@@ -93,6 +93,8 @@ func Run(id string, opts Options) (*Table, error) {
 		return RemoteMem(opts)
 	case "faults":
 		return Faults(opts)
+	case "pipeline":
+		return Pipeline(opts)
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, Experiments())
 	}

@@ -17,6 +17,11 @@ import (
 //     than OverlapTol absolute percentage points below baseline (overlap near
 //     zero makes relative bounds meaningless).
 //   - */time_*: wall times may not exceed baseline×TimeTol.
+//   - */*_wait_ms: queueing latencies (the pipeline experiment's demand-load
+//     wait) may not exceed baseline×WaitTol + waitSlackMs. The absolute slack
+//     matters because a healthy demand wait is near zero — a fraction of a
+//     millisecond — where a purely relative bound would trip on scheduler
+//     jitter alone.
 //
 // Everything else in the documents (evictions, element counts, breakdown
 // percentages) is informational and not gated.
@@ -30,7 +35,14 @@ type GateConfig struct {
 	// TimeTol is the relative upper bound for time metrics
 	// (current <= baseline*TimeTol). 0 means the default 1.8.
 	TimeTol float64
+	// WaitTol is the relative upper bound for *_wait_ms metrics
+	// (current <= baseline*WaitTol + waitSlackMs). 0 means the default 5.
+	WaitTol float64
 }
+
+// waitSlackMs is the absolute headroom added on top of the relative wait
+// bound; below this, queueing latency is noise, not a regression.
+const waitSlackMs = 5.0
 
 func (g GateConfig) withDefaults() GateConfig {
 	if g.SpeedTol <= 0 {
@@ -41,6 +53,9 @@ func (g GateConfig) withDefaults() GateConfig {
 	}
 	if g.TimeTol <= 0 {
 		g.TimeTol = 1.8
+	}
+	if g.WaitTol <= 0 {
+		g.WaitTol = 5
 	}
 	return g
 }
@@ -101,6 +116,12 @@ func Compare(baseline, current *Doc, cfg GateConfig) []string {
 						"%s: %s regressed: %.3fs > %.3fs (baseline %.3fs × tol %.2f)",
 						id, k, got, ceil, want, cfg.TimeTol))
 				}
+			case gateWait:
+				if ceil := want*cfg.WaitTol + waitSlackMs; got > ceil {
+					out = append(out, fmt.Sprintf(
+						"%s: %s regressed: %.3fms > %.3fms (baseline %.3fms × tol %.2f + %.0fms slack)",
+						id, k, got, ceil, want, cfg.WaitTol, waitSlackMs))
+				}
 			}
 		}
 	}
@@ -114,6 +135,7 @@ const (
 	gateSpeed
 	gateOverlap
 	gateTime
+	gateWait
 )
 
 // metricKind classifies a metric name ("sz40000/speed_ooc" etc.) into the
@@ -130,6 +152,8 @@ func metricKind(name string) gateKind {
 		return gateOverlap
 	case strings.HasPrefix(leaf, "time_") && strings.HasSuffix(leaf, "_sec"):
 		return gateTime
+	case strings.HasSuffix(leaf, "_wait_ms"):
+		return gateWait
 	default:
 		return gateSkip
 	}

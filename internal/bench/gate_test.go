@@ -119,3 +119,22 @@ func TestDocAddCollectsTableMetrics(t *testing.T) {
 		t.Fatal("metric-less table must not create an entry")
 	}
 }
+
+func TestGateWaitMetric(t *testing.T) {
+	base, cur := docPair()
+	base.Experiments["pipeline"] = map[string]float64{"sz3000/w1d2/demand_wait_ms": 0.4}
+	cur.Experiments["pipeline"] = map[string]float64{"sz3000/w1d2/demand_wait_ms": 0.4}
+
+	// Large relative growth under the absolute slack is noise, not a
+	// regression: 0.4ms -> 4ms stays under 0.4×5 + 5ms.
+	cur.Experiments["pipeline"]["sz3000/w1d2/demand_wait_ms"] = 4
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("sub-slack wait growth must pass, got %v", v)
+	}
+	// Past the slack + relative bound it trips.
+	cur.Experiments["pipeline"]["sz3000/w1d2/demand_wait_ms"] = 20
+	v := Compare(base, cur, GateConfig{})
+	if len(v) != 1 || !strings.Contains(v[0], "demand_wait_ms") {
+		t.Fatalf("want one wait violation, got %v", v)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"mrts/internal/remotemem"
 	"mrts/internal/sched"
 	"mrts/internal/storage"
+	"mrts/internal/swapio"
 	"mrts/internal/trace"
 )
 
@@ -61,6 +62,13 @@ type Config struct {
 	Factory core.Factory
 	// IOWorkers per node (<= 0 means 2).
 	IOWorkers int
+	// QueueDepth bounds each node's swap I/O queue: prefetch submissions
+	// beyond the bound are rejected (demand loads and eviction writes are
+	// never bounded). <= 0 means the swapio default (64).
+	QueueDepth int
+	// PrefetchDepth bounds how many speculative loads each node keeps in
+	// flight (<= 0 means 2).
+	PrefetchDepth int
 	// Retry is each node's storage retry policy: transient I/O faults are
 	// absorbed with backoff inside the async facade before they can reach
 	// the swap path. Zero value = single attempt.
@@ -165,18 +173,20 @@ func New(cfg Config) (*Cluster, error) {
 			onSwapError = func(e core.SwapError) { hook(node, e) }
 		}
 		rt := core.NewRuntime(core.Config{
-			Endpoint:    c.tr.Endpoint(comm.NodeID(i)),
-			Pool:        pool,
-			Factory:     cfg.Factory,
-			Mem:         ooc.Config{Budget: cfg.MemBudget, Policy: cfg.Policy},
-			Store:       st,
-			IOWorkers:   cfg.IOWorkers,
-			Retry:       cfg.Retry,
-			OnSwapError: onSwapError,
-			Collector:   col,
-			Tracer:      tracer,
-			CommDelay:   commDelay,
-			DiskDelay:   diskDelay,
+			Endpoint:      c.tr.Endpoint(comm.NodeID(i)),
+			Pool:          pool,
+			Factory:       cfg.Factory,
+			Mem:           ooc.Config{Budget: cfg.MemBudget, Policy: cfg.Policy},
+			Store:         st,
+			IOWorkers:     cfg.IOWorkers,
+			QueueDepth:    cfg.QueueDepth,
+			PrefetchDepth: cfg.PrefetchDepth,
+			Retry:         cfg.Retry,
+			OnSwapError:   onSwapError,
+			Collector:     col,
+			Tracer:        tracer,
+			CommDelay:     commDelay,
+			DiskDelay:     diskDelay,
 		})
 		c.pools = append(c.pools, pool)
 		c.rts = append(c.rts, rt)
@@ -260,6 +270,11 @@ func (c *Cluster) PublishMetrics(reg *obs.Registry) {
 	reg.Gauge("cluster.objects_lost", func() float64 { return float64(c.SwapStats().ObjectsLost) })
 	reg.Gauge("cluster.overlap_pct", func() float64 { return c.Report().Overlap() })
 	reg.Gauge("cluster.disk_pct", func() float64 { return c.Report().Percent(trace.Disk) })
+	reg.Gauge("cluster.coalesced", func() float64 { return float64(c.IOStats().Coalesced) })
+	reg.Gauge("cluster.cancelled", func() float64 { return float64(c.IOStats().Cancelled) })
+	reg.Gauge("cluster.demand_wait_ms", func() float64 {
+		return float64(c.IOStats().DemandWaitMean().Microseconds()) / 1000
+	})
 }
 
 // Metrics returns a one-shot unified snapshot of the cluster's metrics, a
@@ -269,6 +284,16 @@ func (c *Cluster) Metrics() obs.Snapshot {
 	reg := obs.NewRegistry()
 	c.PublishMetrics(reg)
 	return reg.Snapshot()
+}
+
+// IOStats aggregates the swap I/O scheduler statistics across nodes
+// (counters sum; high-water marks take the per-node maximum).
+func (c *Cluster) IOStats() swapio.Stats {
+	var out swapio.Stats
+	for _, rt := range c.rts {
+		out.Add(rt.IOStats())
+	}
+	return out
 }
 
 // SwapStats aggregates the swap-failure statistics across nodes.

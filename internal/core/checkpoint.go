@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"mrts/internal/storage"
+	"mrts/internal/swapio"
 )
 
 // This file implements the check/restore functionality the paper's
@@ -89,7 +90,7 @@ func (rt *Runtime) checkpointObject(p MobilePtr, st storage.Store, prefix string
 	case stInCore:
 		blob, err = rt.encodeObject(lo.obj)
 	case stOut:
-		blob, err = rt.store.Store().Get(storeKey(p))
+		blob, err = rt.io.Backing().Get(storeKey(p))
 	case stLost:
 		err = ErrObjectLost
 	default:
@@ -199,7 +200,7 @@ func (rt *Runtime) Restore(st storage.Store, prefix string) error {
 		if err != nil {
 			return fmt.Errorf("core: restore %v: %w", ptr, err)
 		}
-		if err := rt.store.Store().Put(storeKey(ptr), blob); err != nil {
+		if err := rt.io.Backing().Put(storeKey(ptr), blob); err != nil {
 			return err
 		}
 
@@ -219,7 +220,7 @@ func (rt *Runtime) Restore(st storage.Store, prefix string) error {
 		rt.mem.SetQueueLen(id, len(queue))
 		if len(queue) > 0 {
 			lo.mu.Lock()
-			rt.startLoadLocked(lo)
+			rt.startLoadLocked(lo, swapio.Demand)
 			lo.mu.Unlock()
 		}
 	}

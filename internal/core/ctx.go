@@ -34,9 +34,10 @@ func (c *Ctx) Post(dst MobilePtr, h HandlerID, arg []byte) { c.rt.Post(dst, h, a
 // Create registers a new mobile object homed on this node.
 func (c *Ctx) Create(obj Object) MobilePtr { return c.rt.CreateObject(obj) }
 
-// Lock pins an object in core; Unlock releases it; SetPriority hints the
-// out-of-core layer.
-func (c *Ctx) Lock(ptr MobilePtr)                 { c.rt.Lock(ptr) }
+// Lock pins an object in core, reporting whether it was found locally (see
+// Runtime.Lock); Unlock releases it; SetPriority hints the out-of-core
+// layer.
+func (c *Ctx) Lock(ptr MobilePtr) bool            { return c.rt.Lock(ptr) }
 func (c *Ctx) Unlock(ptr MobilePtr)               { c.rt.Unlock(ptr) }
 func (c *Ctx) SetPriority(ptr MobilePtr, pri int) { c.rt.SetPriority(ptr, pri) }
 

@@ -151,8 +151,11 @@ func (rt *Runtime) startMcast(ptrs []MobilePtr, deliver int, h HandlerID, arg []
 		if rt.IsLocal(p) {
 			if rt.InCore(p) {
 				t.objectArrived(rt, p)
-			} else {
-				rt.Prefetch(p)
+			} else if !rt.forceLoad(p) {
+				// Migrated away between the checks: pull it here instead.
+				// The collection blocks on this object, so the load goes
+				// in at demand class, not as speculation.
+				rt.RequestMigration(p, rt.node)
 			}
 		} else {
 			rt.RequestMigration(p, rt.node)

@@ -37,6 +37,15 @@ func (rt *Runtime) PublishMetrics(reg *obs.Registry, prefix string) {
 	reg.Gauge(prefix+"swap.load_failures", func() float64 { return float64(rt.SwapStats().LoadFailures) })
 	reg.Gauge(prefix+"swap.store_failures", func() float64 { return float64(rt.SwapStats().StoreFailures) })
 	reg.Gauge(prefix+"swap.objects_lost", func() float64 { return float64(rt.SwapStats().ObjectsLost) })
+	reg.Gauge(prefix+"swap.evict_stalls", func() float64 { return float64(rt.EvictStalls()) })
+	// The swap I/O scheduler: queue shape and pipeline behaviour.
+	reg.Gauge(prefix+"swapio.queue_depth", func() float64 { return float64(rt.IOStats().QueueDepth) })
+	reg.Gauge(prefix+"swapio.coalesced", func() float64 { return float64(rt.IOStats().Coalesced) })
+	reg.Gauge(prefix+"swapio.cancelled", func() float64 { return float64(rt.IOStats().Cancelled) })
+	reg.Gauge(prefix+"swapio.rejected", func() float64 { return float64(rt.IOStats().Rejected) })
+	reg.Gauge(prefix+"swapio.demand_wait_ms", func() float64 {
+		return float64(rt.IOStats().DemandWaitMean().Microseconds()) / 1000
+	})
 	// Control-layer message accounting and directory behaviour.
 	reg.Gauge(prefix+"msg.work", func() float64 { return float64(rt.Work()) })
 	reg.Gauge(prefix+"msg.sent", func() float64 { return float64(rt.SentCount()) })

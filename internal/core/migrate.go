@@ -48,10 +48,11 @@ func (rt *Runtime) Migrate(ptr MobilePtr, dest NodeID) error {
 		}
 	case stOut:
 		// Load the serialized form straight from the store; no need to
-		// deserialize just to move bytes.
+		// deserialize just to move bytes. The read goes through the I/O
+		// scheduler at demand class, coalescing with any in-flight load.
 		lo.migrating = true
 		lo.mu.Unlock()
-		blob, err = rt.store.GetAsync(storeKey(ptr)).Wait()
+		blob, err = rt.io.LoadSync(storeKey(ptr), uint64(oid(ptr)))
 		lo.mu.Lock()
 		lo.migrating = false
 		if err != nil {
@@ -77,7 +78,6 @@ func (rt *Runtime) Migrate(ptr MobilePtr, dest NodeID) error {
 	lo.queue = nil
 	lo.migrating = true
 	typeID := lo.typeID
-	state := lo.state
 	lo.mu.Unlock()
 
 	id := oid(ptr)
@@ -94,9 +94,11 @@ func (rt *Runtime) Migrate(ptr MobilePtr, dest NodeID) error {
 	rt.dir[ptr] = dest
 	rt.mu.Unlock()
 	rt.mem.Unregister(id)
-	if state == stOut {
-		_ = rt.store.Store().Delete(storeKey(ptr))
-	}
+	// The blob leaves with the object — unconditionally, not just for
+	// stOut: an in-core object that was ever evicted here still has a
+	// stale blob on disk, and without this the spool leaks every
+	// migrated-away object's footprint forever.
+	rt.io.Delete(storeKey(ptr))
 
 	// The queued messages leave this node inside the install message.
 	rt.work.Add(int64(-len(q)))

@@ -12,6 +12,7 @@ import (
 	"mrts/internal/ooc"
 	"mrts/internal/sched"
 	"mrts/internal/storage"
+	"mrts/internal/swapio"
 	"mrts/internal/trace"
 )
 
@@ -28,10 +29,15 @@ type Config struct {
 	Mem ooc.Config
 	// Store holds serialized objects unloaded from memory.
 	Store storage.Store
-	// IOWorkers is the storage layer's async worker count (<= 0 means 2).
+	// IOWorkers is the swap I/O scheduler's worker count (<= 0 means 2).
 	IOWorkers int
+	// QueueDepth bounds the I/O scheduler's backlog: when this many
+	// requests are queued, speculative prefetch submissions are refused
+	// until the backlog drains (<= 0 means 64). Demand loads and eviction
+	// writes are never bounded.
+	QueueDepth int
 	// Retry configures transparent retry with exponential backoff for
-	// transient storage faults inside the async facade. The zero value
+	// transient storage faults inside the I/O scheduler. The zero value
 	// means a single attempt per operation.
 	Retry storage.RetryPolicy
 	// OnSwapError, when non-nil, receives every swap-path failure that
@@ -106,7 +112,7 @@ type Runtime struct {
 	pool    sched.Pool
 	factory Factory
 	mem     *ooc.Manager
-	store   *storage.Async
+	io      *swapio.Scheduler
 	col     *trace.Collector
 	tracer  *obs.Tracer
 	pfDepth int
@@ -128,6 +134,7 @@ type Runtime struct {
 	loadFailures  atomic.Uint64
 	storeFailures atomic.Uint64
 	objectsLost   atomic.Uint64
+	evictStalls   atomic.Uint64
 	onSwapError   func(SwapError)
 	semu          sync.Mutex
 	swapErrs      []SwapError
@@ -147,8 +154,8 @@ type Runtime struct {
 
 // NewRuntime creates the runtime for one node and registers its transport
 // handlers. The caller retains ownership of the Endpoint and Pool; the
-// runtime owns the Store (wrapping it in an async facade) and closes it on
-// Close.
+// runtime owns the Store (wrapping it in the swap I/O scheduler) and closes
+// it on Close.
 func NewRuntime(cfg Config) *Runtime {
 	if cfg.Endpoint == nil || cfg.Pool == nil || cfg.Store == nil {
 		panic("core: Config requires Endpoint, Pool and Store")
@@ -173,12 +180,17 @@ func NewRuntime(cfg Config) *Runtime {
 		}
 	}
 	rt := &Runtime{
-		node:      cfg.Endpoint.Node(),
-		ep:        cfg.Endpoint,
-		pool:      cfg.Pool,
-		factory:   cfg.Factory,
-		mem:       mem,
-		store:     storage.NewAsyncRetry(cfg.Store, cfg.IOWorkers, retry),
+		node:    cfg.Endpoint.Node(),
+		ep:      cfg.Endpoint,
+		pool:    cfg.Pool,
+		factory: cfg.Factory,
+		mem:     mem,
+		io: swapio.New(cfg.Store, swapio.Config{
+			Workers:    cfg.IOWorkers,
+			QueueBound: cfg.QueueDepth,
+			Retry:      retry,
+			Tracer:     cfg.Tracer,
+		}),
 		col:       cfg.Collector,
 		tracer:    cfg.Tracer,
 		pfDepth:   cfg.PrefetchDepth,
@@ -371,11 +383,15 @@ func (rt *Runtime) enqueueLocal(lo *localObject, q queued) {
 			rt.pool.Submit(func(sc *sched.Ctx) { rt.drain(lo, sc) })
 		}
 	case stOut:
-		rt.startLoadLocked(lo)
+		rt.startLoadLocked(lo, swapio.Demand)
 	case stStoring:
 		lo.wantLoad = true
 	case stLoading:
-		// Already on its way in.
+		// Already on its way in — but if it went in as a prefetch, a
+		// handler is now blocked on it: promote it past the backlog. A
+		// false return (the request just completed or was cancelled) is
+		// benign; the load's own completion path sees the queued message.
+		rt.io.Promote(storeKey(lo.ptr))
 	}
 	lo.mu.Unlock()
 }
@@ -469,17 +485,23 @@ func (rt *Runtime) SentCount() int64 { return rt.sent.Load() }
 func (rt *Runtime) RecvCount() int64 { return rt.recv.Load() }
 
 // Close shuts the runtime's storage down. The caller must have established
-// quiescence first (WaitQuiescence); Close additionally waits for background
-// swap operations started by post-handler housekeeping.
+// quiescence first (WaitQuiescence); Close cancels the queued prefetch
+// backlog (nothing will consume it), waits for in-flight swap operations
+// started by post-handler housekeeping, then closes the I/O scheduler and
+// with it the store.
 func (rt *Runtime) Close() error {
 	if rt.closed.Swap(true) {
 		return nil
 	}
+	rt.io.CancelPrefetches()
 	for rt.swapOps.Load() > 0 {
 		time.Sleep(100 * time.Microsecond)
 	}
-	return rt.store.Close()
+	return rt.io.Close()
 }
+
+// IOStats returns the swap I/O scheduler's statistics snapshot.
+func (rt *Runtime) IOStats() swapio.Stats { return rt.io.Snapshot() }
 
 // WaitQuiescence blocks until the whole set of runtimes is globally
 // terminated: no handler running, no message queued or parked anywhere, and

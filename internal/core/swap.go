@@ -1,48 +1,87 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"mrts/internal/obs"
 	"mrts/internal/ooc"
 	"mrts/internal/sched"
+	"mrts/internal/swapio"
 )
 
-// startLoadLocked transitions lo from stOut to stLoading and starts the
-// asynchronous load. Caller holds lo.mu.
-func (rt *Runtime) startLoadLocked(lo *localObject) {
+// The swap data path. Residency decisions (what to evict, what to load,
+// when) stay here in the control layer; every byte that moves to or from
+// disk flows through the swapio scheduler, which serves demand loads ahead
+// of eviction writes ahead of prefetches, coalesces duplicate loads of one
+// key, and runs serialization on its own I/O workers so compute workers
+// never encode or decode inside drain.
+
+// startLoadLocked transitions lo from stOut to stLoading and submits the
+// read to the I/O scheduler at the given class. Caller holds lo.mu.
+func (rt *Runtime) startLoadLocked(lo *localObject, class swapio.Class) {
 	if lo.state != stOut {
 		return
 	}
 	lo.state = stLoading
 	rt.swapOps.Add(1)
-	go func() {
+	sp := rt.tracer.Start(obs.KindSwapLoad, uint64(oid(lo.ptr)))
+	t0 := time.Now()
+	ok := rt.io.Load(storeKey(lo.ptr), uint64(oid(lo.ptr)), class, func(blob []byte, err error) {
 		defer rt.swapOps.Add(-1)
-		rt.loadObject(lo)
-	}()
+		if !errors.Is(err, swapio.ErrCanceled) {
+			rt.chargeDisk(len(blob), time.Since(t0))
+		}
+		rt.finishLoad(lo, sp, blob, err)
+	})
+	if !ok {
+		// Refused: the scheduler is closed, or the prefetch backlog hit
+		// the bound and this was speculative. Revert; a demand will
+		// resubmit when a message actually arrives.
+		lo.state = stOut
+		rt.swapOps.Add(-1)
+		sp.End(0)
+	}
 }
 
-// loadObject brings lo back in core: it makes room per the hard threshold,
-// reads the blob, deserializes, and reschedules pending work. A load that
-// fails after the storage layer's retry budget loses the object: it enters
-// the terminal stLost state, its queue is dropped (termination must still
-// fire), and the failure is surfaced through the counters and OnSwapError —
-// never silently.
-func (rt *Runtime) loadObject(lo *localObject) {
+// finishLoad completes a load on an I/O worker: it makes room per the hard
+// threshold, decodes the blob there (never on a compute worker), and
+// reschedules pending work. A load that fails after the storage layer's
+// retry budget loses the object: it enters the terminal stLost state, its
+// queue is dropped (termination must still fire), and the failure is
+// surfaced through the counters and OnSwapError — never silently.
+func (rt *Runtime) finishLoad(lo *localObject, sp obs.Span, blob []byte, err error) {
 	id := oid(lo.ptr)
-	// Make room before the bytes arrive.
-	if need := rt.mem.NeedForAlloc(rt.mem.Size(id)); need > 0 {
-		rt.evictVictims(need, lo.ptr, func() int64 {
-			return rt.mem.NeedForAlloc(rt.mem.Size(id))
-		})
+	if errors.Is(err, swapio.ErrCanceled) {
+		// A superseded prefetch: the object simply stays out of core. A
+		// message may have raced in between the cancellation decision and
+		// this callback; re-issue at demand class if so.
+		sp.End(0)
+		lo.mu.Lock()
+		if lo.state == stLoading {
+			lo.state = stOut
+			if !rt.closed.Load() && (len(lo.queue) > 0 || lo.wantLoad) {
+				lo.wantLoad = false
+				rt.startLoadLocked(lo, swapio.Demand)
+			}
+		}
+		lo.mu.Unlock()
+		return
 	}
-	sp := rt.tracer.Start(obs.KindSwapLoad, uint64(id))
-	t0 := time.Now()
-	blob, err := rt.store.GetAsync(storeKey(lo.ptr)).Wait()
-	rt.chargeDisk(len(blob), time.Since(t0))
 	op := SwapLoad
 	var obj Object
 	if err == nil {
+		// Make room before the decoded object re-enters the accounting.
+		// Memory pressure supersedes speculation: drop the queued prefetch
+		// backlog before evicting victims.
+		if need := rt.mem.NeedForAlloc(rt.mem.Size(id)); need > 0 {
+			rt.io.CancelPrefetches()
+			if !rt.evictVictims(need, lo.ptr, func() int64 {
+				return rt.mem.NeedForAlloc(rt.mem.Size(id))
+			}) {
+				rt.noteEvictStall(rt.mem.NeedForAlloc(rt.mem.Size(id)))
+			}
+		}
 		op = SwapDecode
 		obj, err = rt.decodeObject(lo.typeID, blob)
 	}
@@ -74,7 +113,9 @@ func (rt *Runtime) loadObject(lo *localObject) {
 }
 
 // tryEvict unloads lo to the storage layer if it is idle, unlocked and
-// in-core. It reports whether the eviction was initiated.
+// in-core. It reports whether the eviction was initiated. Serialization is
+// pipelined: the object is committed to stStoring here, but the encode and
+// the write both happen on an I/O worker.
 func (rt *Runtime) tryEvict(lo *localObject) bool {
 	id := oid(lo.ptr)
 	rt.swapOps.Add(1)
@@ -93,103 +134,167 @@ func (rt *Runtime) tryEvict(lo *localObject) bool {
 	lo.state = stStoring
 	lo.mu.Unlock()
 
+	// The bytes leave the accounting at the commit point, not when the
+	// write lands: victim selection must see the effect immediately, or a
+	// burst of evictions against a slow disk would over-evict (the residual
+	// need would not drop until the queued writes drained).
+	rt.mem.MarkOut(id)
+
 	sp := rt.tracer.Start(obs.KindSwapEvict, uint64(id))
-	blob, err := rt.encodeObject(obj)
-	if err != nil {
-		// Serialization failed; keep the object in core.
-		sp.End(0)
+	t0 := time.Now()
+	encoded := false
+	ok := rt.io.Store(storeKey(lo.ptr), uint64(id),
+		func() ([]byte, error) { return rt.encodeObject(obj) },
+		func(n int) {
+			// Runs on the I/O worker between encode and write; both
+			// closures run sequentially there, so the flag needs no lock.
+			encoded = true
+			rt.mem.SetStoredSize(id, int64(n))
+		},
+		func(blob []byte, err error) {
+			defer rt.swapOps.Add(-1)
+			rt.chargeDisk(len(blob), time.Since(t0))
+			sp.End(int64(len(blob)))
+			rt.finishEvict(lo, obj, encoded, blob, err)
+		})
+	if !ok {
+		// Scheduler closed under us: restore the object untouched.
 		lo.mu.Lock()
 		lo.obj = obj
 		lo.state = stInCore
+		rt.mem.MarkIn(id)
 		lo.mu.Unlock()
+		sp.End(0)
 		rt.swapOps.Add(-1)
 		return false
 	}
-	rt.mem.SetSize(id, int64(len(blob)))
-	rt.mem.MarkOut(id)
-	res := rt.store.PutAsync(storeKey(lo.ptr), blob)
-	go func() {
-		defer rt.swapOps.Add(-1)
-		t0 := time.Now()
-		_, err := res.Wait()
-		rt.chargeDisk(len(blob), time.Since(t0))
-		sp.End(int64(len(blob)))
+	return true
+}
+
+// finishEvict completes an eviction on an I/O worker after the encode+write
+// settle. encoded distinguishes a serialization failure (silent in-core
+// restore) from a write failure (counted rollback).
+func (rt *Runtime) finishEvict(lo *localObject, obj Object, encoded bool, blob []byte, err error) {
+	id := oid(lo.ptr)
+	if err != nil {
+		// Restore the in-core copy (we still hold obj via the closure).
+		// The restore satisfies any load requested while storing, so
+		// wantLoad must be cleared — leaving it set would make the next
+		// successful eviction trigger a spurious immediate reload.
 		lo.mu.Lock()
-		if err != nil {
-			// Write failed after retries: restore the in-core copy (we
-			// still hold obj via the closure). The restore satisfies any
-			// load requested while storing, so wantLoad must be cleared —
-			// leaving it set would make the next successful eviction
-			// trigger a spurious immediate reload.
-			lo.obj = obj
-			lo.state = stInCore
-			lo.wantLoad = false
-			rt.mem.MarkIn(oid(lo.ptr))
-			if len(lo.queue) > 0 && !lo.scheduled {
-				lo.scheduled = true
-				rt.pool.Submit(func(sc *sched.Ctx) { rt.drain(lo, sc) })
-			}
-			lo.mu.Unlock()
-			rt.tracer.Emit(obs.KindSwapStoreFail, uint64(id), int64(len(blob)))
-			rt.noteSwapError(SwapError{Ptr: lo.ptr, Op: SwapStore, Err: err})
-			return
-		}
-		lo.state = stOut
-		want := lo.wantLoad || len(lo.queue) > 0
+		lo.obj = obj
+		lo.state = stInCore
 		lo.wantLoad = false
-		if want {
-			rt.startLoadLocked(lo)
+		rt.mem.MarkIn(id)
+		if len(lo.queue) > 0 && !lo.scheduled {
+			lo.scheduled = true
+			rt.pool.Submit(func(sc *sched.Ctx) { rt.drain(lo, sc) })
 		}
 		lo.mu.Unlock()
-	}()
-	return true
+		if encoded {
+			// The write failed after the retry budget: loud rollback.
+			rt.tracer.Emit(obs.KindSwapStoreFail, uint64(id), int64(len(blob)))
+			rt.noteSwapError(SwapError{Ptr: lo.ptr, Op: SwapStore, Err: err})
+		}
+		return
+	}
+	lo.mu.Lock()
+	lo.state = stOut
+	want := lo.wantLoad || len(lo.queue) > 0
+	class := swapio.Prefetch
+	if len(lo.queue) > 0 {
+		class = swapio.Demand
+	}
+	lo.wantLoad = false
+	if want {
+		rt.startLoadLocked(lo, class)
+	}
+	lo.mu.Unlock()
 }
 
 // evictVictims evicts objects until residual reports no remaining need,
 // skipping exclude. need seeds the victim selection; the residual need is
 // re-read from the live accounting between victims rather than summed from
-// the pre-selected sizes — tryEvict re-serializes (and SetSizes) each
-// object, and a failed async write returns its bytes in-core, so sizes
-// captured before eviction go stale immediately.
-func (rt *Runtime) evictVictims(need int64, exclude MobilePtr, residual func() int64) {
+// the pre-selected sizes — evictions commit their accounting at submission,
+// and a failed write returns its bytes in-core, so sizes captured before
+// eviction go stale immediately. A second scan re-picks victims in case
+// candidates that were busy (running/scheduled/locked) in the first pass
+// have gone idle. It reports whether the need was met; callers on the hard
+// path must treat false as a loud stall, not silently proceed over budget.
+func (rt *Runtime) evictVictims(need int64, exclude MobilePtr, residual func() int64) bool {
 	if need <= 0 {
-		return
+		return true
 	}
-	for _, vid := range rt.mem.PickVictims(need) {
-		if vid == oid(exclude) {
-			continue
+	pick := need
+	for pass := 0; pass < 2; pass++ {
+		for _, vid := range rt.mem.PickVictims(pick) {
+			if vid == oid(exclude) {
+				continue
+			}
+			lo := rt.findByOID(vid)
+			if lo == nil {
+				continue
+			}
+			if rt.tryEvict(lo) && residual() <= 0 {
+				return true
+			}
 		}
-		lo := rt.findByOID(vid)
-		if lo == nil {
-			continue
+		if residual() <= 0 {
+			return true
 		}
-		if rt.tryEvict(lo) && residual() <= 0 {
-			return
-		}
+		pick = residual()
 	}
+	return residual() <= 0
 }
+
+// noteEvictStall surfaces a hard-threshold eviction pass that could not
+// free the needed bytes: every candidate was busy. The run proceeds over
+// budget (the alternative is deadlock), but loudly — counted, traced.
+func (rt *Runtime) noteEvictStall(need int64) {
+	rt.evictStalls.Add(1)
+	rt.tracer.Emit(obs.KindSwapStall, 0, need)
+}
+
+// EvictStalls returns how many hard-threshold eviction passes failed to
+// free the needed bytes because every victim candidate was busy.
+func (rt *Runtime) EvictStalls() uint64 { return rt.evictStalls.Load() }
 
 // maybeEvictForSoft responds to the soft threshold: when free memory drops
 // below the configured fraction, the out-of-core layer is "advised" to swap.
+// The advice is best-effort; an unmet need here is not a stall.
 func (rt *Runtime) maybeEvictForSoft() {
 	if need := rt.mem.NeedForSoft(); need > 0 {
 		rt.evictVictims(need, Nil, rt.mem.NeedForSoft)
 	}
 }
 
-// prefetchTick loads a few out-of-core objects with pending messages — the
-// out-of-core layer's prefetch cache at work. It runs even under memory
-// pressure: the load path evicts idle victims to make room, which is exactly
-// the streaming the runtime exists to overlap.
+// prefetchTick tops up the prefetch pipeline — the out-of-core layer's
+// cache population at work. It runs even under memory pressure: the load
+// path evicts idle victims to make room, which is exactly the streaming the
+// runtime exists to overlap. Queue-depth feedback throttles it: the tick
+// only fills the gap between the scheduler's queued prefetches and the
+// configured depth, and the scheduler itself refuses speculative loads when
+// its backlog saturates.
 func (rt *Runtime) prefetchTick() {
-	for _, id := range rt.mem.SuggestPrefetch(rt.pfDepth) {
-		lo := rt.findByOID(id)
+	if rt.closed.Load() {
+		return
+	}
+	budget := rt.pfDepth - rt.io.QueuedPrefetches()
+	if budget <= 0 {
+		return
+	}
+	for _, cand := range rt.mem.SuggestPrefetchRanked(budget) {
+		lo := rt.findByOID(cand.ID)
 		if lo == nil {
 			continue
 		}
+		class := swapio.Prefetch
+		if cand.Urgent {
+			class = swapio.Demand
+		}
 		lo.mu.Lock()
 		if lo.state == stOut {
-			rt.startLoadLocked(lo)
+			rt.startLoadLocked(lo, class)
 		}
 		lo.mu.Unlock()
 	}
@@ -204,10 +309,17 @@ func (rt *Runtime) findByOID(id ooc.ObjectID) *localObject {
 }
 
 // Lock pins the object in core: it will not be selected for eviction until
-// Unlock. Locking an out-of-core object also schedules its load.
-func (rt *Runtime) Lock(ptr MobilePtr) {
+// Unlock. Locking an out-of-core object also schedules its load at demand
+// class. It reports whether the object is local — a false return means the
+// pointer lives elsewhere (or was destroyed) and nothing was pinned;
+// callers that require residency must check it.
+func (rt *Runtime) Lock(ptr MobilePtr) bool {
+	if !rt.IsLocal(ptr) {
+		return false
+	}
 	rt.mem.Lock(oid(ptr))
-	rt.Prefetch(ptr)
+	rt.forceLoad(ptr)
+	return true
 }
 
 // Unlock releases a Lock.
@@ -217,21 +329,49 @@ func (rt *Runtime) Unlock(ptr MobilePtr) { rt.mem.Unlock(oid(ptr)) }
 // the object in core longer.
 func (rt *Runtime) SetPriority(ptr MobilePtr, pri int) { rt.mem.SetPriority(oid(ptr), pri) }
 
-// Prefetch schedules a load of a local out-of-core object ("force loading").
-func (rt *Runtime) Prefetch(ptr MobilePtr) {
+// Prefetch schedules a speculative load of a local out-of-core object. It
+// reports whether the object is local; a false return means the pointer
+// lives on another node (or was destroyed) and no load was scheduled.
+func (rt *Runtime) Prefetch(ptr MobilePtr) bool {
 	rt.mu.Lock()
 	lo := rt.objects[ptr]
 	rt.mu.Unlock()
 	if lo == nil {
-		return
+		return false
 	}
 	lo.mu.Lock()
-	if lo.state == stOut {
-		rt.startLoadLocked(lo)
-	} else if lo.state == stStoring {
+	switch lo.state {
+	case stOut:
+		rt.startLoadLocked(lo, swapio.Prefetch)
+	case stStoring:
 		lo.wantLoad = true
 	}
 	lo.mu.Unlock()
+	return true
+}
+
+// forceLoad is Prefetch at demand class — the paper's "force loading",
+// used when something is blocked on the object (a lock acquisition, a
+// multicast collection). A queued prefetch of the same key is promoted
+// rather than duplicated. It reports whether the object is local.
+func (rt *Runtime) forceLoad(ptr MobilePtr) bool {
+	rt.mu.Lock()
+	lo := rt.objects[ptr]
+	rt.mu.Unlock()
+	if lo == nil {
+		return false
+	}
+	lo.mu.Lock()
+	switch lo.state {
+	case stOut:
+		rt.startLoadLocked(lo, swapio.Demand)
+	case stStoring:
+		lo.wantLoad = true
+	case stLoading:
+		rt.io.Promote(storeKey(lo.ptr))
+	}
+	lo.mu.Unlock()
+	return true
 }
 
 // InCore reports whether the object is local and resident in memory.

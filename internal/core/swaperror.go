@@ -68,7 +68,7 @@ func (rt *Runtime) SwapStats() SwapStats {
 	return SwapStats{
 		LoadFailures:  rt.loadFailures.Load(),
 		StoreFailures: rt.storeFailures.Load(),
-		Retries:       rt.store.Retries(),
+		Retries:       rt.io.Retries(),
 		ObjectsLost:   rt.objectsLost.Load(),
 	}
 }

@@ -559,7 +559,11 @@ func onupdrLSendBuffer(c *core.Ctx, o *leafObj, arg []byte) {
 	if err != nil {
 		return
 	}
-	c.Lock(c.Self)
+	if !c.Lock(c.Self) {
+		// Self is local while its handler runs; a failed pin means the
+		// object is already gone — do not ship data on its behalf.
+		return
+	}
 	payload := encodeLAddToBuffer(o.Rect, o.Done, o.Boundary)
 	if !c.CallInline(target, hLAddToBuffer, payload) {
 		c.Post(target, hLAddToBuffer, payload)
@@ -666,7 +670,9 @@ func RunONUPDR(cl *cluster.Cluster, cfg NUPDRConfig) (Result, error) {
 		q.Pending = append(q.Pending, int32(i))
 	}
 	qptr := cl.RT(0).CreateObject(q)
-	cl.RT(0).Lock(qptr)
+	if !cl.RT(0).Lock(qptr) {
+		return Result{}, fmt.Errorf("meshgen: ONUPDR queue object %v not local after create", qptr)
+	}
 
 	// Kick off and hand control to the runtime.
 	cl.RT(0).Post(qptr, hQUpdate, encodeQUpdate(-1, 0, 0))

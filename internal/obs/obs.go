@@ -65,6 +65,16 @@ const (
 	// KindMcastCancel marks a multicast cancelled because a member object
 	// was lost.
 	KindMcastCancel
+	// KindSwapWait spans the time a demand load sat queued in the swap I/O
+	// scheduler before a worker dispatched it (ID: object).
+	KindSwapWait
+	// KindSwapCancel marks a queued prefetch load cancelled because it was
+	// superseded (memory pressure or shutdown; ID: object).
+	KindSwapCancel
+	// KindSwapStall marks a hard-threshold eviction pass that could not
+	// free the needed bytes — every victim candidate was busy (Arg: bytes
+	// still needed).
+	KindSwapStall
 	numKinds
 )
 
@@ -97,6 +107,12 @@ func (k Kind) String() string {
 		return "mcast.deliver"
 	case KindMcastCancel:
 		return "mcast.cancel"
+	case KindSwapWait:
+		return "swap.wait"
+	case KindSwapCancel:
+		return "swap.cancel"
+	case KindSwapStall:
+		return "swap.stall"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -106,7 +122,8 @@ func (k Kind) String() string {
 // thread per track in the Chrome trace).
 func (k Kind) Track() string {
 	switch k {
-	case KindSwapEvict, KindSwapLoad, KindSwapRetry, KindSwapStoreFail, KindSwapLost:
+	case KindSwapEvict, KindSwapLoad, KindSwapRetry, KindSwapStoreFail, KindSwapLost,
+		KindSwapWait, KindSwapCancel, KindSwapStall:
 		return "swap"
 	case KindCommSend, KindCommDeliver:
 		return "comm"

@@ -427,10 +427,20 @@ func (m *Manager) PickVictims(need int64) []ObjectID {
 	return out
 }
 
-// SuggestPrefetch returns up to limit out-of-core objects worth loading
-// ahead of need, ranked by pending message count then priority — the cache
-// population policy of the out-of-core layer.
-func (m *Manager) SuggestPrefetch(limit int) []ObjectID {
+// Candidate is one prefetch suggestion: the object plus a class hint for the
+// I/O scheduler. Urgent candidates already have messages queued — their load
+// is on the critical path and should go in at demand class; the rest are
+// speculation (priority hints) and belong in the prefetch class.
+type Candidate struct {
+	ID     ObjectID
+	Urgent bool
+}
+
+// SuggestPrefetchRanked returns up to limit out-of-core objects worth
+// loading ahead of need, ranked by pending message count then priority — the
+// cache population policy of the out-of-core layer — each tagged with its
+// urgency class hint.
+func (m *Manager) SuggestPrefetchRanked(limit int) []Candidate {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var cands []*entry
@@ -452,11 +462,46 @@ func (m *Manager) SuggestPrefetch(limit int) []ObjectID {
 	if limit > 0 && len(cands) > limit {
 		cands = cands[:limit]
 	}
-	out := make([]ObjectID, len(cands))
+	out := make([]Candidate, len(cands))
 	for i, e := range cands {
-		out[i] = e.id
+		out[i] = Candidate{ID: e.id, Urgent: e.queueLen > 0}
 	}
 	return out
+}
+
+// SuggestPrefetch returns just the object IDs of SuggestPrefetchRanked.
+func (m *Manager) SuggestPrefetch(limit int) []ObjectID {
+	ranked := m.SuggestPrefetchRanked(limit)
+	out := make([]ObjectID, len(ranked))
+	for i, c := range ranked {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// SetStoredSize records the serialized size of an object whose bytes just
+// hit (or are about to hit) the store: the size its reload will re-admit,
+// and the input to the largest-stored-object tracking behind the hard
+// threshold. Unlike SetSize it is meaningful for out-of-core entries; if the
+// object raced back in core (a write rollback), the in-core accounting is
+// adjusted like SetSize would.
+func (m *Manager) SetStoredSize(id ObjectID, size int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	if !ok {
+		return
+	}
+	if e.inCore {
+		m.used += size - e.size
+		if m.used > m.peak {
+			m.peak = m.used
+		}
+	}
+	e.size = size
+	if size > m.largestStored {
+		m.largestStored = size
+	}
 }
 
 // NoteLoadFailure records a load (or decode) that failed after retry.

@@ -450,3 +450,46 @@ func TestPropertyVictimsAreEvictable(t *testing.T) {
 		}
 	}
 }
+
+func TestSuggestPrefetchRanked(t *testing.T) {
+	m := newMgr(LRU, 1000)
+	for id := ObjectID(1); id <= 4; id++ {
+		m.Register(id, 100)
+		m.MarkOut(id)
+	}
+	m.SetQueueLen(2, 3)
+	m.SetQueueLen(3, 7)
+	m.SetPriority(4, 1)
+	got := m.SuggestPrefetchRanked(3)
+	if len(got) != 3 || got[0].ID != 3 || got[1].ID != 2 || got[2].ID != 4 {
+		t.Fatalf("SuggestPrefetchRanked = %v, want IDs [3 2 4]", got)
+	}
+	// Objects with queued messages are urgent — something waits on them;
+	// a priority hint alone is speculation.
+	if !got[0].Urgent || !got[1].Urgent {
+		t.Fatalf("queue-bearing candidates must be urgent: %v", got)
+	}
+	if got[2].Urgent {
+		t.Fatalf("priority-only candidate must not be urgent: %v", got)
+	}
+}
+
+func TestSetStoredSize(t *testing.T) {
+	m := newMgr(LRU, 1000)
+	m.Register(1, 100)
+	m.MarkOut(1)
+	m.SetStoredSize(1, 250)
+	if got := m.Size(1); got != 250 {
+		t.Fatalf("Size after SetStoredSize = %d, want 250", got)
+	}
+	// An out-of-core resize must not disturb the in-core accounting.
+	if used := m.MemUsed(); used != 0 {
+		t.Fatalf("MemUsed = %d after out-of-core resize, want 0", used)
+	}
+	// In-core resize adjusts usage like SetSize.
+	m.Register(2, 100)
+	m.SetStoredSize(2, 300)
+	if used := m.MemUsed(); used != 300 {
+		t.Fatalf("MemUsed = %d after in-core resize, want 300", used)
+	}
+}

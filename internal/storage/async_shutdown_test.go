@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingStore stalls every Put until released — the instrument for
+// holding an async operation in flight across a Close.
+type blockingStore struct {
+	*MemStore
+	release chan struct{}
+	started chan struct{}
+}
+
+func newBlocking() *blockingStore {
+	return &blockingStore{
+		MemStore: NewMem(),
+		release:  make(chan struct{}),
+		started:  make(chan struct{}, 16),
+	}
+}
+
+func (b *blockingStore) Put(key Key, data []byte) error {
+	b.started <- struct{}{}
+	<-b.release
+	return b.MemStore.Put(key, data)
+}
+
+// TestAsyncCloseDrainsInFlight: Close must wait for an operation a worker
+// has already picked up, and the operation must complete successfully.
+func TestAsyncCloseDrainsInFlight(t *testing.T) {
+	st := newBlocking()
+	a := NewAsync(st, 1)
+	r := a.PutAsync("k", []byte("v"))
+	<-st.started // the worker is inside Put
+
+	closed := make(chan struct{})
+	go func() { a.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned with a Put still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	st.release <- struct{}{}
+	if _, err := r.Wait(); err != nil {
+		t.Fatalf("in-flight Put at Close: %v", err)
+	}
+	<-closed
+	if !st.MemStore.Has("k") {
+		t.Fatal("drained Put did not land")
+	}
+}
+
+// TestAsyncCloseDrainsQueued: operations still queued (no worker has picked
+// them up) when Close is called must run to completion, not be dropped.
+func TestAsyncCloseDrainsQueued(t *testing.T) {
+	st := newBlocking()
+	a := NewAsync(st, 1)
+	first := a.PutAsync("k0", []byte("v"))
+	<-st.started
+	var queued []*AsyncResult
+	for i := 1; i < 5; i++ {
+		queued = append(queued, a.PutAsync(Key(fmt.Sprintf("k%d", i)), []byte("v")))
+	}
+	done := make(chan struct{})
+	go func() { a.Close(); close(done) }()
+	go func() {
+		for i := 0; i < 5; i++ {
+			st.release <- struct{}{}
+			if i < 4 {
+				<-st.started
+			}
+		}
+	}()
+	if _, err := first.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range queued {
+		if _, err := r.Wait(); err != nil {
+			t.Fatalf("queued Put %d dropped at Close: %v", i+1, err)
+		}
+	}
+	<-done
+	for i := 0; i < 5; i++ {
+		if !st.MemStore.Has(Key(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("k%d missing after drain", i)
+		}
+	}
+}
+
+// TestAsyncSubmitAfterClose: every submission after Close completes
+// immediately with ErrClosed and leaves no trace in the store.
+func TestAsyncSubmitAfterClose(t *testing.T) {
+	st := NewMem()
+	a := NewAsync(st, 2)
+	a.Close()
+	if _, err := a.PutAsync("k", []byte("v")).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PutAsync after Close: want ErrClosed, got %v", err)
+	}
+	if _, err := a.GetAsync("k").Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("GetAsync after Close: want ErrClosed, got %v", err)
+	}
+	if st.Has("k") {
+		t.Fatal("post-Close Put reached the store")
+	}
+	if n := a.InFlight(); n != 0 {
+		t.Fatalf("refused submissions left InFlight at %d", n)
+	}
+}
+
+// TestAsyncBackpressureUnderBacklog: the queue is unbounded by design, so a
+// large burst against a slow single worker must neither drop nor deadlock —
+// every submission completes and InFlight returns to zero.
+func TestAsyncBackpressureUnderBacklog(t *testing.T) {
+	a := NewAsync(NewLatency(NewMem(), DiskModel{Seek: 50 * time.Microsecond}), 1)
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		r := a.PutAsync(Key(fmt.Sprintf("k%d", i)), make([]byte, 64))
+		go func() {
+			defer wg.Done()
+			if _, err := r.Wait(); err != nil {
+				t.Errorf("burst Put: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := a.InFlight(); n != 0 {
+		t.Fatalf("InFlight = %d after all results delivered", n)
+	}
+	a.Close()
+}

@@ -61,6 +61,27 @@ func (r *retrier) jitter(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
+// Retrier executes storage operations under a RetryPolicy, absorbing
+// transient failures with exponential backoff and jitter. It is the policy
+// engine shared by the Async facade and the swap I/O scheduler, exported so
+// both layers retry with identical semantics (same backoff envelope, same
+// IsPermanent cutoff, same OnRetry observation).
+type Retrier struct {
+	r *retrier
+}
+
+// NewRetrier returns a Retrier for the given policy.
+func NewRetrier(p RetryPolicy) *Retrier {
+	return &Retrier{r: newRetrier(p)}
+}
+
+// Do runs op, retrying transient failures within the attempt budget. key is
+// reported to the policy's OnRetry observer.
+func (t *Retrier) Do(key Key, op func() error) error { return t.r.do(key, op) }
+
+// Retries returns the cumulative count of absorbed (retried) failures.
+func (t *Retrier) Retries() uint64 { return t.r.retries.Load() }
+
 // do runs op, retrying transient failures within the attempt budget.
 func (r *retrier) do(key Key, op func() error) error {
 	var err error

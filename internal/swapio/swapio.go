@@ -1,0 +1,558 @@
+// Package swapio implements the MRTS disk pipeline: a priority-classed,
+// coalescing, bounded I/O scheduler through which every byte of the swap
+// path flows. It replaces the one-goroutine-per-operation swap code in the
+// control layer and subsumes the FIFO queue of storage.Async for runtime
+// use: requests carry an explicit class, a bounded worker pool serves them
+// strictly in class order, and serialization (encode on eviction, the read
+// itself on load) happens on the I/O workers so compute workers never stall
+// inside drain.
+//
+// The three classes, in service order:
+//
+//	Demand   — a load a message handler is blocked on ("force loading").
+//	Write    — an eviction write freeing memory for something else.
+//	Prefetch — a speculative load ahead of need (the prefetch cache).
+//
+// Two further rules keep the pipeline honest. Per-key coalescing: a second
+// load of a key already queued or in flight joins the first request instead
+// of issuing a duplicate read, and a demand joiner promotes a still-queued
+// prefetch to demand class. Bounded speculation: when the backlog reaches the
+// configured bound, further Prefetch submissions are refused (never Demand or
+// Write — refusing those could deadlock the eviction path that runs on the
+// workers themselves), and queued prefetches can be cancelled wholesale when
+// memory pressure or shutdown supersedes them.
+package swapio
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"mrts/internal/obs"
+	"mrts/internal/storage"
+)
+
+// Class prioritizes a request; lower values are served first.
+type Class uint8
+
+// The three request classes, in strict service order.
+const (
+	// Demand is a load something is blocked on: a queued message, a
+	// migration, a multicast collection.
+	Demand Class = iota
+	// Write is an eviction write; it frees memory but blocks nobody
+	// directly.
+	Write
+	// Prefetch is a speculative load ahead of need.
+	Prefetch
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Demand:
+		return "demand"
+	case Write:
+		return "write"
+	case Prefetch:
+		return "prefetch"
+	default:
+		return "invalid"
+	}
+}
+
+// ErrCanceled is delivered to the callbacks of a queued prefetch that was
+// cancelled before a worker picked it up.
+var ErrCanceled = errors.New("swapio: request canceled")
+
+// Config configures a Scheduler.
+type Config struct {
+	// Workers is the I/O worker count (<= 0 means 2).
+	Workers int
+	// QueueBound is the queued-request count at which further Prefetch
+	// submissions are refused (<= 0 means 64). Demand and Write are never
+	// bounded.
+	QueueBound int
+	// Retry is the retry policy applied to every Get/Put (see
+	// storage.RetryPolicy). The zero value means a single attempt.
+	Retry storage.RetryPolicy
+	// Tracer, when non-nil, receives swap.wait spans (queue time of demand
+	// loads) and swap.cancel events.
+	Tracer *obs.Tracer
+}
+
+type opKind uint8
+
+const (
+	opLoad opKind = iota
+	opStore
+	opDelete
+)
+
+// request is one queued or running operation.
+type request struct {
+	op      opKind
+	key     storage.Key
+	id      uint64
+	class   Class
+	enq     time.Time
+	span    obs.Span // open swap.wait span for demand loads
+	running bool
+
+	// Loads accumulate callbacks as duplicates coalesce onto the first.
+	dones []func([]byte, error)
+
+	// Stores pipeline serialization onto the worker: encode produces the
+	// blob there, encoded (optional) observes its size between a successful
+	// encode and the Put, done receives the blob and the final error.
+	encode  func() ([]byte, error)
+	encoded func(int)
+	done    func([]byte, error)
+}
+
+// Stats is a point-in-time snapshot of scheduler activity. Aggregate
+// snapshots from several schedulers with Add.
+type Stats struct {
+	// Submitted requests per class (accepted ones; rejections count in
+	// Rejected).
+	DemandLoads, Writes, Prefetches uint64
+	// Completed requests per class (cancelled prefetches count in
+	// Cancelled, not here).
+	CompletedDemand, CompletedWrites, CompletedPrefetch uint64
+	// Coalesced counts loads that joined an in-flight request of the same
+	// key instead of issuing a duplicate read.
+	Coalesced uint64
+	// Cancelled counts queued prefetches removed before running.
+	Cancelled uint64
+	// Rejected counts Prefetch submissions refused by the queue bound.
+	Rejected uint64
+	// QueueDepth is the currently queued (not yet running) request count;
+	// MaxQueueDepth is its high-water mark.
+	QueueDepth, MaxQueueDepth int
+	// Demand-load queue-wait accounting: total and max time demand loads
+	// sat queued before dispatch, and how many were measured.
+	DemandWaits     uint64
+	DemandWaitTotal time.Duration
+	DemandWaitMax   time.Duration
+	// Retries is the cumulative count of transient faults absorbed by the
+	// retry layer.
+	Retries uint64
+}
+
+// DemandWaitMean returns the mean demand-load queue wait (0 when none).
+func (s Stats) DemandWaitMean() time.Duration {
+	if s.DemandWaits == 0 {
+		return 0
+	}
+	return s.DemandWaitTotal / time.Duration(s.DemandWaits)
+}
+
+// Add merges other into s (sums for counters, max for high-water marks).
+func (s *Stats) Add(other Stats) {
+	s.DemandLoads += other.DemandLoads
+	s.Writes += other.Writes
+	s.Prefetches += other.Prefetches
+	s.CompletedDemand += other.CompletedDemand
+	s.CompletedWrites += other.CompletedWrites
+	s.CompletedPrefetch += other.CompletedPrefetch
+	s.Coalesced += other.Coalesced
+	s.Cancelled += other.Cancelled
+	s.Rejected += other.Rejected
+	s.QueueDepth += other.QueueDepth
+	if other.MaxQueueDepth > s.MaxQueueDepth {
+		s.MaxQueueDepth = other.MaxQueueDepth
+	}
+	s.DemandWaits += other.DemandWaits
+	s.DemandWaitTotal += other.DemandWaitTotal
+	if other.DemandWaitMax > s.DemandWaitMax {
+		s.DemandWaitMax = other.DemandWaitMax
+	}
+	s.Retries += other.Retries
+}
+
+// Scheduler is the swap-path I/O scheduler for one node. It owns the backing
+// store: Close drains the pending demand and write work, cancels queued
+// prefetches, and closes the store.
+type Scheduler struct {
+	st     storage.Store
+	retry  *storage.Retrier
+	tracer *obs.Tracer
+	bound  int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues [numClasses][]*request
+	loads  map[storage.Key]*request // queued or running loads, by key
+	queued int
+	closed bool
+	wg     sync.WaitGroup
+
+	// Counters, under mu.
+	submitted [numClasses]uint64
+	completed [numClasses]uint64
+	coalesced uint64
+	cancelled uint64
+	rejected  uint64
+	maxDepth  int
+
+	demandWaits     uint64
+	demandWaitTotal time.Duration
+	demandWaitMax   time.Duration
+}
+
+// New returns a running Scheduler over st. The Scheduler owns st and closes
+// it on Close.
+func New(st storage.Store, cfg Config) *Scheduler {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	bound := cfg.QueueBound
+	if bound <= 0 {
+		bound = 64
+	}
+	s := &Scheduler{
+		st:     st,
+		retry:  storage.NewRetrier(cfg.Retry),
+		tracer: cfg.Tracer,
+		bound:  bound,
+		loads:  make(map[storage.Key]*request),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Backing returns the underlying store, for the few paths (checkpointing)
+// that need synchronous access outside the scheduler's queue.
+func (s *Scheduler) Backing() storage.Store { return s.st }
+
+// Retries returns the cumulative count of absorbed transient faults.
+func (s *Scheduler) Retries() uint64 { return s.retry.Retries() }
+
+// QueueDepth returns the number of queued (not yet dispatched) requests.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// QueuedPrefetches returns the number of queued prefetch-class requests —
+// the feedback signal the prefetch policy throttles on.
+func (s *Scheduler) QueuedPrefetches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[Prefetch])
+}
+
+// Load schedules a read of key at the given class (Write is not a load
+// class and is treated as Demand). done runs on an I/O worker with the blob
+// and the post-retry error — decode there, not on a compute worker — or,
+// for a cancelled prefetch, on the canceller's goroutine with ErrCanceled.
+//
+// A load of a key already queued or in flight coalesces: done joins the
+// existing request's callback list and no second read is issued; a Demand
+// joiner additionally promotes a still-queued prefetch. Load reports whether
+// the request was accepted (or joined); it refuses when the scheduler is
+// closed, or for Prefetch class when the backlog is at the bound.
+func (s *Scheduler) Load(key storage.Key, id uint64, class Class, done func([]byte, error)) bool {
+	if class == Write {
+		class = Demand
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if r, ok := s.loads[key]; ok {
+		r.dones = append(r.dones, done)
+		s.coalesced++
+		if class == Demand && !r.running && r.class == Prefetch {
+			s.promoteLocked(r)
+		}
+		s.mu.Unlock()
+		return true
+	}
+	if class == Prefetch && s.queued >= s.bound {
+		s.rejected++
+		s.mu.Unlock()
+		return false
+	}
+	r := &request{op: opLoad, key: key, id: id, class: class, enq: time.Now(),
+		dones: []func([]byte, error){done}}
+	if class == Demand {
+		r.span = s.tracer.Start(obs.KindSwapWait, id)
+	}
+	s.loads[key] = r
+	s.pushLocked(r)
+	s.mu.Unlock()
+	return true
+}
+
+// LoadSync is Load at Demand class, blocking for the result — the migration
+// path's synchronous read. It coalesces with any in-flight load of key.
+// Never call it from an I/O worker callback: with one worker it would wait
+// on itself.
+func (s *Scheduler) LoadSync(key storage.Key, id uint64) ([]byte, error) {
+	type result struct {
+		blob []byte
+		err  error
+	}
+	ch := make(chan result, 1)
+	if !s.Load(key, id, Demand, func(blob []byte, err error) {
+		ch <- result{blob, err}
+	}) {
+		return nil, storage.ErrClosed
+	}
+	r := <-ch
+	return r.blob, r.err
+}
+
+// Store schedules an eviction write. encode runs on an I/O worker (the
+// pipelined serialization); encoded, when non-nil, observes the blob size
+// between a successful encode and the Put — the hook the runtime uses to
+// record the serialized size; done receives the blob and the final error.
+// When encode itself fails, done gets (nil, encodeErr) and encoded never
+// runs. Store reports whether the request was accepted; writes are never
+// bounded, only a closed scheduler refuses them (and then nothing runs).
+func (s *Scheduler) Store(key storage.Key, id uint64, encode func() ([]byte, error), encoded func(int), done func([]byte, error)) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	r := &request{op: opStore, key: key, id: id, class: Write, enq: time.Now(),
+		encode: encode, encoded: encoded, done: done}
+	s.pushLocked(r)
+	s.mu.Unlock()
+	return true
+}
+
+// Delete schedules removal of key's blob (write class, fire-and-forget) so
+// migrated-away and destroyed objects do not leak disk. It reports whether
+// the request was accepted.
+func (s *Scheduler) Delete(key storage.Key) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	r := &request{op: opDelete, key: key, class: Write, enq: time.Now()}
+	s.pushLocked(r)
+	s.mu.Unlock()
+	return true
+}
+
+// Promote upgrades a still-queued prefetch load of key to Demand class (the
+// object now blocks a handler). It reports whether a load of key is in
+// flight at all — false means the caller must issue its own demand load.
+func (s *Scheduler) Promote(key storage.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.loads[key]
+	if !ok {
+		return false
+	}
+	if !r.running && r.class == Prefetch {
+		s.promoteLocked(r)
+	}
+	return true
+}
+
+// promoteLocked moves a queued prefetch to the demand queue and starts its
+// wait measurement. Caller holds s.mu; r must be queued (not running).
+func (s *Scheduler) promoteLocked(r *request) {
+	q := s.queues[r.class]
+	for i, qr := range q {
+		if qr == r {
+			s.queues[r.class] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	r.class = Demand
+	r.enq = time.Now()
+	r.span = s.tracer.Start(obs.KindSwapWait, r.id)
+	s.queues[Demand] = append(s.queues[Demand], r)
+	s.cond.Signal()
+}
+
+// CancelPrefetches removes every queued prefetch and invokes its callbacks
+// with ErrCanceled on the caller's goroutine (running requests are never
+// interrupted). It returns the number cancelled. Used when memory pressure
+// or shutdown supersedes the speculation.
+func (s *Scheduler) CancelPrefetches() int {
+	s.mu.Lock()
+	victims := s.cancelQueuedPrefetchesLocked()
+	s.mu.Unlock()
+	for _, r := range victims {
+		for _, d := range r.dones {
+			d(nil, ErrCanceled)
+		}
+	}
+	return len(victims)
+}
+
+// cancelQueuedPrefetchesLocked detaches the queued prefetches without
+// invoking callbacks. Caller holds s.mu and must run the callbacks after
+// releasing it.
+func (s *Scheduler) cancelQueuedPrefetchesLocked() []*request {
+	victims := s.queues[Prefetch]
+	s.queues[Prefetch] = nil
+	s.queued -= len(victims)
+	for _, r := range victims {
+		delete(s.loads, r.key)
+		s.cancelled++
+		s.tracer.Emit(obs.KindSwapCancel, r.id, 0)
+	}
+	return victims
+}
+
+// Close stops intake, cancels the queued prefetches, drains the queued
+// demand loads and writes, waits for the workers and closes the backing
+// store. Submissions after Close return false. Close is idempotent.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	victims := s.cancelQueuedPrefetchesLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, r := range victims {
+		for _, d := range r.dones {
+			d(nil, ErrCanceled)
+		}
+	}
+	s.wg.Wait()
+	return s.st.Close()
+}
+
+// Snapshot returns the current statistics.
+func (s *Scheduler) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		DemandLoads:       s.submitted[Demand],
+		Writes:            s.submitted[Write],
+		Prefetches:        s.submitted[Prefetch],
+		CompletedDemand:   s.completed[Demand],
+		CompletedWrites:   s.completed[Write],
+		CompletedPrefetch: s.completed[Prefetch],
+		Coalesced:         s.coalesced,
+		Cancelled:         s.cancelled,
+		Rejected:          s.rejected,
+		QueueDepth:        s.queued,
+		MaxQueueDepth:     s.maxDepth,
+		DemandWaits:       s.demandWaits,
+		DemandWaitTotal:   s.demandWaitTotal,
+		DemandWaitMax:     s.demandWaitMax,
+		Retries:           s.retry.Retries(),
+	}
+}
+
+// pushLocked enqueues r and wakes one worker. Caller holds s.mu.
+func (s *Scheduler) pushLocked(r *request) {
+	s.queues[r.class] = append(s.queues[r.class], r)
+	s.submitted[r.class]++
+	s.queued++
+	if s.queued > s.maxDepth {
+		s.maxDepth = s.queued
+	}
+	s.cond.Signal()
+}
+
+// popLocked removes the highest-priority queued request (nil when empty).
+// Caller holds s.mu.
+func (s *Scheduler) popLocked() *request {
+	for c := Class(0); c < numClasses; c++ {
+		if q := s.queues[c]; len(q) > 0 {
+			r := q[0]
+			s.queues[c] = q[1:]
+			s.queued--
+			return r
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queued == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		r := s.popLocked()
+		if r == nil {
+			// Closed and drained.
+			s.mu.Unlock()
+			return
+		}
+		r.running = true
+		if r.op == opLoad && r.class == Demand {
+			w := time.Since(r.enq)
+			s.demandWaits++
+			s.demandWaitTotal += w
+			if w > s.demandWaitMax {
+				s.demandWaitMax = w
+			}
+			r.span.End(0)
+		}
+		s.mu.Unlock()
+		s.execute(r)
+	}
+}
+
+// execute runs r on the calling worker and invokes its callbacks.
+func (s *Scheduler) execute(r *request) {
+	switch r.op {
+	case opLoad:
+		var blob []byte
+		err := s.retry.Do(r.key, func() error {
+			var e error
+			blob, e = s.st.Get(r.key)
+			return e
+		})
+		s.mu.Lock()
+		// Remove from the coalescing map before the callbacks run: a
+		// late joiner must issue a fresh read, not attach to a request
+		// whose result is already being delivered.
+		delete(s.loads, r.key)
+		dones := r.dones
+		r.dones = nil
+		s.completed[r.class]++
+		s.mu.Unlock()
+		for _, d := range dones {
+			d(blob, err)
+		}
+	case opStore:
+		blob, err := r.encode()
+		if err != nil {
+			s.finish(Write)
+			r.done(nil, err)
+			return
+		}
+		if r.encoded != nil {
+			r.encoded(len(blob))
+		}
+		err = s.retry.Do(r.key, func() error { return s.st.Put(r.key, blob) })
+		s.finish(Write)
+		r.done(blob, err)
+	case opDelete:
+		_ = s.st.Delete(r.key)
+		s.finish(Write)
+	}
+}
+
+func (s *Scheduler) finish(c Class) {
+	s.mu.Lock()
+	s.completed[c]++
+	s.mu.Unlock()
+}
