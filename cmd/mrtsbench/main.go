@@ -39,6 +39,7 @@ func main() {
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
 		jsonPath  = flag.String("json", "", "write machine-readable metrics (bench.Doc JSON)")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address while running")
+		seed      = flag.Int64("seed", 0, "perturb every seeded random stream in the experiments (0 = legacy fixed seeds)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
-	opts := bench.Options{Scale: *scale, PEs: *pes}
+	opts := bench.Options{Scale: *scale, PEs: *pes, Seed: *seed}
 	var sink *obs.TraceSink
 	if *tracePath != "" {
 		sink = obs.NewTraceSink(obs.DefaultCapacity)

@@ -30,6 +30,20 @@ type Options struct {
 	// cluster the experiments build; the caller exports the sink to a
 	// Perfetto-loadable file afterwards (mrtsbench -trace).
 	Trace *obs.TraceSink
+	// Seed perturbs every seeded random stream the experiments draw
+	// (access skew, directory traffic). Zero keeps the legacy fixed
+	// seeds, so the CI bench baseline stays bit-stable by default.
+	Seed int64
+}
+
+// seedFor returns the rng seed for one experiment stream: the stream's
+// legacy fixed seed when no global seed was given, otherwise the global
+// seed folded with the stream id so distinct streams stay decorrelated.
+func (o Options) seedFor(stream int64) int64 {
+	if o.Seed == 0 {
+		return stream
+	}
+	return o.Seed + stream*7919
 }
 
 func (o Options) withDefaults() Options {
@@ -505,7 +519,7 @@ func Policies(opts Options) (*Table, error) {
 	// pattern does: recency- and frequency-aware schemes keep the hot set
 	// resident, MRU/MU evict it.
 	for _, p := range ooc.Policies() {
-		loads, evicts, elapsed, err := skewedAccessRun(p, int(400*opts.Scale)+100)
+		loads, evicts, elapsed, err := skewedAccessRun(p, int(400*opts.Scale)+100, opts.seedFor(7))
 		if err != nil {
 			return nil, err
 		}
@@ -516,7 +530,7 @@ func Policies(opts Options) (*Table, error) {
 
 // skewedAccessRun posts rounds of messages where 80% of the traffic hits 20%
 // of the objects, under a budget that only fits the hot set.
-func skewedAccessRun(policy ooc.Policy, rounds int) (loads, evicts int, elapsed time.Duration, err error) {
+func skewedAccessRun(policy ooc.Policy, rounds int, seed int64) (loads, evicts int, elapsed time.Duration, err error) {
 	tr := comm.NewInProc(1, comm.LatencyModel{})
 	defer tr.Close()
 	pool := sched.NewWorkStealing(1)
@@ -541,7 +555,7 @@ func skewedAccessRun(policy ooc.Policy, rounds int) (loads, evicts int, elapsed 
 	for i := 0; i < 50; i++ {
 		ptrs = append(ptrs, rt.CreateObject(&kbObj{}))
 	}
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(seed))
 	start := time.Now()
 	lastCold := -1
 	for r := 0; r < rounds; r++ {
@@ -596,7 +610,7 @@ func DirPolicies(opts Options) (*Table, error) {
 		posts = 200
 	}
 	for _, policy := range core.DirectoryPolicies() {
-		elapsed, fwd, upd, err := dirPolicyRun(opts.PEs, objects, posts, policy)
+		elapsed, fwd, upd, err := dirPolicyRun(opts.PEs, objects, posts, policy, opts.seedFor(11))
 		if err != nil {
 			return nil, err
 		}
@@ -605,7 +619,7 @@ func DirPolicies(opts Options) (*Table, error) {
 	return t, nil
 }
 
-func dirPolicyRun(nodes, objects, posts int, policy core.DirectoryPolicy) (time.Duration, int64, int64, error) {
+func dirPolicyRun(nodes, objects, posts int, policy core.DirectoryPolicy, seed int64) (time.Duration, int64, int64, error) {
 	tr := comm.NewInProc(nodes, comm.LatencyModel{Latency: 100 * time.Microsecond})
 	defer tr.Close()
 	var pools []sched.Pool
@@ -654,7 +668,7 @@ func dirPolicyRun(nodes, objects, posts int, policy core.DirectoryPolicy) (time.
 	core.WaitQuiescence(rts...)
 	time.Sleep(5 * time.Millisecond) // let eager broadcasts land
 	start := time.Now()
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(seed))
 	// Several rounds: the first touches pay for staleness, later rounds
 	// show the steady state each policy converges to.
 	for round := 0; round < 3; round++ {

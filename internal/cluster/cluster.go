@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"mrts/internal/clock"
 	"mrts/internal/comm"
 	"mrts/internal/core"
 	"mrts/internal/obs"
@@ -88,6 +89,20 @@ type Config struct {
 	// TraceLabel prefixes the per-node tracer labels (e.g. "fig8/" makes
 	// "fig8/node0"), distinguishing clusters that share one sink.
 	TraceLabel string
+	// Clock is the shared time source of every layer in the cluster:
+	// transport delivery delays, disk service times, retry backoff,
+	// termination probing. Nil means the wall clock; the simulation harness
+	// injects a virtual clock so modeled latencies cost no real time.
+	Clock clock.Clock
+	// Seed derives every node's deterministic randomness: work-stealing
+	// victim selection (Seed + node*65537), retry jitter and fault injection
+	// (node-folded inside their layers). Zero is a valid fixed seed; two
+	// clusters built with the same Config replay the same random choices.
+	Seed int64
+	// NodeDisk, when non-nil, overrides Disk per node — the hook the
+	// simulation harness uses to model one slow node. Nodes with a zero
+	// model get no latency wrapper.
+	NodeDisk func(node int) storage.DiskModel
 }
 
 // Cluster is a set of wired MRTS nodes.
@@ -99,6 +114,7 @@ type Cluster struct {
 	cols    []*trace.Collector
 	tracers []*obs.Tracer
 	memsrv  *remotemem.Server
+	clk     clock.Clock
 	start   time.Time
 }
 
@@ -117,7 +133,8 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RemoteMemory {
 		endpoints++ // the memory server node
 	}
-	c := &Cluster{cfg: cfg, tr: comm.NewInProc(endpoints, cfg.Network), start: time.Now()}
+	clk := clock.Or(cfg.Clock)
+	c := &Cluster{cfg: cfg, tr: comm.NewInProcClock(endpoints, cfg.Network, clk), clk: clk, start: clk.Now()}
 	if cfg.RemoteMemory {
 		c.memsrv = remotemem.NewServer(c.tr.Endpoint(comm.NodeID(cfg.Nodes)))
 	}
@@ -127,7 +144,7 @@ func New(cfg Config) (*Cluster, error) {
 		case GlobalQueue:
 			pool = sched.NewGlobalQueue(cfg.WorkersPerNode)
 		default:
-			pool = sched.NewWorkStealing(cfg.WorkersPerNode)
+			pool = sched.NewWorkStealingSeeded(cfg.WorkersPerNode, cfg.Seed+int64(i)*65537)
 		}
 		var st storage.Store
 		switch {
@@ -143,8 +160,12 @@ func New(cfg Config) (*Cluster, error) {
 		default:
 			st = storage.NewMem()
 		}
-		if !cfg.RemoteMemory && (cfg.Disk.Seek > 0 || cfg.Disk.BytesPerSec > 0) {
-			st = storage.NewLatency(st, cfg.Disk)
+		disk := cfg.Disk
+		if cfg.NodeDisk != nil {
+			disk = cfg.NodeDisk(i)
+		}
+		if !cfg.RemoteMemory && (disk.Seek > 0 || disk.BytesPerSec > 0) {
+			st = storage.NewLatencyClock(st, disk, clk)
 		}
 		if cfg.Fault != nil {
 			fc := *cfg.Fault
@@ -163,8 +184,8 @@ func New(cfg Config) (*Cluster, error) {
 			commDelay = cfg.Network.Delay
 		}
 		var diskDelay func(int) time.Duration
-		if cfg.Disk.Seek > 0 || cfg.Disk.BytesPerSec > 0 {
-			diskDelay = cfg.Disk.ServiceTime
+		if disk.Seek > 0 || disk.BytesPerSec > 0 {
+			diskDelay = disk.ServiceTime
 		}
 		var onSwapError func(core.SwapError)
 		if cfg.OnSwapError != nil {
@@ -172,6 +193,13 @@ func New(cfg Config) (*Cluster, error) {
 			hook := cfg.OnSwapError
 			onSwapError = func(e core.SwapError) { hook(node, e) }
 		}
+		retry := cfg.Retry
+		if retry.Clock == nil {
+			retry.Clock = cfg.Clock
+		}
+		// Fold the node index into the jitter seed so concurrent retriers
+		// decorrelate while staying reproducible from Config.Seed.
+		retry.Seed += cfg.Seed + int64(i)*7919
 		rt := core.NewRuntime(core.Config{
 			Endpoint:      c.tr.Endpoint(comm.NodeID(i)),
 			Pool:          pool,
@@ -181,12 +209,13 @@ func New(cfg Config) (*Cluster, error) {
 			IOWorkers:     cfg.IOWorkers,
 			QueueDepth:    cfg.QueueDepth,
 			PrefetchDepth: cfg.PrefetchDepth,
-			Retry:         cfg.Retry,
+			Retry:         retry,
 			OnSwapError:   onSwapError,
 			Collector:     col,
 			Tracer:        tracer,
 			CommDelay:     commDelay,
 			DiskDelay:     diskDelay,
+			Clock:         cfg.Clock,
 		})
 		c.pools = append(c.pools, pool)
 		c.rts = append(c.rts, rt)
@@ -219,7 +248,7 @@ func (c *Cluster) Wait() { core.WaitQuiescence(c.rts...) }
 
 // Report merges the per-node trace reports for the elapsed wall time.
 func (c *Cluster) Report() trace.Report {
-	wall := time.Since(c.start)
+	wall := c.clk.Since(c.start)
 	reports := make([]trace.Report, len(c.cols))
 	for i, col := range c.cols {
 		reports[i] = col.Report()

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mrts/internal/clock"
 	"mrts/internal/obs"
 )
 
@@ -60,12 +61,20 @@ type inprocEndpoint struct {
 type InProcTransport struct {
 	eps   []*inprocEndpoint
 	model LatencyModel
+	clk   clock.Clock
 }
 
 // NewInProc returns an in-process transport with n endpoints and the given
-// latency model.
+// latency model, timed on the wall clock.
 func NewInProc(n int, model LatencyModel) *InProcTransport {
-	tr := &InProcTransport{model: model}
+	return NewInProcClock(n, model, nil)
+}
+
+// NewInProcClock is NewInProc with an injected clock (nil means the wall
+// clock). Delivery delays from the latency model elapse on that clock, so a
+// virtual clock makes the modeled network cost free in wall time.
+func NewInProcClock(n int, model LatencyModel, clk clock.Clock) *InProcTransport {
+	tr := &InProcTransport{model: model, clk: clock.Or(clk)}
 	for i := 0; i < n; i++ {
 		ep := &inprocEndpoint{
 			id:       NodeID(i),
@@ -113,7 +122,7 @@ func (e *inprocEndpoint) Send(to NodeID, handler uint32, payload []byte) error {
 	dst := e.tr.eps[to]
 	it := item{
 		msg:       Message{From: e.id, Handler: handler, Payload: payload},
-		deliverAt: time.Now().Add(e.tr.model.Delay(len(payload))),
+		deliverAt: e.tr.clk.Now().Add(e.tr.model.Delay(len(payload))),
 	}
 	dst.mu.Lock()
 	if dst.closed {
@@ -144,8 +153,8 @@ func (e *inprocEndpoint) dispatch() {
 		e.queue = e.queue[1:]
 		e.mu.Unlock()
 
-		if d := time.Until(it.deliverAt); d > 0 {
-			time.Sleep(d)
+		if d := it.deliverAt.Sub(e.tr.clk.Now()); d > 0 {
+			e.tr.clk.Sleep(d)
 		}
 		e.hmu.RLock()
 		h := e.handlers[it.msg.Handler]

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"mrts/internal/clock"
 	"mrts/internal/comm"
 	"mrts/internal/ooc"
 	"mrts/internal/sched"
@@ -62,8 +63,22 @@ type cluster struct {
 }
 
 func newCluster(t testing.TB, n int, budget int64) *cluster {
+	return newClusterClock(t, n, budget, nil)
+}
+
+// newVirtualCluster builds a cluster on a fresh virtual clock, for tests
+// that run their schedule in virtual time. The clock stops after the
+// cluster's own cleanup (LIFO), so shutdown still has a live clock.
+func newVirtualCluster(t testing.TB, n int, budget int64) (*cluster, *clock.Virtual) {
 	t.Helper()
-	tr := comm.NewInProc(n, comm.LatencyModel{})
+	vclk := clock.NewVirtual()
+	t.Cleanup(vclk.Stop)
+	return newClusterClock(t, n, budget, vclk), vclk
+}
+
+func newClusterClock(t testing.TB, n int, budget int64, clk clock.Clock) *cluster {
+	t.Helper()
+	tr := comm.NewInProcClock(n, comm.LatencyModel{}, clk)
 	c := &cluster{tr: tr}
 	for i := 0; i < n; i++ {
 		rt := NewRuntime(Config{
@@ -73,6 +88,7 @@ func newCluster(t testing.TB, n int, budget int64) *cluster {
 			Mem:       ooc.Config{Budget: budget},
 			Store:     storage.NewMem(),
 			Collector: trace.NewCollector(),
+			Clock:     clk,
 			CommDelay: func(size int) time.Duration {
 				return 10*time.Microsecond + time.Duration(size)*time.Nanosecond
 			},

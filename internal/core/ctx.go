@@ -2,7 +2,6 @@ package core
 
 import (
 	"sync"
-	"time"
 
 	"mrts/internal/sched"
 	"mrts/internal/trace"
@@ -69,7 +68,7 @@ func (c *Ctx) CallInline(dst MobilePtr, h HandlerID, arg []byte) bool {
 	obj := lo.obj
 	lo.mu.Unlock()
 
-	rt.runHandler(dst, obj, queued{handler: h, sentAt: time.Now().UnixNano(), arg: arg}, c.sc)
+	rt.runHandler(dst, obj, queued{handler: h, sentAt: rt.clk.Now().UnixNano(), arg: arg}, c.sc)
 
 	lo.mu.Lock()
 	lo.running = false
@@ -97,14 +96,15 @@ func (c *Ctx) ForEach(n int, f func(i int)) {
 		return
 	}
 	col := c.rt.col
+	clk := c.rt.clk
 	sched.ForEachN(c.rt.pool, n, func(i int) {
 		if col == nil {
 			f(i)
 			return
 		}
-		t0 := time.Now()
+		t0 := clk.Now()
 		f(i)
-		col.Add(trace.Comp, time.Since(t0))
+		col.Add(trace.Comp, clk.Since(t0))
 	})
 }
 

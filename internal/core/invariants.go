@@ -1,0 +1,118 @@
+package core
+
+import "fmt"
+
+// CheckInvariants audits the runtime's internal bookkeeping and returns one
+// human-readable message per violation (empty slice = healthy). It is the
+// core half of the simulation harness's continuous checking: sim.Run calls
+// it on a sweep goroutine throughout a scenario with quiescent=false, and
+// once more after termination with quiescent=true.
+//
+// Always checked:
+//   - every registered object is in exactly one valid locality state, and
+//     holds its in-memory representation iff that state is stInCore
+//   - a lost object has an empty message queue (its messages were dropped
+//     loudly, not parked forever)
+//
+// Checked only at quiescence (quiescent=true) — these are stable properties
+// of a terminated system, racy while work is in flight:
+//   - no queued, running or parked work remains anywhere
+//   - every multicast collection completed (reference counts back to zero)
+//   - the count of lost objects matches the loud-loss counter
+//   - the ooc layer's residency accounting agrees with the object states
+//   - in-core bytes fit the memory budget (unless eviction stalled loudly:
+//     an over-budget stall is reported through EvictStalls, not silence)
+func (rt *Runtime) CheckInvariants(quiescent bool) []string {
+	var out []string
+	fail := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf("node %d: ", rt.node)+fmt.Sprintf(format, args...))
+	}
+
+	// Snapshot the object set under rt.mu, then examine each object under
+	// its own lock — same order every mutation path uses, so no inversion.
+	rt.mu.Lock()
+	los := make([]*localObject, 0, len(rt.objects))
+	for _, lo := range rt.objects {
+		los = append(los, lo)
+	}
+	parked := len(rt.parked)
+	rt.mu.Unlock()
+
+	var inCore, lost int
+	var queuedMsgs, running int
+	for _, lo := range los {
+		lo.mu.Lock()
+		st := lo.state
+		hasObj := lo.obj != nil
+		qlen := len(lo.queue)
+		isRunning := lo.running
+		ptr := lo.ptr
+		lo.mu.Unlock()
+
+		switch st {
+		case stInCore, stStoring, stOut, stLoading, stLost:
+		default:
+			fail("object %v in invalid state %d", ptr, st)
+		}
+		// The in-memory representation exists iff the object is resident.
+		// stStoring keeps obj aside in the eviction path (cleared from lo),
+		// stLoading has not decoded yet.
+		if (st == stInCore) != hasObj {
+			fail("object %v: state %d but obj!=nil is %v", ptr, st, hasObj)
+		}
+		if st == stLost && qlen > 0 {
+			fail("lost object %v still holds %d queued messages", ptr, qlen)
+		}
+		if st == stInCore {
+			inCore++
+		}
+		if st == stLost {
+			lost++
+		}
+		queuedMsgs += qlen
+		if isRunning {
+			running++
+		}
+	}
+
+	if !quiescent {
+		return out
+	}
+
+	if w := rt.work.Load(); w != 0 {
+		fail("quiescent but work counter = %d", w)
+	}
+	if queuedMsgs > 0 {
+		fail("quiescent but %d messages still queued on objects", queuedMsgs)
+	}
+	if running > 0 {
+		fail("quiescent but %d handlers marked running", running)
+	}
+	if parked > 0 {
+		fail("quiescent but %d destinations hold parked messages", parked)
+	}
+	if p := rt.PendingMulticasts(); p != 0 {
+		fail("quiescent but %d multicast collections pending", p)
+	}
+	// Every loudly-lost object leaves a terminal tombstone. Destroyed
+	// objects are tombstones too, so the tombstone count is a lower bound,
+	// never less than the loss counter.
+	if l := rt.SwapStats().ObjectsLost; uint64(lost) < l {
+		fail("only %d objects in stLost but ObjectsLost counter = %d", lost, l)
+	}
+
+	// Residency accounting is only comparable when no swap transition is in
+	// flight (an eviction decrements InCore at its commit point, before the
+	// state machine settles).
+	if rt.swapOps.Load() == 0 {
+		ms := rt.mem.Snapshot()
+		if int(ms.InCore) != inCore {
+			fail("ooc reports %d in-core objects, state machine has %d", ms.InCore, inCore)
+		}
+		if ms.MemBudget > 0 && ms.MemUsed > ms.MemBudget && rt.EvictStalls() == 0 {
+			fail("in-core bytes %d exceed budget %d with no eviction stall reported",
+				ms.MemUsed, ms.MemBudget)
+		}
+	}
+	return out
+}

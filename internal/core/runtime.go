@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mrts/internal/clock"
 	"mrts/internal/comm"
 	"mrts/internal/obs"
 	"mrts/internal/ooc"
@@ -75,6 +76,11 @@ type Config struct {
 	// NumNodes is the cluster size, needed by the eager directory policy
 	// to broadcast migrations. Zero disables broadcasting.
 	NumNodes int
+	// Clock is the time source for message timestamps, handler accounting,
+	// termination probing and swap waits. Nil means the wall clock; the
+	// simulation harness injects a virtual clock. It is also the default
+	// clock of the I/O scheduler and the retry backoff.
+	Clock clock.Clock
 }
 
 // objState is the residency state of a local object.
@@ -115,6 +121,7 @@ type Runtime struct {
 	io      *swapio.Scheduler
 	col     *trace.Collector
 	tracer  *obs.Tracer
+	clk     clock.Clock
 	pfDepth int
 
 	mu      sync.Mutex
@@ -166,6 +173,7 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.PrefetchDepth <= 0 {
 		cfg.PrefetchDepth = 2
 	}
+	clk := clock.Or(cfg.Clock)
 	mem := ooc.NewManager(cfg.Mem)
 	// Mirror every absorbed retry into the ooc layer's accounting and the
 	// event tracer, chaining any observer the caller installed.
@@ -190,9 +198,11 @@ func NewRuntime(cfg Config) *Runtime {
 			QueueBound: cfg.QueueDepth,
 			Retry:      retry,
 			Tracer:     cfg.Tracer,
+			Clock:      cfg.Clock,
 		}),
 		col:       cfg.Collector,
 		tracer:    cfg.Tracer,
+		clk:       clk,
 		pfDepth:   cfg.PrefetchDepth,
 		objects:   make(map[MobilePtr]*localObject),
 		dir:       make(map[MobilePtr]NodeID),
@@ -228,6 +238,9 @@ func (rt *Runtime) Collector() *trace.Collector { return rt.col }
 
 // Tracer returns the structured event tracer (may be nil).
 func (rt *Runtime) Tracer() *obs.Tracer { return rt.tracer }
+
+// Clock returns the runtime's injected time source (never nil).
+func (rt *Runtime) Clock() clock.Clock { return rt.clk }
 
 // Register installs a message handler under id. All nodes must register the
 // same IDs before posting any messages (SPMD model).
@@ -276,7 +289,7 @@ func (rt *Runtime) Post(dst MobilePtr, h HandlerID, arg []byte) {
 		return
 	}
 	rt.work.Add(1)
-	rt.route(&appMsg{dst: dst, handler: h, sentAt: time.Now().UnixNano(), arg: arg})
+	rt.route(&appMsg{dst: dst, handler: h, sentAt: rt.clk.Now().UnixNano(), arg: arg})
 }
 
 // route places m: into a local queue, a parked set, or onto the wire. The
@@ -442,10 +455,10 @@ func (rt *Runtime) runHandler(ptr MobilePtr, obj Object, q queued, sc *sched.Ctx
 	}
 	ctx := &Ctx{rt: rt, Self: ptr, obj: obj, sc: sc}
 	sp := rt.tracer.Start(obs.KindHandler, uint64(oid(ptr)))
-	t0 := time.Now()
+	t0 := rt.clk.Now()
 	h(ctx, q.arg)
 	if rt.col != nil {
-		rt.col.Add(trace.Comp, time.Since(t0))
+		rt.col.Add(trace.Comp, rt.clk.Since(t0))
 	}
 	sp.End(int64(q.handler))
 	rt.mem.Touch(oid(ptr))
@@ -495,7 +508,7 @@ func (rt *Runtime) Close() error {
 	}
 	rt.io.CancelPrefetches()
 	for rt.swapOps.Load() > 0 {
-		time.Sleep(100 * time.Microsecond)
+		rt.clk.Sleep(100 * time.Microsecond)
 	}
 	return rt.io.Close()
 }
@@ -511,6 +524,10 @@ func (rt *Runtime) IOStats() swapio.Stats { return rt.io.Snapshot() }
 // process the detector reads the distributed counters directly instead of
 // exchanging probe messages.
 func WaitQuiescence(rts ...*Runtime) {
+	clk := clock.Real()
+	if len(rts) > 0 {
+		clk = rts[0].clk // all nodes of one cluster share a clock
+	}
 	read := func() (work, sent, recv int64) {
 		for _, rt := range rts {
 			work += rt.Work()
@@ -524,37 +541,37 @@ func WaitQuiescence(rts ...*Runtime) {
 		if w1 == 0 && s1 == r1 {
 			// Double-read: stable across a second observation means no
 			// message was in flight between the two reads.
-			time.Sleep(200 * time.Microsecond)
+			clk.Sleep(200 * time.Microsecond)
 			w2, s2, r2 := read()
 			if w2 == 0 && s2 == r2 && s2 == s1 && r2 == r1 {
 				return
 			}
 			continue
 		}
-		time.Sleep(500 * time.Microsecond)
+		clk.Sleep(500 * time.Microsecond)
 	}
 }
 
 // encodeObject serializes obj, charging the disk-time account.
 func (rt *Runtime) encodeObject(obj Object) ([]byte, error) {
-	t0 := time.Now()
+	t0 := rt.clk.Now()
 	var buf bytes.Buffer
 	err := obj.EncodeTo(&buf)
 	if rt.col != nil {
-		rt.col.Add(trace.Disk, time.Since(t0))
+		rt.col.Add(trace.Disk, rt.clk.Since(t0))
 	}
 	return buf.Bytes(), err
 }
 
 func (rt *Runtime) decodeObject(typeID uint16, blob []byte) (Object, error) {
-	t0 := time.Now()
+	t0 := rt.clk.Now()
 	obj, err := rt.factory(typeID)
 	if err != nil {
 		return nil, err
 	}
 	err = obj.DecodeFrom(bytes.NewReader(blob))
 	if rt.col != nil {
-		rt.col.Add(trace.Disk, time.Since(t0))
+		rt.col.Add(trace.Disk, rt.clk.Since(t0))
 	}
 	return obj, err
 }

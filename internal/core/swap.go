@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"time"
 
 	"mrts/internal/obs"
 	"mrts/internal/ooc"
@@ -26,11 +25,11 @@ func (rt *Runtime) startLoadLocked(lo *localObject, class swapio.Class) {
 	lo.state = stLoading
 	rt.swapOps.Add(1)
 	sp := rt.tracer.Start(obs.KindSwapLoad, uint64(oid(lo.ptr)))
-	t0 := time.Now()
+	t0 := rt.clk.Now()
 	ok := rt.io.Load(storeKey(lo.ptr), uint64(oid(lo.ptr)), class, func(blob []byte, err error) {
 		defer rt.swapOps.Add(-1)
 		if !errors.Is(err, swapio.ErrCanceled) {
-			rt.chargeDisk(len(blob), time.Since(t0))
+			rt.chargeDisk(len(blob), rt.clk.Since(t0))
 		}
 		rt.finishLoad(lo, sp, blob, err)
 	})
@@ -141,7 +140,7 @@ func (rt *Runtime) tryEvict(lo *localObject) bool {
 	rt.mem.MarkOut(id)
 
 	sp := rt.tracer.Start(obs.KindSwapEvict, uint64(id))
-	t0 := time.Now()
+	t0 := rt.clk.Now()
 	encoded := false
 	ok := rt.io.Store(storeKey(lo.ptr), uint64(id),
 		func() ([]byte, error) { return rt.encodeObject(obj) },
@@ -153,7 +152,7 @@ func (rt *Runtime) tryEvict(lo *localObject) bool {
 		},
 		func(blob []byte, err error) {
 			defer rt.swapOps.Add(-1)
-			rt.chargeDisk(len(blob), time.Since(t0))
+			rt.chargeDisk(len(blob), rt.clk.Since(t0))
 			sp.End(int64(len(blob)))
 			rt.finishEvict(lo, obj, encoded, blob, err)
 		})

@@ -6,11 +6,16 @@ import (
 	"testing"
 	"time"
 
+	"mrts/internal/clock"
 	"mrts/internal/comm"
 	"mrts/internal/ooc"
 	"mrts/internal/sched"
 	"mrts/internal/storage"
 )
+
+// The swap-fault tests run on a virtual clock: retry backoff, swap waits and
+// the settle polls below advance simulated time, not wall time, so the whole
+// file runs in milliseconds. time.After is only ever a hang watchdog.
 
 // swapRecorder collects OnSwapError callbacks.
 type swapRecorder struct {
@@ -34,9 +39,12 @@ func (r *swapRecorder) snapshot() []SwapError {
 // policy and a recording swap-error callback.
 func newSwapFaultRuntime(t *testing.T, st storage.Store, budget int64, retry storage.RetryPolicy) (*Runtime, *swapRecorder) {
 	t.Helper()
-	tr := comm.NewInProc(1, comm.LatencyModel{})
+	vclk := clock.NewVirtual()
+	t.Cleanup(vclk.Stop)
+	tr := comm.NewInProcClock(1, comm.LatencyModel{}, vclk)
 	pool := sched.NewWorkStealing(2)
 	rec := &swapRecorder{}
+	retry.Clock = vclk
 	rt := NewRuntime(Config{
 		Endpoint:    tr.Endpoint(0),
 		Pool:        pool,
@@ -44,6 +52,7 @@ func newSwapFaultRuntime(t *testing.T, st storage.Store, budget int64, retry sto
 		Mem:         ooc.Config{Budget: budget},
 		Store:       st,
 		Retry:       retry,
+		Clock:       vclk,
 		OnSwapError: rec.record,
 	})
 	t.Cleanup(func() {
@@ -68,19 +77,19 @@ func evictAndSettle(t *testing.T, rt *Runtime, ptr MobilePtr) objState {
 	if !rt.tryEvict(lo) {
 		t.Fatalf("tryEvict(%v) refused", ptr)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	for i := 0; i < 10_000; i++ {
 		lo.mu.Lock()
 		st := lo.state
 		lo.mu.Unlock()
 		if st == stOut || st == stInCore {
 			return st
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("eviction of %v never settled (state %d)", ptr, st)
-		}
-		time.Sleep(time.Millisecond)
+		rt.clk.Sleep(time.Millisecond)
 	}
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	t.Fatalf("eviction of %v never settled (state %d)", ptr, lo.state)
+	return lo.state
 }
 
 func waitQuiesceOrFail(t *testing.T, rt *Runtime) {
@@ -320,8 +329,8 @@ func TestEvictionRollbackClearsWantLoad(t *testing.T) {
 	rt.Prefetch(ptr)
 	close(gate)
 
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	settled := false
+	for i := 0; i < 10_000 && !settled; i++ {
 		lo.mu.Lock()
 		st, want := lo.state, lo.wantLoad
 		lo.mu.Unlock()
@@ -329,12 +338,13 @@ func TestEvictionRollbackClearsWantLoad(t *testing.T) {
 			if want {
 				t.Fatal("wantLoad still set after rollback restored the object")
 			}
+			settled = true
 			break
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("rollback never settled (state %d)", st)
-		}
-		time.Sleep(time.Millisecond)
+		rt.clk.Sleep(time.Millisecond)
+	}
+	if !settled {
+		t.Fatal("rollback never settled")
 	}
 
 	// A later, successful eviction must stay evicted: no spurious reload.
@@ -343,7 +353,7 @@ func TestEvictionRollbackClearsWantLoad(t *testing.T) {
 	if got := evictAndSettle(t, rt, ptr); got != stOut {
 		t.Fatalf("second eviction settled in state %d, want stOut", got)
 	}
-	time.Sleep(20 * time.Millisecond) // a spurious reload would start here
+	rt.clk.Sleep(20 * time.Millisecond) // a spurious reload would start here
 	if rt.InCore(ptr) {
 		t.Fatal("object reloaded with no pending work: stale wantLoad")
 	}

@@ -96,7 +96,7 @@ func (rt *Runtime) coordinate(numNodes int, entryGen uint64) {
 		// The coordinator's own counters join the tally directly.
 		totals := [3]int64{rt.Work(), rt.sent.Load(), rt.recv.Load()}
 		needed := numNodes - 1
-		timeout := time.After(time.Second)
+		timeout := rt.clk.After(time.Second)
 		for needed > 0 {
 			select {
 			case r := <-ts.replyCh:
@@ -127,7 +127,7 @@ func (rt *Runtime) coordinate(numNodes int, entryGen uint64) {
 		} else {
 			prev = nil
 		}
-		time.Sleep(500 * time.Microsecond)
+		rt.clk.Sleep(500 * time.Microsecond)
 	}
 }
 

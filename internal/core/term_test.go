@@ -8,8 +8,14 @@ import (
 	"time"
 )
 
+// The termination tests run on a virtual clock: the detector's probe rounds,
+// the transport, and every in-handler delay advance simulated time only, so
+// the schedule is deterministic and the suite finishes in milliseconds of
+// wall time. time.After here is purely a hang watchdog — it never fires on
+// the happy path.
+
 func TestWaitTerminationSingleNode(t *testing.T) {
-	c := newCluster(t, 1, 1<<20)
+	c, _ := newVirtualCluster(t, 1, 1<<20)
 	registerInc(c)
 	rt := c.rts[0]
 	obj := &testObj{}
@@ -35,7 +41,7 @@ func TestWaitTerminationSingleNode(t *testing.T) {
 func TestWaitTerminationSPMD(t *testing.T) {
 	// All nodes call WaitTermination; a relay chain keeps messages flying
 	// between them; no node may unblock before the chain ends.
-	c := newCluster(t, 4, 1<<20)
+	c, vclk := newVirtualCluster(t, 4, 1<<20)
 	ptrs := make([]MobilePtr, 4)
 	for i, rt := range c.rts {
 		ptrs[i] = rt.CreateObject(&testObj{})
@@ -46,7 +52,7 @@ func TestWaitTerminationSPMD(t *testing.T) {
 		rt.Register(hRelay, func(ctx *Ctx, arg []byte) {
 			ttl := binary.LittleEndian.Uint32(arg)
 			hops.Add(1)
-			time.Sleep(100 * time.Microsecond) // keep the chain visibly alive
+			vclk.Sleep(100 * time.Microsecond) // keep the chain visibly alive
 			if ttl == 0 {
 				return
 			}
@@ -80,7 +86,7 @@ func TestWaitTerminationSPMD(t *testing.T) {
 }
 
 func TestWaitTerminationMultiplePhases(t *testing.T) {
-	c := newCluster(t, 2, 1<<20)
+	c, _ := newVirtualCluster(t, 2, 1<<20)
 	registerInc(c)
 	obj := &testObj{}
 	ptr := c.rts[0].CreateObject(obj)
@@ -111,8 +117,9 @@ func TestWaitTerminationMultiplePhases(t *testing.T) {
 
 func TestWaitTerminationAgreesWithQuiescence(t *testing.T) {
 	// The distributed detector and the driver-level one must agree: after
-	// WaitTermination returns, WaitQuiescence returns immediately.
-	c := newCluster(t, 3, 1<<20)
+	// WaitTermination returns, WaitQuiescence settles within a couple of its
+	// own probe rounds of virtual time.
+	c, vclk := newVirtualCluster(t, 3, 1<<20)
 	registerInc(c)
 	ptr := c.rts[1].CreateObject(&testObj{})
 	for _, rt := range c.rts {
@@ -129,9 +136,9 @@ func TestWaitTerminationAgreesWithQuiescence(t *testing.T) {
 		}(rt)
 	}
 	wg.Wait()
-	start := time.Now()
+	start := vclk.Now()
 	WaitQuiescence(c.rts...)
-	if time.Since(start) > 100*time.Millisecond {
-		t.Error("quiescence check after distributed termination took too long")
+	if d := vclk.Since(start); d > 5*time.Millisecond {
+		t.Errorf("quiescence check after distributed termination took %v of virtual time", d)
 	}
 }

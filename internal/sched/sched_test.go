@@ -172,8 +172,13 @@ func TestDefaultWorkers(t *testing.T) {
 func TestNames(t *testing.T) {
 	p := NewWorkStealing(1)
 	defer p.Close()
-	if p.Name() != "workstealing" {
+	if p.Name() != "workstealing(seed=1)" {
 		t.Errorf("Name = %q", p.Name())
+	}
+	ps := NewWorkStealingSeeded(1, 42)
+	defer ps.Close()
+	if ps.Name() != "workstealing(seed=42)" {
+		t.Errorf("Name = %q", ps.Name())
 	}
 	g := NewGlobalQueue(1)
 	defer g.Close()

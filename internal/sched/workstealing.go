@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,8 @@ import (
 // when idle.
 type wsPool struct {
 	deques  []*deque
+	rngs    []*wsRand // per-worker seeded victim selectors
+	seed    int64
 	tracer  atomic.Pointer[obs.Tracer]
 	q       *quiescence
 	wake    *sync.Cond
@@ -22,6 +25,21 @@ type wsPool struct {
 	wg      sync.WaitGroup
 	nextSub int // round-robin cursor for external submissions
 	subMu   sync.Mutex
+}
+
+// wsRand is a mutex-guarded rand.Rand: each worker owns one, but the
+// tryRunOne helpers (w < 0 callers) share worker 0's, so it must tolerate
+// concurrent use.
+type wsRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (r *wsRand) intn(n int) int {
+	r.mu.Lock()
+	v := r.rng.Intn(n)
+	r.mu.Unlock()
+	return v
 }
 
 type deque struct {
@@ -62,18 +80,30 @@ func (d *deque) stealTop() (Task, bool) {
 }
 
 // NewWorkStealing returns a work-stealing pool with the given number of
-// workers (<= 0 selects DefaultWorkers).
+// workers (<= 0 selects DefaultWorkers) and a fixed victim-selection seed.
 func NewWorkStealing(workers int) Pool {
+	return NewWorkStealingSeeded(workers, 1)
+}
+
+// NewWorkStealingSeeded is NewWorkStealing with an explicit seed for the
+// steal-victim selectors. Worker w draws from a rand.Rand seeded with
+// seed+w, never from the global source, so a steal sequence is reproducible
+// from the seed alone — the property the simulation harness replays on. The
+// seed appears in Name() so failure output identifies the schedule.
+func NewWorkStealingSeeded(workers int, seed int64) Pool {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
 	p := &wsPool{
 		deques: make([]*deque, workers),
+		rngs:   make([]*wsRand, workers),
+		seed:   seed,
 		q:      newQuiescence(),
 	}
 	p.wake = sync.NewCond(&p.wakeMu)
 	for i := range p.deques {
 		p.deques[i] = &deque{}
+		p.rngs[i] = &wsRand{rng: rand.New(rand.NewSource(seed + int64(i)))}
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -82,7 +112,7 @@ func NewWorkStealing(workers int) Pool {
 	return p
 }
 
-func (p *wsPool) Name() string { return "workstealing" }
+func (p *wsPool) Name() string { return fmt.Sprintf("workstealing(seed=%d)", p.seed) }
 
 // SetTracer implements Pool.
 func (p *wsPool) SetTracer(tr *obs.Tracer) { p.tracer.Store(tr) }
@@ -140,9 +170,14 @@ func (p *wsPool) grab(w int) (Task, bool) {
 			return t, true
 		}
 	}
-	// Steal: random start, sweep all victims.
+	// Steal: seeded-random start, sweep all victims. Helpers (w < 0) share
+	// worker 0's selector.
 	n := len(p.deques)
-	start := rand.Intn(n)
+	rng := p.rngs[0]
+	if w >= 0 {
+		rng = p.rngs[w]
+	}
+	start := rng.intn(n)
 	for k := 0; k < n; k++ {
 		v := (start + k) % n
 		if v == w {

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"mrts/internal/core"
+)
+
+// simObj is the harness's mobile object: a counter plus ballast that makes
+// the plan's tight memory budget force swapping.
+type simObj struct {
+	Count   int64
+	Ballast []byte
+}
+
+const simTypeID uint16 = 77
+
+func (o *simObj) TypeID() uint16 { return simTypeID }
+func (o *simObj) SizeHint() int  { return 32 + len(o.Ballast) }
+
+func (o *simObj) EncodeTo(w io.Writer) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(o.Count))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(o.Ballast)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(o.Ballast)
+	return err
+}
+
+func (o *simObj) DecodeFrom(r io.Reader) error {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	o.Count = int64(binary.LittleEndian.Uint64(hdr[0:8]))
+	o.Ballast = make([]byte, binary.LittleEndian.Uint32(hdr[8:12]))
+	_, err := io.ReadFull(r, o.Ballast)
+	return err
+}
+
+func simFactory(typeID uint16) (core.Object, error) {
+	if typeID != simTypeID {
+		return nil, core.ErrUnknownType
+	}
+	return &simObj{}, nil
+}
+
+// Handler IDs used by the scenarios.
+const (
+	hInc    core.HandlerID = 100
+	hReport core.HandlerID = 101
+)
+
+// counterBoard collects reported final counts across nodes.
+type counterBoard struct {
+	mu     sync.Mutex
+	counts map[core.MobilePtr]int64
+}
+
+// registerHandlers installs the increment and report handlers on every node.
+func registerHandlers(env *Env, board *counterBoard) {
+	for _, rt := range env.Cluster.Runtimes() {
+		rt.Register(hInc, func(c *core.Ctx, arg []byte) {
+			c.Object().(*simObj).Count++
+		})
+		rt.Register(hReport, func(c *core.Ctx, arg []byte) {
+			n := c.Object().(*simObj).Count
+			board.mu.Lock()
+			board.counts[c.Self] = n
+			board.mu.Unlock()
+		})
+	}
+}
+
+// buildObjects creates the plan's objects on each node and returns them with
+// the ballast sizes drawn from the environment rng (seed-derived, so the
+// layout replays).
+func buildObjects(env *Env) []core.MobilePtr {
+	var ptrs []core.MobilePtr
+	for n := 0; n < env.Plan.Nodes; n++ {
+		rt := env.Cluster.RT(n)
+		for j := 0; j < env.Plan.Objects; j++ {
+			ballast := make([]byte, 1500+env.Rng.Intn(1500))
+			ptrs = append(ptrs, rt.CreateObject(&simObj{Ballast: ballast}))
+		}
+	}
+	return ptrs
+}
+
+// postStorm posts the plan's increments from seed-drawn sender nodes to
+// seed-drawn targets and returns the expected per-object final counts.
+func postStorm(env *Env, ptrs []core.MobilePtr, posts int) map[core.MobilePtr]int64 {
+	expected := make(map[core.MobilePtr]int64, len(ptrs))
+	for _, p := range ptrs {
+		expected[p] = 0
+	}
+	for i := 0; i < posts; i++ {
+		target := ptrs[env.Rng.Intn(len(ptrs))]
+		sender := env.Cluster.RT(env.Rng.Intn(env.Plan.Nodes))
+		sender.Post(target, hInc, nil)
+		expected[target]++
+	}
+	return expected
+}
+
+// reportPhase posts a report message to every object (a second termination
+// generation) and returns the collected counts.
+func reportPhase(env *Env, board *counterBoard, ptrs []core.MobilePtr) map[core.MobilePtr]int64 {
+	for _, p := range ptrs {
+		env.Cluster.RT(int(p.Home)).Post(p, hReport, nil)
+	}
+	env.WaitTermination()
+	board.mu.Lock()
+	defer board.mu.Unlock()
+	out := make(map[core.MobilePtr]int64, len(board.counts))
+	for k, v := range board.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// CounterStorm posts a seeded storm of increments at swapping objects over
+// a clean (or transiently faulty) store and verifies every counter landed:
+// message delivery, swap round-trips and retry must conspire to lose
+// nothing, under any interleaving.
+type CounterStorm struct {
+	// Transient switches the plan to the transient fault schedule.
+	Transient bool
+}
+
+// Name implements Scenario.
+func (s CounterStorm) Name() string {
+	if s.Transient {
+		return "counter-storm-transient"
+	}
+	return "counter-storm"
+}
+
+// Fault implements Scenario.
+func (s CounterStorm) Fault() FaultKind {
+	if s.Transient {
+		return FaultTransient
+	}
+	return FaultNone
+}
+
+// Run implements Scenario.
+func (s CounterStorm) Run(env *Env) error {
+	board := &counterBoard{counts: make(map[core.MobilePtr]int64)}
+	registerHandlers(env, board)
+	ptrs := buildObjects(env)
+	posts := env.Plan.Nodes * env.Plan.Objects * env.Plan.Messages
+	env.Note("storm of %d posts at %d objects", posts, len(ptrs))
+
+	expected := postStorm(env, ptrs, posts)
+	env.WaitTermination()
+	got := reportPhase(env, board, ptrs)
+
+	var sum int64
+	for _, p := range ptrs {
+		if got[p] != expected[p] {
+			return fmt.Errorf("object %v: count %d, expected %d", p, got[p], expected[p])
+		}
+		env.Record(fmt.Sprintf("count.%v", p), got[p])
+		sum += got[p]
+	}
+	env.Record("objects", int64(len(ptrs)))
+	env.Record("sum", sum)
+	return nil
+}
+
+// MigrationShuffle interleaves the increment storm with seed-drawn
+// migrations, verifying that objects in motion — directory forwards, parked
+// messages, install races — still deliver every increment exactly once.
+type MigrationShuffle struct{}
+
+// Name implements Scenario.
+func (MigrationShuffle) Name() string { return "migration-shuffle" }
+
+// Fault implements Scenario.
+func (MigrationShuffle) Fault() FaultKind { return FaultNone }
+
+// Run implements Scenario.
+func (MigrationShuffle) Run(env *Env) error {
+	board := &counterBoard{counts: make(map[core.MobilePtr]int64)}
+	registerHandlers(env, board)
+	ptrs := buildObjects(env)
+	posts := env.Plan.Nodes * env.Plan.Objects * env.Plan.Messages
+	half := posts / 2
+	moves := len(ptrs) * 2
+	env.Note("shuffle of %d posts, %d migration requests", posts, moves)
+
+	expected := postStorm(env, ptrs, half)
+	for i := 0; i < moves; i++ {
+		p := ptrs[env.Rng.Intn(len(ptrs))]
+		dest := core.NodeID(env.Rng.Intn(env.Plan.Nodes))
+		// Fire-and-forget: the request routes to wherever the object is; a
+		// busy or mid-swap object simply stays put. Counts are unaffected
+		// either way.
+		env.Cluster.RT(int(p.Home)).RequestMigration(p, dest)
+	}
+	more := postStorm(env, ptrs, posts-half)
+	for p, n := range more {
+		expected[p] += n
+	}
+	env.WaitTermination()
+	got := reportPhase(env, board, ptrs)
+
+	var sum int64
+	for _, p := range ptrs {
+		if got[p] != expected[p] {
+			return fmt.Errorf("object %v: count %d, expected %d", p, got[p], expected[p])
+		}
+		env.Record(fmt.Sprintf("count.%v", p), got[p])
+		sum += got[p]
+	}
+	env.Record("objects", int64(len(ptrs)))
+	env.Record("sum", sum)
+	return nil
+}
+
+// PermanentFaultStorm runs the increment storm over stores whose reads fail
+// permanently with the plan's probability: swapped-out objects are lost.
+// The verified properties are the loud-loss contract — every loss surfaces
+// in the counters and the SwapError log, lost objects drop their queues so
+// termination still fires — not the (necessarily nondeterministic) final
+// counts, which only enter the check as an upper bound.
+type PermanentFaultStorm struct{}
+
+// Name implements Scenario.
+func (PermanentFaultStorm) Name() string { return "permanent-fault-storm" }
+
+// Fault implements Scenario.
+func (PermanentFaultStorm) Fault() FaultKind { return FaultPermanent }
+
+// Run implements Scenario.
+func (PermanentFaultStorm) Run(env *Env) error {
+	board := &counterBoard{counts: make(map[core.MobilePtr]int64)}
+	registerHandlers(env, board)
+	ptrs := buildObjects(env)
+	posts := env.Plan.Nodes * env.Plan.Objects * env.Plan.Messages
+	env.Note("storm of %d posts under permanent faults", posts)
+
+	expected := postStorm(env, ptrs, posts)
+	env.WaitTermination()
+	got := reportPhase(env, board, ptrs)
+
+	// Survivors can only have received at most what was posted at them;
+	// lost objects are absent from the report (their messages dropped).
+	for p, n := range got {
+		if n > expected[p] {
+			return fmt.Errorf("object %v: count %d exceeds the %d posted", p, n, expected[p])
+		}
+	}
+	// The loud-loss contract: losses and the error log must agree.
+	stats := env.Cluster.SwapStats()
+	var lostErrs uint64
+	for _, rt := range env.Cluster.Runtimes() {
+		for _, e := range rt.SwapErrors() {
+			if e.Lost {
+				lostErrs++
+			}
+		}
+	}
+	if stats.ObjectsLost != lostErrs {
+		return fmt.Errorf("ObjectsLost=%d but %d Lost SwapErrors recorded", stats.ObjectsLost, lostErrs)
+	}
+	if stats.ObjectsLost > 0 && stats.LoadFailures == 0 {
+		return fmt.Errorf("objects lost with zero recorded load failures")
+	}
+	env.Record("objects", int64(len(ptrs)))
+	env.Record("posts", int64(posts))
+	return nil
+}

@@ -3,9 +3,12 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
+
+	"mrts/internal/clock"
 )
 
 // blockingStore stalls every Put until released — the instrument for
@@ -40,10 +43,16 @@ func TestAsyncCloseDrainsInFlight(t *testing.T) {
 
 	closed := make(chan struct{})
 	go func() { a.Close(); close(closed) }()
+	// Give Close every chance to (incorrectly) return before the release:
+	// repeated yields instead of a wall-clock sleep keep the check fast and
+	// deterministic under load.
+	for i := 0; i < 200; i++ {
+		runtime.Gosched()
+	}
 	select {
 	case <-closed:
 		t.Fatal("Close returned with a Put still in flight")
-	case <-time.After(20 * time.Millisecond):
+	default:
 	}
 	st.release <- struct{}{}
 	if _, err := r.Wait(); err != nil {
@@ -114,9 +123,12 @@ func TestAsyncSubmitAfterClose(t *testing.T) {
 
 // TestAsyncBackpressureUnderBacklog: the queue is unbounded by design, so a
 // large burst against a slow single worker must neither drop nor deadlock —
-// every submission completes and InFlight returns to zero.
+// every submission completes and InFlight returns to zero. The disk model
+// runs on a virtual clock: the 200 serialized seeks cost simulated time only.
 func TestAsyncBackpressureUnderBacklog(t *testing.T) {
-	a := NewAsync(NewLatency(NewMem(), DiskModel{Seek: 50 * time.Microsecond}), 1)
+	vclk := clock.NewVirtual()
+	defer vclk.Stop()
+	a := NewAsync(NewLatencyClock(NewMem(), DiskModel{Seek: 50 * time.Microsecond}, vclk), 1)
 	const n = 200
 	var wg sync.WaitGroup
 	wg.Add(n)

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mrts/internal/clock"
 )
 
 // RetryPolicy configures transparent retry of failed store operations inside
@@ -27,6 +29,10 @@ type RetryPolicy struct {
 	// OnRetry, when non-nil, observes every retry before its backoff sleep.
 	// attempt is the 1-based number of the attempt that just failed.
 	OnRetry func(key Key, attempt int, err error)
+	// Clock times the backoff sleeps. Nil means the wall clock; the
+	// simulation harness injects a virtual clock so backoff costs no real
+	// time.
+	Clock clock.Clock
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -42,6 +48,7 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // retrier executes operations under a RetryPolicy and counts retries.
 type retrier struct {
 	p       RetryPolicy
+	clk     clock.Clock
 	mu      sync.Mutex
 	rng     *rand.Rand
 	retries atomic.Uint64
@@ -49,7 +56,7 @@ type retrier struct {
 
 func newRetrier(p RetryPolicy) *retrier {
 	p = p.withDefaults()
-	return &retrier{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	return &retrier{p: p, clk: clock.Or(p.Clock), rng: rand.New(rand.NewSource(p.Seed))}
 }
 
 // jitter returns a duration in [d/2, d] ("equal jitter"), decorrelating
@@ -95,7 +102,7 @@ func (r *retrier) do(key Key, op func() error) error {
 		if r.p.OnRetry != nil {
 			r.p.OnRetry(key, attempt, err)
 		}
-		time.Sleep(r.jitter(delay))
+		r.clk.Sleep(r.jitter(delay))
 		delay *= 2
 		if delay > r.p.MaxDelay {
 			delay = r.p.MaxDelay

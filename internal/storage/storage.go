@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mrts/internal/clock"
 )
 
 // Key identifies a stored object within a Store.
@@ -296,12 +298,20 @@ func (m DiskModel) ServiceTime(size int) time.Duration {
 type LatencyStore struct {
 	inner Store
 	model DiskModel
+	clk   clock.Clock
 	mu    sync.Mutex // one spindle: operations do not proceed in parallel
 }
 
-// NewLatency wraps inner with the given model.
+// NewLatency wraps inner with the given model on the wall clock.
 func NewLatency(inner Store, model DiskModel) *LatencyStore {
-	return &LatencyStore{inner: inner, model: model}
+	return NewLatencyClock(inner, model, nil)
+}
+
+// NewLatencyClock is NewLatency with an injected clock (nil means the wall
+// clock). Under a virtual clock the spindle's service time elapses in
+// simulated time only.
+func NewLatencyClock(inner Store, model DiskModel, clk clock.Clock) *LatencyStore {
+	return &LatencyStore{inner: inner, model: model, clk: clock.Or(clk)}
 }
 
 func (s *LatencyStore) delay(size int) {
@@ -310,7 +320,7 @@ func (s *LatencyStore) delay(size int) {
 		return
 	}
 	s.mu.Lock()
-	time.Sleep(d)
+	s.clk.Sleep(d)
 	s.mu.Unlock()
 }
 

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"mrts/internal/clock"
 	"mrts/internal/obs"
 	"mrts/internal/storage"
 )
@@ -80,6 +81,9 @@ type Config struct {
 	// Tracer, when non-nil, receives swap.wait spans (queue time of demand
 	// loads) and swap.cancel events.
 	Tracer *obs.Tracer
+	// Clock timestamps queue waits and times retry backoff. Nil means the
+	// wall clock. The Retry policy's own Clock, when set, wins for backoff.
+	Clock clock.Clock
 }
 
 type opKind uint8
@@ -138,6 +142,11 @@ type Stats struct {
 	// Retries is the cumulative count of transient faults absorbed by the
 	// retry layer.
 	Retries uint64
+	// PriorityInversions counts dispatches that handed a worker a Prefetch
+	// while a Demand load sat queued. Strict class order makes this
+	// impossible by construction, so any non-zero value is a scheduler bug;
+	// the simulation harness asserts it stays zero.
+	PriorityInversions uint64
 }
 
 // DemandWaitMean returns the mean demand-load queue wait (0 when none).
@@ -169,6 +178,7 @@ func (s *Stats) Add(other Stats) {
 		s.DemandWaitMax = other.DemandWaitMax
 	}
 	s.Retries += other.Retries
+	s.PriorityInversions += other.PriorityInversions
 }
 
 // Scheduler is the swap-path I/O scheduler for one node. It owns the backing
@@ -178,6 +188,7 @@ type Scheduler struct {
 	st     storage.Store
 	retry  *storage.Retrier
 	tracer *obs.Tracer
+	clk    clock.Clock
 	bound  int
 
 	mu     sync.Mutex
@@ -199,6 +210,7 @@ type Scheduler struct {
 	demandWaits     uint64
 	demandWaitTotal time.Duration
 	demandWaitMax   time.Duration
+	inversions      uint64
 }
 
 // New returns a running Scheduler over st. The Scheduler owns st and closes
@@ -212,10 +224,15 @@ func New(st storage.Store, cfg Config) *Scheduler {
 	if bound <= 0 {
 		bound = 64
 	}
+	retry := cfg.Retry
+	if retry.Clock == nil {
+		retry.Clock = cfg.Clock
+	}
 	s := &Scheduler{
 		st:     st,
-		retry:  storage.NewRetrier(cfg.Retry),
+		retry:  storage.NewRetrier(retry),
 		tracer: cfg.Tracer,
+		clk:    clock.Or(cfg.Clock),
 		bound:  bound,
 		loads:  make(map[storage.Key]*request),
 	}
@@ -282,7 +299,7 @@ func (s *Scheduler) Load(key storage.Key, id uint64, class Class, done func([]by
 		s.mu.Unlock()
 		return false
 	}
-	r := &request{op: opLoad, key: key, id: id, class: class, enq: time.Now(),
+	r := &request{op: opLoad, key: key, id: id, class: class, enq: s.clk.Now(),
 		dones: []func([]byte, error){done}}
 	if class == Demand {
 		r.span = s.tracer.Start(obs.KindSwapWait, id)
@@ -325,7 +342,7 @@ func (s *Scheduler) Store(key storage.Key, id uint64, encode func() ([]byte, err
 		s.mu.Unlock()
 		return false
 	}
-	r := &request{op: opStore, key: key, id: id, class: Write, enq: time.Now(),
+	r := &request{op: opStore, key: key, id: id, class: Write, enq: s.clk.Now(),
 		encode: encode, encoded: encoded, done: done}
 	s.pushLocked(r)
 	s.mu.Unlock()
@@ -341,7 +358,7 @@ func (s *Scheduler) Delete(key storage.Key) bool {
 		s.mu.Unlock()
 		return false
 	}
-	r := &request{op: opDelete, key: key, class: Write, enq: time.Now()}
+	r := &request{op: opDelete, key: key, class: Write, enq: s.clk.Now()}
 	s.pushLocked(r)
 	s.mu.Unlock()
 	return true
@@ -374,7 +391,7 @@ func (s *Scheduler) promoteLocked(r *request) {
 		}
 	}
 	r.class = Demand
-	r.enq = time.Now()
+	r.enq = s.clk.Now()
 	r.span = s.tracer.Start(obs.KindSwapWait, r.id)
 	s.queues[Demand] = append(s.queues[Demand], r)
 	s.cond.Signal()
@@ -439,21 +456,22 @@ func (s *Scheduler) Snapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		DemandLoads:       s.submitted[Demand],
-		Writes:            s.submitted[Write],
-		Prefetches:        s.submitted[Prefetch],
-		CompletedDemand:   s.completed[Demand],
-		CompletedWrites:   s.completed[Write],
-		CompletedPrefetch: s.completed[Prefetch],
-		Coalesced:         s.coalesced,
-		Cancelled:         s.cancelled,
-		Rejected:          s.rejected,
-		QueueDepth:        s.queued,
-		MaxQueueDepth:     s.maxDepth,
-		DemandWaits:       s.demandWaits,
-		DemandWaitTotal:   s.demandWaitTotal,
-		DemandWaitMax:     s.demandWaitMax,
-		Retries:           s.retry.Retries(),
+		DemandLoads:        s.submitted[Demand],
+		Writes:             s.submitted[Write],
+		Prefetches:         s.submitted[Prefetch],
+		CompletedDemand:    s.completed[Demand],
+		CompletedWrites:    s.completed[Write],
+		CompletedPrefetch:  s.completed[Prefetch],
+		Coalesced:          s.coalesced,
+		Cancelled:          s.cancelled,
+		Rejected:           s.rejected,
+		QueueDepth:         s.queued,
+		MaxQueueDepth:      s.maxDepth,
+		DemandWaits:        s.demandWaits,
+		DemandWaitTotal:    s.demandWaitTotal,
+		DemandWaitMax:      s.demandWaitMax,
+		Retries:            s.retry.Retries(),
+		PriorityInversions: s.inversions,
 	}
 }
 
@@ -496,8 +514,11 @@ func (s *Scheduler) worker() {
 			return
 		}
 		r.running = true
+		if r.class == Prefetch && len(s.queues[Demand]) > 0 {
+			s.inversions++
+		}
 		if r.op == opLoad && r.class == Demand {
-			w := time.Since(r.enq)
+			w := s.clk.Since(r.enq)
 			s.demandWaits++
 			s.demandWaitTotal += w
 			if w > s.demandWaitMax {
