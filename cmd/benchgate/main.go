@@ -29,6 +29,7 @@ func main() {
 		overlapTol   = flag.Float64("overlap-tol", 0, "allowed overlap drop in points (0 = default 25)")
 		timeTol      = flag.Float64("time-tol", 0, "relative time ceiling (0 = default 1.8)")
 		waitTol      = flag.Float64("wait-tol", 0, "relative demand-wait ceiling (0 = default 5)")
+		hitTol       = flag.Float64("hit-tol", 0, "allowed hit-ratio drop in points (0 = default 25)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -44,7 +45,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cfg := bench.GateConfig{SpeedTol: *speedTol, OverlapTol: *overlapTol, TimeTol: *timeTol, WaitTol: *waitTol}
+	cfg := bench.GateConfig{SpeedTol: *speedTol, OverlapTol: *overlapTol, TimeTol: *timeTol, WaitTol: *waitTol, HitTol: *hitTol}
 	violations := bench.Compare(baseline, current, cfg)
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s:\n", len(violations), *baselinePath)

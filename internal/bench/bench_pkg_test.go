@@ -55,8 +55,8 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 19 {
-		t.Fatalf("expected 19 experiments, got %d", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(ids))
 	}
 	seen := map[string]bool{}
 	for _, id := range ids {

@@ -63,7 +63,7 @@ func Experiments() []string {
 	return []string{
 		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
-		"policies", "dirpolicies", "remotemem", "faults", "pipeline",
+		"policies", "dirpolicies", "remotemem", "tiers", "faults", "pipeline",
 	}
 }
 
@@ -105,6 +105,8 @@ func Run(id string, opts Options) (*Table, error) {
 		return DirPolicies(opts)
 	case "remotemem":
 		return RemoteMem(opts)
+	case "tiers":
+		return Tiers(opts)
 	case "faults":
 		return Faults(opts)
 	case "pipeline":

@@ -22,6 +22,10 @@ import (
 //     matters because a healthy demand wait is near zero — a fraction of a
 //     millisecond — where a purely relative bound would trip on scheduler
 //     jitter alone.
+//   - */*hit_pct: cache-style hit ratios (the tiers experiment's tier-0 hit
+//     percentage) may not drop more than HitTol absolute points below
+//     baseline — absolute, like overlap, because the interesting endpoints
+//     sit at 0 and 100 where relative bounds degenerate.
 //
 // Everything else in the documents (evictions, element counts, breakdown
 // percentages) is informational and not gated.
@@ -38,6 +42,9 @@ type GateConfig struct {
 	// WaitTol is the relative upper bound for *_wait_ms metrics
 	// (current <= baseline*WaitTol + waitSlackMs). 0 means the default 5.
 	WaitTol float64
+	// HitTol is the allowed absolute drop, in percentage points, for
+	// *hit_pct metrics. 0 means the default 25.
+	HitTol float64
 }
 
 // waitSlackMs is the absolute headroom added on top of the relative wait
@@ -56,6 +63,9 @@ func (g GateConfig) withDefaults() GateConfig {
 	}
 	if g.WaitTol <= 0 {
 		g.WaitTol = 5
+	}
+	if g.HitTol <= 0 {
+		g.HitTol = 25
 	}
 	return g
 }
@@ -122,6 +132,12 @@ func Compare(baseline, current *Doc, cfg GateConfig) []string {
 						"%s: %s regressed: %.3fms > %.3fms (baseline %.3fms × tol %.2f + %.0fms slack)",
 						id, k, got, ceil, want, cfg.WaitTol, waitSlackMs))
 				}
+			case gateHit:
+				if floor := want - cfg.HitTol; got < floor {
+					out = append(out, fmt.Sprintf(
+						"%s: %s regressed: %.1f%% < %.1f%% (baseline %.1f%% − %.0f pts)",
+						id, k, got, floor, want, cfg.HitTol))
+				}
 			}
 		}
 	}
@@ -136,6 +152,7 @@ const (
 	gateOverlap
 	gateTime
 	gateWait
+	gateHit
 )
 
 // metricKind classifies a metric name ("sz40000/speed_ooc" etc.) into the
@@ -154,6 +171,8 @@ func metricKind(name string) gateKind {
 		return gateTime
 	case strings.HasSuffix(leaf, "_wait_ms"):
 		return gateWait
+	case strings.HasSuffix(leaf, "hit_pct"):
+		return gateHit
 	default:
 		return gateSkip
 	}

@@ -138,3 +138,27 @@ func TestGateWaitMetric(t *testing.T) {
 		t.Fatalf("want one wait violation, got %v", v)
 	}
 }
+
+func TestGateHitMetric(t *testing.T) {
+	base, cur := docPair()
+	base.Experiments["tiers"] = map[string]float64{"sz3000/capmid/tier0_hit_pct": 40}
+	cur.Experiments["tiers"] = map[string]float64{"sz3000/capmid/tier0_hit_pct": 40}
+
+	// Drops within the absolute tolerance pass — hit ratios at small smoke
+	// scales are noisy.
+	cur.Experiments["tiers"]["sz3000/capmid/tier0_hit_pct"] = 20
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("in-tolerance hit drop must pass, got %v", v)
+	}
+	// A collapse past HitTol points trips (the placement policy broke).
+	cur.Experiments["tiers"]["sz3000/capmid/tier0_hit_pct"] = 5
+	v := Compare(base, cur, GateConfig{})
+	if len(v) != 1 || !strings.Contains(v[0], "tier0_hit_pct") {
+		t.Fatalf("want one hit-ratio violation, got %v", v)
+	}
+	// Rising hit ratio is never a regression.
+	cur.Experiments["tiers"]["sz3000/capmid/tier0_hit_pct"] = 95
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("improvement must pass, got %v", v)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"mrts/internal/sched"
 	"mrts/internal/storage"
 	"mrts/internal/swapio"
+	"mrts/internal/tier"
 	"mrts/internal/trace"
 )
 
@@ -55,8 +56,15 @@ type Config struct {
 	// nodes as out-of-core media" configuration: one extra node joins the
 	// transport as a dedicated memory server and every compute node's
 	// storage layer reaches it over one-sided messages instead of using
-	// local disk. SpoolDir and Disk are ignored in this mode.
+	// local disk. Without Tier, SpoolDir and Disk are ignored (the legacy
+	// exclusive mode); with Tier set, remote memory becomes tier 0 *in
+	// front of* the SpoolDir/Disk backstop.
 	RemoteMemory bool
+	// Tier, when non-nil alongside RemoteMemory, composes the two backends
+	// into a capacity-aware hierarchy (internal/tier): remote memory is a
+	// leased fast tier over the local disk store, which keeps its full
+	// LatencyClock/FaultStore stack.
+	Tier *TierSpec
 	// Scheduler selects the task scheduler flavor (default WorkStealing).
 	Scheduler SchedulerKind
 	// Factory constructs application objects on reload/migration.
@@ -105,6 +113,29 @@ type Config struct {
 	NodeDisk func(node int) storage.DiskModel
 }
 
+// TierSpec configures the tiered storage hierarchy of a RemoteMemory
+// cluster. Zero-value fields take the tier package defaults.
+type TierSpec struct {
+	// Capacity is each node's tier-0 byte lease: 0 disables the fast tier
+	// (pure disk), < 0 means unbounded. The memory server's own cap is the
+	// sum of the node leases.
+	Capacity int64
+	// HighWater / LowWater are the demotion watermarks (defaults 0.9/0.7).
+	HighWater, LowWater float64
+	// AdmitMax caps the blob size admitted to tier 0 (0 = no size gate).
+	AdmitMax int64
+	// PromoteAfter is the demand-miss count that promotes a blob back to
+	// tier 0 (default 2, < 0 disables).
+	PromoteAfter int
+	// Workers is the inner I/O worker count serving the disk tier
+	// (default 2).
+	Workers int
+	// Fault, when non-nil, wraps the remote-memory tier in a deterministic
+	// fault injector (node-folded seed) — the knob the simulation harness
+	// uses to storm tier 0 while the disk tier stays healthy.
+	Fault *storage.FaultConfig
+}
+
 // Cluster is a set of wired MRTS nodes.
 type Cluster struct {
 	cfg     Config
@@ -113,6 +144,7 @@ type Cluster struct {
 	rts     []*core.Runtime
 	cols    []*trace.Collector
 	tracers []*obs.Tracer
+	tiers   []*tier.Store
 	memsrv  *remotemem.Server
 	clk     clock.Clock
 	start   time.Time
@@ -133,10 +165,18 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RemoteMemory {
 		endpoints++ // the memory server node
 	}
+	tiered := cfg.RemoteMemory && cfg.Tier != nil
 	clk := clock.Or(cfg.Clock)
 	c := &Cluster{cfg: cfg, tr: comm.NewInProcClock(endpoints, cfg.Network, clk), clk: clk, start: clk.Now()}
 	if cfg.RemoteMemory {
-		c.memsrv = remotemem.NewServer(c.tr.Endpoint(comm.NodeID(cfg.Nodes)))
+		ep := c.tr.Endpoint(comm.NodeID(cfg.Nodes))
+		if tiered && cfg.Tier.Capacity > 0 {
+			// The donor enforces the sum of the node leases: even a buggy
+			// tier client cannot overrun the donated budget.
+			c.memsrv = remotemem.NewServerCap(ep, cfg.Tier.Capacity*int64(cfg.Nodes))
+		} else {
+			c.memsrv = remotemem.NewServer(ep)
+		}
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		var pool sched.Pool
@@ -146,52 +186,11 @@ func New(cfg Config) (*Cluster, error) {
 		default:
 			pool = sched.NewWorkStealingSeeded(cfg.WorkersPerNode, cfg.Seed+int64(i)*65537)
 		}
-		var st storage.Store
-		switch {
-		case cfg.RemoteMemory:
-			st = remotemem.NewClient(c.tr.Endpoint(comm.NodeID(i)), comm.NodeID(cfg.Nodes))
-		case cfg.SpoolDir != "":
-			fs, err := storage.NewFile(filepath.Join(cfg.SpoolDir, fmt.Sprintf("node%d", i)))
-			if err != nil {
-				c.Close()
-				return nil, err
-			}
-			st = fs
-		default:
-			st = storage.NewMem()
-		}
-		disk := cfg.Disk
-		if cfg.NodeDisk != nil {
-			disk = cfg.NodeDisk(i)
-		}
-		if !cfg.RemoteMemory && (disk.Seek > 0 || disk.BytesPerSec > 0) {
-			st = storage.NewLatencyClock(st, disk, clk)
-		}
-		if cfg.Fault != nil {
-			fc := *cfg.Fault
-			fc.Seed += int64(i) * 7919
-			st = storage.NewFault(st, fc)
-		}
 		var tracer *obs.Tracer
 		if cfg.Trace != nil {
 			tracer = cfg.Trace.NewTracer(fmt.Sprintf("%snode%d", cfg.TraceLabel, i))
 			pool.SetTracer(tracer)
 			c.tr.Endpoint(comm.NodeID(i)).SetTracer(tracer)
-		}
-		col := trace.NewCollector()
-		var commDelay func(int) time.Duration
-		if cfg.Network.Latency > 0 || cfg.Network.BytesPerSec > 0 {
-			commDelay = cfg.Network.Delay
-		}
-		var diskDelay func(int) time.Duration
-		if disk.Seek > 0 || disk.BytesPerSec > 0 {
-			diskDelay = disk.ServiceTime
-		}
-		var onSwapError func(core.SwapError)
-		if cfg.OnSwapError != nil {
-			node := i
-			hook := cfg.OnSwapError
-			onSwapError = func(e core.SwapError) { hook(node, e) }
 		}
 		retry := cfg.Retry
 		if retry.Clock == nil {
@@ -200,6 +199,95 @@ func New(cfg Config) (*Cluster, error) {
 		// Fold the node index into the jitter seed so concurrent retriers
 		// decorrelate while staying reproducible from Config.Seed.
 		retry.Seed += cfg.Seed + int64(i)*7919
+		disk := cfg.Disk
+		if cfg.NodeDisk != nil {
+			disk = cfg.NodeDisk(i)
+		}
+		var st storage.Store
+		if cfg.RemoteMemory && !tiered {
+			// Legacy exclusive mode: remote memory replaces disk outright.
+			st = remotemem.NewClient(c.tr.Endpoint(comm.NodeID(i)), comm.NodeID(cfg.Nodes))
+			if cfg.Fault != nil {
+				fc := *cfg.Fault
+				fc.Seed += int64(i) * 7919
+				st = storage.NewFault(st, fc)
+			}
+		} else {
+			// The disk (or backstop) store keeps its full latency + fault
+			// stack even when remote memory fronts it — the service-time
+			// model is part of the tier, not an alternative to it.
+			var base storage.Store
+			if cfg.SpoolDir != "" {
+				fs, err := storage.NewFile(filepath.Join(cfg.SpoolDir, fmt.Sprintf("node%d", i)))
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+				base = fs
+			} else {
+				base = storage.NewMem()
+			}
+			if disk.Seek > 0 || disk.BytesPerSec > 0 {
+				base = storage.NewLatencyClock(base, disk, clk)
+			}
+			if cfg.Fault != nil {
+				fc := *cfg.Fault
+				fc.Seed += int64(i) * 7919
+				base = storage.NewFault(base, fc)
+			}
+			if tiered {
+				var fast storage.Store
+				if cfg.Tier.Capacity != 0 {
+					fast = remotemem.NewClient(c.tr.Endpoint(comm.NodeID(i)), comm.NodeID(cfg.Nodes))
+					if cfg.Tier.Fault != nil {
+						fc := *cfg.Tier.Fault
+						// A different fold than the disk tier's so the two
+						// fault sequences decorrelate.
+						fc.Seed += int64(i)*7919 + 3571
+						fast = storage.NewFault(fast, fc)
+					}
+				}
+				ts, err := tier.New(tier.Config{
+					Fast:         fast,
+					Slow:         base,
+					Capacity:     cfg.Tier.Capacity,
+					HighWater:    cfg.Tier.HighWater,
+					LowWater:     cfg.Tier.LowWater,
+					AdmitMax:     cfg.Tier.AdmitMax,
+					PromoteAfter: cfg.Tier.PromoteAfter,
+					Workers:      cfg.Tier.Workers,
+					Retry:        retry,
+					Tracer:       tracer,
+					Clock:        cfg.Clock,
+				})
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+				c.tiers = append(c.tiers, ts)
+				st = ts
+			} else {
+				st = base
+			}
+		}
+		col := trace.NewCollector()
+		var commDelay func(int) time.Duration
+		if cfg.Network.Latency > 0 || cfg.Network.BytesPerSec > 0 {
+			commDelay = cfg.Network.Delay
+		}
+		var diskDelay func(int) time.Duration
+		if (disk.Seek > 0 || disk.BytesPerSec > 0) && !tiered {
+			// Tiered nodes charge measured durations instead: a tier-0 hit
+			// must not be billed the modeled disk service time, while a
+			// tier-1 access pays the LatencyClock on the slow store.
+			diskDelay = disk.ServiceTime
+		}
+		var onSwapError func(core.SwapError)
+		if cfg.OnSwapError != nil {
+			node := i
+			hook := cfg.OnSwapError
+			onSwapError = func(e core.SwapError) { hook(node, e) }
+		}
 		rt := core.NewRuntime(core.Config{
 			Endpoint:      c.tr.Endpoint(comm.NodeID(i)),
 			Pool:          pool,
@@ -240,6 +328,20 @@ func (c *Cluster) Runtimes() []*core.Runtime { return c.rts }
 // MemoryServer returns the remote-memory server when the cluster was built
 // with RemoteMemory, else nil.
 func (c *Cluster) MemoryServer() *remotemem.Server { return c.memsrv }
+
+// Tiers returns the per-node tiered stores when the cluster was built with
+// RemoteMemory + Tier, else an empty slice.
+func (c *Cluster) Tiers() []*tier.Store { return c.tiers }
+
+// TierStats aggregates the tier counters across nodes (counters and gauges
+// sum; HitRatio of the sum is the cluster-wide tier-0 hit ratio).
+func (c *Cluster) TierStats() tier.Stats {
+	var out tier.Stats
+	for _, ts := range c.tiers {
+		out.Add(ts.Snapshot())
+	}
+	return out
+}
 
 // Wait blocks until the whole cluster is quiescent — the paper's
 // termination condition ("no message handlers executing and no messages
@@ -304,6 +406,19 @@ func (c *Cluster) PublishMetrics(reg *obs.Registry) {
 	reg.Gauge("cluster.demand_wait_ms", func() float64 {
 		return float64(c.IOStats().DemandWaitMean().Microseconds()) / 1000
 	})
+	if len(c.tiers) > 0 {
+		reg.Gauge("cluster.tier0_hit_pct", func() float64 { return c.TierStats().HitRatio() * 100 })
+		reg.Gauge("cluster.tier.fast_bytes", func() float64 { return float64(c.TierStats().FastBytes) })
+		reg.Gauge("cluster.tier.spills", func() float64 { return float64(c.TierStats().Spills) })
+		reg.Gauge("cluster.tier.demotions", func() float64 { return float64(c.TierStats().Demotions) })
+		reg.Gauge("cluster.tier.promotions", func() float64 { return float64(c.TierStats().Promotions) })
+		for i, ts := range c.tiers {
+			ts := ts
+			reg.Gauge(fmt.Sprintf("node%d.tier.fast_bytes", i), func() float64 {
+				return float64(ts.Snapshot().FastBytes)
+			})
+		}
+	}
 }
 
 // Metrics returns a one-shot unified snapshot of the cluster's metrics, a

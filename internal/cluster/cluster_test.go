@@ -6,8 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"mrts/internal/clock"
 	"mrts/internal/core"
 	"mrts/internal/ooc"
+	"mrts/internal/storage"
 )
 
 // ballastObj is a trivially serializable mobile object for cluster tests.
@@ -322,5 +324,123 @@ func TestClusterRemoteMemory(t *testing.T) {
 		if v := <-got; v != 4 {
 			t.Fatalf("object %v count = %d, want 4", p, v)
 		}
+	}
+}
+
+func TestClusterTiered(t *testing.T) {
+	// Remote memory composed WITH disk: a small tier-0 lease forces part of
+	// the working set onto the disk backstop, with spills instead of errors.
+	dir := t.TempDir()
+	c, err := New(Config{
+		Nodes:        2,
+		MemBudget:    3000,
+		RemoteMemory: true,
+		Tier:         &TierSpec{Capacity: 2500},
+		SpoolDir:     dir,
+		Factory:      ballastFactory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.MemoryServer() == nil {
+		t.Fatal("memory server missing")
+	}
+	if len(c.Tiers()) != 2 {
+		t.Fatalf("want one tiered store per node, got %d", len(c.Tiers()))
+	}
+	for _, rt := range c.Runtimes() {
+		rt.Register(1, func(ctx *core.Ctx, arg []byte) {
+			ctx.Object().(*ballastObj).N++
+		})
+	}
+	var ptrs []core.MobilePtr
+	for i := 0; i < 8; i++ {
+		ptrs = append(ptrs, c.RT(i%2).CreateObject(&ballastObj{Data: make([]byte, 1000)}))
+	}
+	for round := 0; round < 4; round++ {
+		for _, p := range ptrs {
+			c.RT(0).Post(p, 1, nil)
+		}
+		c.Wait()
+	}
+	if s := c.MemStats(); s.Evictions == 0 {
+		t.Error("expected evictions under the tiny budget")
+	}
+	if s := c.SwapStats(); s.ObjectsLost != 0 {
+		t.Errorf("objects lost: %+v", s)
+	}
+	ts := c.TierStats()
+	if ts.FastPuts == 0 {
+		t.Errorf("no writes admitted to tier 0: %+v", ts)
+	}
+	if ts.Spills == 0 {
+		t.Errorf("no spills despite the working set exceeding the lease: %+v", ts)
+	}
+	// The server-side lease (sum of node leases) must hold.
+	if st := c.MemoryServer().Stats(); st.Capacity != 2*2500 || st.BytesResident > st.Capacity {
+		t.Errorf("server lease: %+v", st)
+	}
+	// State integrity across tiered swapping.
+	got := make(chan int64, 1)
+	for _, rt := range c.Runtimes() {
+		rt.Register(2, func(ctx *core.Ctx, arg []byte) {
+			got <- ctx.Object().(*ballastObj).N
+		})
+	}
+	for _, p := range ptrs {
+		c.RT(int(p.Home)).Post(p, 2, nil)
+		if v := <-got; v != 4 {
+			t.Fatalf("object %v count = %d, want 4", p, v)
+		}
+	}
+	c.Wait()
+	for i, s := range c.Tiers() {
+		s.WaitIdle()
+		if msgs := s.CheckInvariants(true); len(msgs) > 0 {
+			t.Errorf("node %d tier invariants: %v", i, msgs)
+		}
+	}
+}
+
+func TestClusterTieredChargesDiskTime(t *testing.T) {
+	// Regression: cluster.New used to drop the disk service-time model
+	// whenever RemoteMemory was set. With tiering the disk tier keeps its
+	// LatencyClock wrapper, so a run that overflows tier 0 charges disk
+	// time.
+	vclk := clock.NewVirtual()
+	c, err := New(Config{
+		Nodes:        2,
+		MemBudget:    3000,
+		RemoteMemory: true,
+		Tier:         &TierSpec{Capacity: 2000},
+		Disk:         storage.DiskModel{Seek: 2 * time.Millisecond, BytesPerSec: 10 << 20},
+		Factory:      ballastFactory,
+		Clock:        vclk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, rt := range c.Runtimes() {
+		rt.Register(1, func(ctx *core.Ctx, arg []byte) {
+			ctx.Object().(*ballastObj).N++
+		})
+	}
+	var ptrs []core.MobilePtr
+	for i := 0; i < 8; i++ {
+		ptrs = append(ptrs, c.RT(i%2).CreateObject(&ballastObj{Data: make([]byte, 1000)}))
+	}
+	for round := 0; round < 4; round++ {
+		for _, p := range ptrs {
+			c.RT(0).Post(p, 1, nil)
+		}
+		c.Wait()
+	}
+	if ts := c.TierStats(); ts.Spills == 0 && ts.Demotions == 0 {
+		t.Fatalf("working set never reached the disk tier: %+v", ts)
+	}
+	if r := c.Report(); r.Disk <= 0 {
+		t.Errorf("tiered run charged no disk time: %+v", r)
 	}
 }

@@ -75,6 +75,16 @@ const (
 	// free the needed bytes — every victim candidate was busy (Arg: bytes
 	// still needed).
 	KindSwapStall
+	// KindTierSpill marks a write the fast tier could not admit — no lease
+	// room, too big, too cold, or a fast-store error — placed directly on
+	// the slow tier (Arg: blob bytes).
+	KindTierSpill
+	// KindTierDemote marks a completed background fast→slow move (Arg:
+	// blob bytes).
+	KindTierDemote
+	// KindTierPromote marks a completed slow→fast move earned by repeated
+	// demand misses (Arg: blob bytes).
+	KindTierPromote
 	numKinds
 )
 
@@ -113,6 +123,12 @@ func (k Kind) String() string {
 		return "swap.cancel"
 	case KindSwapStall:
 		return "swap.stall"
+	case KindTierSpill:
+		return "tier.spill"
+	case KindTierDemote:
+		return "tier.demote"
+	case KindTierPromote:
+		return "tier.promote"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -129,6 +145,8 @@ func (k Kind) Track() string {
 		return "comm"
 	case KindSchedRun, KindSchedSteal:
 		return "sched"
+	case KindTierSpill, KindTierDemote, KindTierPromote:
+		return "tier"
 	case KindHandler:
 		return "app"
 	default:

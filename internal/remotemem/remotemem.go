@@ -9,8 +9,10 @@ package remotemem
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mrts/internal/comm"
 	"mrts/internal/storage"
@@ -35,6 +37,12 @@ const (
 const (
 	stOK byte = iota + 1
 	stNotFound
+	// stBadRequest reports a short, corrupt or unrecognized request. The
+	// server must answer it — a silent drop would leave the client blocked
+	// on wireResp forever.
+	stBadRequest
+	// stFull reports a Put rejected by the server's capacity lease.
+	stFull
 )
 
 // Server serves remote store requests from an in-memory map. Create it on
@@ -42,30 +50,72 @@ const (
 type Server struct {
 	ep  comm.Endpoint
 	mem *storage.MemStore
+
+	badReqs atomic.Uint64
 }
 
-// NewServer attaches a memory server to ep.
-func NewServer(ep comm.Endpoint) *Server {
-	s := &Server{ep: ep, mem: storage.NewMem()}
+// NewServer attaches an unbounded memory server to ep.
+func NewServer(ep comm.Endpoint) *Server { return NewServerCap(ep, 0) }
+
+// NewServerCap attaches a memory server donating at most capacity bytes
+// (<= 0 means unbounded). Writes beyond the lease are rejected loudly with
+// stFull — the donor node's own budget is never silently overrun.
+func NewServerCap(ep comm.Endpoint, capacity int64) *Server {
+	s := &Server{ep: ep, mem: storage.NewMemCap(capacity)}
 	ep.Register(wireReq, s.onRequest)
 	return s
 }
 
-// Stats exposes the underlying memory store counters.
-func (s *Server) Stats() storage.Stats { return s.mem.Stats() }
+// ServerStats extends the memory store counters with the server's protocol
+// and capacity accounting.
+type ServerStats struct {
+	storage.Stats
+	// BadRequests counts malformed requests answered with stBadRequest
+	// (plus the unanswerable ones too short to carry a request ID).
+	BadRequests uint64
+	// RejectedPuts counts writes refused by the capacity lease.
+	RejectedPuts uint64
+	// BytesResident is the payload currently held; Capacity the lease
+	// (<= 0 means unbounded).
+	BytesResident int64
+	Capacity      int64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Stats:         s.mem.Stats(),
+		BadRequests:   s.badReqs.Load(),
+		RejectedPuts:  s.mem.Rejected(),
+		BytesResident: s.mem.BytesResident(),
+		Capacity:      s.mem.Capacity(),
+	}
+}
 
 func (s *Server) onRequest(msg comm.Message) {
+	if len(msg.Payload) < 9 {
+		// Too short to even carry a request ID: unanswerable, but never
+		// silent — it still counts.
+		s.badReqs.Add(1)
+		return
+	}
+	reqID := binary.LittleEndian.Uint64(msg.Payload[1:9])
 	if len(msg.Payload) < 13 {
+		s.reject(msg.From, reqID)
 		return
 	}
 	op := msg.Payload[0]
-	reqID := binary.LittleEndian.Uint64(msg.Payload[1:9])
 	keyLen := int(binary.LittleEndian.Uint32(msg.Payload[9:13]))
-	if len(msg.Payload) < 13+keyLen+4 {
+	if keyLen < 0 || len(msg.Payload) < 13+keyLen+4 {
+		s.reject(msg.From, reqID)
 		return
 	}
 	key := storage.Key(msg.Payload[13 : 13+keyLen])
 	dataLen := int(binary.LittleEndian.Uint32(msg.Payload[13+keyLen : 17+keyLen]))
+	if dataLen < 0 || len(msg.Payload) < 17+keyLen+dataLen {
+		s.reject(msg.From, reqID)
+		return
+	}
 	data := msg.Payload[17+keyLen : 17+keyLen+dataLen]
 
 	status := stOK
@@ -73,7 +123,11 @@ func (s *Server) onRequest(msg comm.Message) {
 	switch op {
 	case opPut:
 		if err := s.mem.Put(key, data); err != nil {
-			status = stNotFound
+			if errors.Is(err, storage.ErrCapacity) {
+				status = stFull
+			} else {
+				status = stNotFound
+			}
 		}
 	case opGet:
 		d, err := s.mem.Get(key)
@@ -88,14 +142,27 @@ func (s *Server) onRequest(msg comm.Message) {
 		if !s.mem.Has(key) {
 			status = stNotFound
 		}
+	default:
+		s.badReqs.Add(1)
+		status = stBadRequest
 	}
 
+	s.respond(msg.From, reqID, status, out)
+}
+
+// reject answers a malformed-but-routable request with stBadRequest.
+func (s *Server) reject(to comm.NodeID, reqID uint64) {
+	s.badReqs.Add(1)
+	s.respond(to, reqID, stBadRequest, nil)
+}
+
+func (s *Server) respond(to comm.NodeID, reqID uint64, status byte, out []byte) {
 	resp := make([]byte, 9+4+len(out))
 	binary.LittleEndian.PutUint64(resp[0:8], reqID)
 	resp[8] = status
 	binary.LittleEndian.PutUint32(resp[9:13], uint32(len(out)))
 	copy(resp[13:], out)
-	_ = s.ep.Send(msg.From, wireResp, resp)
+	_ = s.ep.Send(to, wireResp, resp)
 }
 
 // Client is a storage.Store backed by a remote Server's memory.
@@ -172,10 +239,28 @@ func (c *Client) call(op byte, key storage.Key, data []byte) (response, error) {
 	return <-ch, nil
 }
 
-// Put implements storage.Store.
+// ErrBadRequest is returned when the server answered stBadRequest: the wire
+// payload was malformed — a protocol bug, never retryable.
+var ErrBadRequest = fmt.Errorf("remotemem: malformed request: %w", storage.ErrPermanent)
+
+// Put implements storage.Store. A write past the server's lease surfaces as
+// storage.ErrCapacity so callers (the tier layer) can place the blob
+// elsewhere instead of retrying a hopeless write.
 func (c *Client) Put(key storage.Key, data []byte) error {
-	_, err := c.call(opPut, key, data)
-	return err
+	r, err := c.call(opPut, key, data)
+	if err != nil {
+		return err
+	}
+	switch r.status {
+	case stOK:
+		return nil
+	case stFull:
+		return fmt.Errorf("remotemem: put %q (%d bytes): %w", string(key), len(data), storage.ErrCapacity)
+	case stBadRequest:
+		return ErrBadRequest
+	default:
+		return fmt.Errorf("remotemem: put %q: server status %d", string(key), r.status)
+	}
 }
 
 // Get implements storage.Store.
@@ -183,6 +268,9 @@ func (c *Client) Get(key storage.Key) ([]byte, error) {
 	r, err := c.call(opGet, key, nil)
 	if err != nil {
 		return nil, err
+	}
+	if r.status == stBadRequest {
+		return nil, ErrBadRequest
 	}
 	if r.status != stOK {
 		return nil, storage.ErrNotFound
@@ -192,8 +280,14 @@ func (c *Client) Get(key storage.Key) ([]byte, error) {
 
 // Delete implements storage.Store.
 func (c *Client) Delete(key storage.Key) error {
-	_, err := c.call(opDelete, key, nil)
-	return err
+	r, err := c.call(opDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	if r.status == stBadRequest {
+		return ErrBadRequest
+	}
+	return nil
 }
 
 // Has implements storage.Store.

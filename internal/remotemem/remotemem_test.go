@@ -2,6 +2,8 @@ package remotemem
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -123,5 +125,159 @@ func TestLargeBlobs(t *testing.T) {
 	got, err := cli.Get("big")
 	if err != nil || !bytes.Equal(got, big) {
 		t.Fatalf("1MB roundtrip failed: len=%d err=%v", len(got), err)
+	}
+}
+
+func TestBadRequestAnswered(t *testing.T) {
+	// A malformed request must get a stBadRequest response, never a silent
+	// drop: a client blocked on wireResp would wedge forever. Drive the
+	// wire directly with truncated and corrupt payloads.
+	tr := comm.NewInProc(2, comm.LatencyModel{})
+	defer tr.Close()
+	srv := NewServer(tr.Endpoint(1))
+	cli := NewClient(tr.Endpoint(0), 1)
+
+	send := func(raw []byte) {
+		t.Helper()
+		if err := tr.Endpoint(0).Send(1, 1001, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// frame builds a request with op, a reqID far above anything the
+	// client's counter will reach (so the stBadRequest replies never
+	// collide with real pending calls), and n total bytes.
+	frame := func(op byte, n int) []byte {
+		raw := make([]byte, n)
+		raw[0] = op
+		if n >= 9 {
+			binary.LittleEndian.PutUint64(raw[1:9], 1<<40+uint64(n))
+		}
+		return raw
+	}
+	// Unanswerable: too short to carry a request ID. Counted, not replied.
+	send([]byte{opPut, 1, 2})
+	// Routable but truncated: no key length.
+	send(frame(opGet, 10))
+	// Key length pointing past the payload.
+	raw := frame(opGet, 13)
+	raw[9] = 0xff // keyLen = 255 with a 0-byte remainder
+	send(raw)
+	// Data length pointing past the payload (the latent slice-panic shape).
+	raw = frame(opPut, 18)
+	raw[9] = 1     // keyLen = 1, key at [13:14]
+	raw[14] = 0xff // dataLen = 255 with only 0 bytes of data present
+	send(raw)
+	// Unknown opcode with a well-formed frame.
+	send(frame(0x7f, 17))
+
+	// The server must still be healthy for real traffic — this Put would
+	// wedge if any of the frames above stalled the endpoint's dispatcher.
+	if err := cli.Put("alive", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().BadRequests; got != 5 {
+		t.Fatalf("BadRequests = %d, want 5", got)
+	}
+}
+
+func TestCapacityCap(t *testing.T) {
+	tr := comm.NewInProc(2, comm.LatencyModel{})
+	defer tr.Close()
+	srv := NewServerCap(tr.Endpoint(1), 100)
+	cli := NewClient(tr.Endpoint(0), 1)
+	if err := cli.Put("a", make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+	err := cli.Put("b", make([]byte, 50))
+	if !errors.Is(err, storage.ErrCapacity) {
+		t.Fatalf("over-lease Put = %v, want ErrCapacity", err)
+	}
+	// Same-key overwrite within the lease is fine (replaces, not adds).
+	if err := cli.Put("a", make([]byte, 90)); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.RejectedPuts != 1 || st.BytesResident != 90 || st.Capacity != 100 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// ErrCapacity is permanent: retry layers must hand it up, not spin.
+	if !storage.IsPermanent(err) {
+		t.Fatal("ErrCapacity must classify as permanent")
+	}
+}
+
+func TestConcurrentClientsCapacity(t *testing.T) {
+	// N nodes hammer one capped server with interleaved Put/Get/Delete on
+	// overlapping keys; the lease must never be exceeded and every accepted
+	// write must round-trip. Runs in the -race matrix.
+	const (
+		clients = 4
+		rounds  = 150
+		keys    = 12
+		lease   = 4 * 1024
+	)
+	tr := comm.NewInProc(clients+1, comm.LatencyModel{})
+	defer tr.Close()
+	srv := NewServerCap(tr.Endpoint(comm.NodeID(clients)), lease)
+
+	stop := make(chan struct{})
+	var spectator sync.WaitGroup
+	spectator.Add(1)
+	go func() {
+		defer spectator.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st := srv.Stats(); st.BytesResident > lease {
+				t.Errorf("lease exceeded mid-traffic: %+v", st)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for n := 0; n < clients; n++ {
+		cli := NewClient(tr.Endpoint(comm.NodeID(n)), comm.NodeID(clients))
+		wg.Add(1)
+		go func(n int, cli *Client) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := storage.Key(fmt.Sprintf("k%d", (n*5+i)%keys))
+				switch i % 4 {
+				case 0, 1:
+					err := cli.Put(k, bytes.Repeat([]byte{byte(n)}, 200+(i%7)*100))
+					if err != nil && !errors.Is(err, storage.ErrCapacity) {
+						t.Errorf("put %q: %v", k, err)
+						return
+					}
+				case 2:
+					if _, err := cli.Get(k); err != nil && err != storage.ErrNotFound {
+						t.Errorf("get %q: %v", k, err)
+						return
+					}
+				default:
+					if err := cli.Delete(k); err != nil {
+						t.Errorf("delete %q: %v", k, err)
+						return
+					}
+				}
+			}
+		}(n, cli)
+	}
+	wg.Wait()
+	close(stop)
+	spectator.Wait()
+	st := srv.Stats()
+	if st.BytesResident > lease {
+		t.Fatalf("lease exceeded at rest: %+v", st)
+	}
+	if st.RejectedPuts == 0 {
+		t.Fatalf("workload never hit the lease — raise the pressure: %+v", st)
+	}
+	if st.BadRequests != 0 {
+		t.Fatalf("well-formed traffic counted as bad requests: %+v", st)
 	}
 }

@@ -109,3 +109,91 @@ func TestMeshFaultEqualityProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestMeshFaultEqualityPropertyTiered repeats the equality property on the
+// tiered hierarchy: remote memory with a bounded lease fronting the faulty,
+// latency-modeled disk, while the remote tier takes its own transient fault
+// schedule. Placement decisions (admit, spill, demote, promote) and tier-0
+// faults must be invisible to the mesh: same elements, conforming
+// interfaces, nothing lost.
+func TestMeshFaultEqualityPropertyTiered(t *testing.T) {
+	want := inCoreReference(t)
+
+	for seed := int64(1); seed <= meshPropSeeds; seed++ {
+		vclk := clock.NewVirtual()
+		cl, err := cluster.New(cluster.Config{
+			Nodes:        2,
+			MemBudget:    200_000, // tiny: blocks must swap under faults
+			Factory:      meshgen.Factory,
+			Clock:        vclk,
+			Seed:         seed,
+			RemoteMemory: true,
+			Tier: &cluster.TierSpec{
+				Capacity: 30_000, // a fraction of the spilled bytes: forces both tiers into play
+				Fault: &storage.FaultConfig{
+					Seed:          seed * 31,
+					FailFirstGets: 1,
+					FailFirstPuts: 1,
+				},
+			},
+			Network: comm.LatencyModel{Latency: time.Duration(50*(seed%5)) * time.Microsecond, BytesPerSec: 100e6},
+			NodeDisk: func(node int) storage.DiskModel {
+				d := storage.DiskModel{Seek: time.Duration(100+50*seed) * time.Microsecond, BytesPerSec: 50e6}
+				if node == int(seed)%2 {
+					d.Seek *= 4 // one slow node per schedule
+				}
+				return d
+			},
+			Fault: &storage.FaultConfig{
+				Seed:          seed,
+				FailFirstGets: int(1 + seed%2),
+				FailFirstPuts: int(1 + seed%2),
+			},
+			Retry: storage.RetryPolicy{
+				MaxAttempts: 5,
+				BaseDelay:   50 * time.Microsecond,
+				MaxDelay:    time.Millisecond,
+				Seed:        seed,
+				Clock:       vclk,
+			},
+		})
+		if err != nil {
+			vclk.Stop()
+			t.Fatal(err)
+		}
+		got, err := meshgen.RunOUPDR(cl, meshPropConfig)
+		stats := cl.SwapStats()
+		ts := cl.TierStats()
+		var violations []string
+		for _, s := range cl.Tiers() {
+			s.WaitIdle()
+			violations = append(violations, s.CheckInvariants(true)...)
+		}
+		cl.Close()
+		vclk.Stop()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.Mem.Evictions == 0 {
+			t.Errorf("seed %d: out-of-core run never swapped; the property was not exercised", seed)
+		}
+		if got.Elements != want.Elements {
+			t.Errorf("seed %d: tiered mesh has %d elements, in-core has %d", seed, got.Elements, want.Elements)
+		}
+		if !got.Conforming {
+			t.Errorf("seed %d: submesh interfaces no longer conform", seed)
+		}
+		if stats.ObjectsLost != 0 || stats.LoadFailures != 0 || stats.StoreFailures != 0 {
+			t.Errorf("seed %d: transient faults leaked into SwapStats: %+v", seed, stats)
+		}
+		if len(violations) > 0 {
+			t.Errorf("seed %d: tier invariants: %v", seed, violations)
+		}
+		if ts.FastPuts == 0 || ts.Spills == 0 {
+			t.Errorf("seed %d: both tiers were not exercised: %+v", seed, ts)
+		}
+		if stats.Retries+ts.FastPutErrors+ts.FastReadErrors == 0 {
+			t.Errorf("seed %d: no fault was ever absorbed; the injection did not engage", seed)
+		}
+	}
+}

@@ -277,3 +277,58 @@ func (PermanentFaultStorm) Run(env *Env) error {
 	env.Record("posts", int64(posts))
 	return nil
 }
+
+// TieredFaultStorm runs the increment storm on a tiered cluster (remote
+// memory over disk) whose remote-memory tier takes transient faults: writes
+// that fault on tier 0 must spill to the disk tier, reads must retry or be
+// re-dispatched at the blob's surviving home — every counter lands, nothing
+// is lost, and the tier invariants (single residency, lease) hold throughout
+// via the harness's continuous sweep.
+type TieredFaultStorm struct{}
+
+// Name implements Scenario.
+func (TieredFaultStorm) Name() string { return "tiered-fault-storm" }
+
+// Fault implements Scenario.
+func (TieredFaultStorm) Fault() FaultKind { return FaultTierTransient }
+
+// Run implements Scenario.
+func (TieredFaultStorm) Run(env *Env) error {
+	board := &counterBoard{counts: make(map[core.MobilePtr]int64)}
+	registerHandlers(env, board)
+	ptrs := buildObjects(env)
+	posts := env.Plan.Nodes * env.Plan.Objects * env.Plan.Messages
+	env.Note("storm of %d posts over tier cap %d with tier-0 faults", posts, env.Plan.TierCapacity)
+
+	expected := postStorm(env, ptrs, posts)
+	env.WaitTermination()
+	got := reportPhase(env, board, ptrs)
+
+	var sum int64
+	for _, p := range ptrs {
+		if got[p] != expected[p] {
+			return fmt.Errorf("object %v: count %d, expected %d", p, got[p], expected[p])
+		}
+		env.Record(fmt.Sprintf("count.%v", p), got[p])
+		sum += got[p]
+	}
+	if lost := env.Cluster.SwapStats().ObjectsLost; lost != 0 {
+		return fmt.Errorf("%d objects lost despite a healthy disk tier", lost)
+	}
+	ts := env.Cluster.TierStats()
+	if ts.FastPuts+ts.Spills == 0 {
+		return fmt.Errorf("tiered run wrote nothing through the hierarchy")
+	}
+	if env.Plan.TierCapacity != 0 {
+		// Tier-0 faults fire on the first touch of each key, so a run that
+		// has a fast tier must have absorbed at least one: a spill on a
+		// faulted admission, or a retried read.
+		retried := env.Cluster.SwapStats().Retries
+		if ts.FastPutErrors+ts.FastReadErrors+retried == 0 {
+			return fmt.Errorf("tier-0 fault schedule never fired: %+v", ts)
+		}
+	}
+	env.Record("objects", int64(len(ptrs)))
+	env.Record("sum", sum)
+	return nil
+}

@@ -43,6 +43,10 @@ const (
 	FaultNone      FaultKind = iota // clean stores
 	FaultTransient                  // early failures absorbed by retry
 	FaultPermanent                  // unreadable blobs: loud object loss
+	// FaultTierTransient runs a tiered (remote memory over disk) cluster
+	// whose remote-memory tier takes transient faults: writes spill to the
+	// disk tier, reads fall back or retry — never an object loss.
+	FaultTierTransient
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +58,8 @@ func (k FaultKind) String() string {
 		return "transient"
 	case FaultPermanent:
 		return "permanent"
+	case FaultTierTransient:
+		return "tier-transient"
 	default:
 		return "invalid"
 	}
@@ -76,6 +82,11 @@ type Plan struct {
 	Retries    int // retry attempts budget
 	Objects    int // objects the scenario should create per node
 	Messages   int // messages the scenario should post per object
+	// Tiered runs remote memory composed over disk (internal/tier);
+	// TierCapacity is the per-node tier-0 lease (0 degenerates to pure
+	// disk — a valid point the hierarchy must handle).
+	Tiered       bool
+	TierCapacity int64
 }
 
 // expandPlan draws a Plan from the seed. All draws happen in a fixed order
@@ -103,6 +114,14 @@ func expandPlan(seed int64, kind FaultKind) Plan {
 		p.FailFirst = 1 + rng.Intn(2)
 	case FaultPermanent:
 		p.GetProb = 0.5 + 0.5*rng.Float64()
+	case FaultTierTransient:
+		p.FailFirst = 1 + rng.Intn(2)
+		p.Tiered = true
+		if rng.Intn(6) == 0 {
+			p.TierCapacity = 0 // degenerate point: the lease is gone entirely
+		} else {
+			p.TierCapacity = int64(2_000 + rng.Intn(10_000))
+		}
 	}
 	return p
 }
@@ -150,6 +169,18 @@ func (p Plan) clusterConfig(clk Clock, factory core.Factory) cluster.Config {
 			GetFailProb: p.GetProb,
 			Permanent:   true,
 		}
+	case FaultTierTransient:
+		// The faults storm tier 0 only; the disk tier stays healthy, so
+		// every blob always has a reachable home.
+		cfg.RemoteMemory = true
+		cfg.Tier = &cluster.TierSpec{
+			Capacity: p.TierCapacity,
+			Fault: &storage.FaultConfig{
+				Seed:          p.Seed,
+				FailFirstGets: p.FailFirst,
+				FailFirstPuts: p.FailFirst,
+			},
+		}
 	}
 	return cfg
 }
@@ -159,7 +190,7 @@ func (p Plan) render(w *strings.Builder) {
 	fmt.Fprintf(w, "plan seed=%d nodes=%d workers=%d budget=%d", p.Seed, p.Nodes, p.Workers, p.MemBudget)
 	fmt.Fprintf(w, " net=%s disk=%s slow=%d", p.NetLatency, p.DiskSeek, p.SlowNode)
 	fmt.Fprintf(w, " fault=%s failfirst=%d getprob=%.3f retries=%d", p.Fault, p.FailFirst, p.GetProb, p.Retries)
-	fmt.Fprintf(w, " objects=%d messages=%d\n", p.Objects, p.Messages)
+	fmt.Fprintf(w, " objects=%d messages=%d tiered=%t tiercap=%d\n", p.Objects, p.Messages, p.Tiered, p.TierCapacity)
 }
 
 // Env is the execution environment handed to a scenario: the running
@@ -303,6 +334,11 @@ func Run(seed int64, scenario Scenario) *Result {
 			for _, rt := range cl.Runtimes() {
 				found = append(found, rt.CheckInvariants(false)...)
 			}
+			for _, ts := range cl.Tiers() {
+				// Always-true tier properties: lease never exceeded,
+				// accounting self-consistent.
+				found = append(found, ts.CheckInvariants(false)...)
+			}
 			if len(found) > 8 {
 				found = found[:8] // one broken invariant repeats; cap the noise
 			}
@@ -340,6 +376,12 @@ func Run(seed int64, scenario Scenario) *Result {
 		if inv := cl.IOStats().PriorityInversions; inv != 0 {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("swapio dispatched %d prefetches past queued demand loads", inv))
+		}
+		// Tiered clusters: wait out in-flight demotions/promotions, then
+		// audit single-tier residency and the lease exhaustively.
+		for _, ts := range cl.Tiers() {
+			ts.WaitIdle()
+			res.Violations = append(res.Violations, ts.CheckInvariants(true)...)
 		}
 	}
 	return res

@@ -19,15 +19,17 @@ var (
 
 // scenarioForSeed distributes the seed space across the scenarios.
 func scenarioForSeed(seed int64) Scenario {
-	switch seed % 4 {
+	switch seed % 5 {
 	case 0:
 		return CounterStorm{}
 	case 1:
 		return CounterStorm{Transient: true}
 	case 2:
 		return MigrationShuffle{}
-	default:
+	case 3:
 		return PermanentFaultStorm{}
+	default:
+		return TieredFaultStorm{}
 	}
 }
 
@@ -82,7 +84,7 @@ func TestSoak(t *testing.T) {
 // exported traces to match byte for byte — the property that makes
 // -sim.seed replays trustworthy.
 func TestSeedReplayByteEqual(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
+	for seed := int64(1); seed <= 5; seed++ {
 		first := runSeed(t, seed)
 		second := runSeed(t, seed)
 		if !bytes.Equal(first.TraceBytes(), second.TraceBytes()) {

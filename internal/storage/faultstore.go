@@ -23,9 +23,11 @@ var ErrInjected = errors.New("storage: injected fault")
 var ErrPermanent = errors.New("storage: permanent fault")
 
 // IsPermanent reports whether err must not be retried: the key is missing,
-// the store is closed, or the error is explicitly marked permanent.
+// the store is closed, the store is out of capacity, or the error is
+// explicitly marked permanent.
 func IsPermanent(err error) bool {
-	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrClosed) || errors.Is(err, ErrPermanent)
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrCapacity) || errors.Is(err, ErrPermanent)
 }
 
 // FaultConfig configures a FaultStore. All mechanisms compose: an operation

@@ -14,6 +14,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,13 @@ type Key string
 
 // ErrNotFound is returned when loading a key that was never stored.
 var ErrNotFound = errors.New("storage: object not found")
+
+// ErrCapacity is returned by capacity-bounded stores when a Put would push
+// the resident bytes past the configured cap. It is permanent for retry
+// purposes (IsPermanent): retrying the same write cannot make room — the
+// caller must place the blob elsewhere (the tier layer spills to the next
+// tier down).
+var ErrCapacity = errors.New("storage: capacity exhausted")
 
 // Store is a byte-blob store for serialized mobile objects.
 type Store interface {
@@ -46,6 +54,14 @@ type Stats struct {
 	Puts, Gets, Deletes uint64
 	BytesWritten        uint64
 	BytesRead           uint64
+}
+
+// SizedStore is implemented by stores that account their resident payload
+// bytes — the contract a capacity-aware tier needs from its backends.
+type SizedStore interface {
+	Store
+	// BytesResident returns the total payload bytes currently stored.
+	BytesResident() int64
 }
 
 // AsyncResult is the completion handle of an asynchronous operation.
@@ -213,22 +229,46 @@ func (a *Async) Close() error {
 }
 
 // MemStore is an in-memory Store, used in tests and as the "remote memory as
-// out-of-core media" configuration sketched in the paper's conclusion.
+// out-of-core media" configuration sketched in the paper's conclusion. Built
+// with NewMemCap it enforces a byte capacity: a donor node leases a bounded
+// slice of its RAM, it does not surrender all of it.
 type MemStore struct {
-	mu    sync.RWMutex
-	data  map[Key][]byte
-	stats Stats
+	mu       sync.RWMutex
+	data     map[Key][]byte
+	stats    Stats
+	resident int64
+	capacity int64 // <= 0 means unbounded
+	rejected uint64
 }
 
-// NewMem returns an empty in-memory store.
+// NewMem returns an empty, unbounded in-memory store.
 func NewMem() *MemStore { return &MemStore{data: make(map[Key][]byte)} }
 
-// Put implements Store.
+// NewMemCap returns an in-memory store that rejects writes (ErrCapacity)
+// once resident payload bytes would exceed capacity. capacity <= 0 means
+// unbounded.
+func NewMemCap(capacity int64) *MemStore {
+	return &MemStore{data: make(map[Key][]byte), capacity: capacity}
+}
+
+// Put implements Store. On a capacity-bounded store a write that would push
+// the resident bytes past the cap fails loudly with ErrCapacity (replacing
+// an existing value accounts only the size delta).
 func (s *MemStore) Put(key Key, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	s.mu.Lock()
+	old := int64(len(s.data[key]))
+	next := s.resident - old + int64(len(data))
+	if s.capacity > 0 && next > s.capacity {
+		s.rejected++
+		resident := s.resident
+		s.mu.Unlock()
+		return fmt.Errorf("put %q (%d bytes, %d/%d resident): %w",
+			string(key), len(data), resident, s.capacity, ErrCapacity)
+	}
 	s.data[key] = cp
+	s.resident = next
 	s.stats.Puts++
 	s.stats.BytesWritten += uint64(len(data))
 	s.mu.Unlock()
@@ -253,6 +293,7 @@ func (s *MemStore) Get(key Key) ([]byte, error) {
 // Delete implements Store.
 func (s *MemStore) Delete(key Key) error {
 	s.mu.Lock()
+	s.resident -= int64(len(s.data[key]))
 	delete(s.data, key)
 	s.stats.Deletes++
 	s.mu.Unlock()
@@ -276,6 +317,25 @@ func (s *MemStore) Stats() Stats {
 	defer s.mu.RUnlock()
 	return s.stats
 }
+
+// BytesResident implements SizedStore.
+func (s *MemStore) BytesResident() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.resident
+}
+
+// Capacity returns the configured byte cap (<= 0 means unbounded).
+func (s *MemStore) Capacity() int64 { return s.capacity }
+
+// Rejected returns how many writes ErrCapacity refused.
+func (s *MemStore) Rejected() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rejected
+}
+
+var _ SizedStore = (*MemStore)(nil)
 
 // DiskModel is the service-time model of the latency-injecting wrapper: each
 // operation costs Seek plus size/BytesPerSec of transfer time.
