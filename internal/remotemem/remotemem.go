@@ -105,14 +105,17 @@ func (s *Server) onRequest(msg comm.Message) {
 		return
 	}
 	op := msg.Payload[0]
+	// Bound the lengths against the payload before any arithmetic: on 32-bit
+	// platforms 13+keyLen+4 can overflow negative for a hostile keyLen and
+	// sneak past the check into a panicking slice expression.
 	keyLen := int(binary.LittleEndian.Uint32(msg.Payload[9:13]))
-	if keyLen < 0 || len(msg.Payload) < 13+keyLen+4 {
+	if keyLen < 0 || keyLen > len(msg.Payload)-17 {
 		s.reject(msg.From, reqID)
 		return
 	}
 	key := storage.Key(msg.Payload[13 : 13+keyLen])
 	dataLen := int(binary.LittleEndian.Uint32(msg.Payload[13+keyLen : 17+keyLen]))
-	if dataLen < 0 || len(msg.Payload) < 17+keyLen+dataLen {
+	if dataLen < 0 || dataLen > len(msg.Payload)-17-keyLen {
 		s.reject(msg.From, reqID)
 		return
 	}
@@ -196,7 +199,7 @@ func (c *Client) onResponse(msg comm.Message) {
 	reqID := binary.LittleEndian.Uint64(msg.Payload[0:8])
 	status := msg.Payload[8]
 	n := int(binary.LittleEndian.Uint32(msg.Payload[9:13]))
-	if len(msg.Payload) < 13+n {
+	if n < 0 || n > len(msg.Payload)-13 { // overflow-safe bound, as onRequest
 		return
 	}
 	data := make([]byte, n)

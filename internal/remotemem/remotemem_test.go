@@ -167,6 +167,17 @@ func TestBadRequestAnswered(t *testing.T) {
 	raw[9] = 1     // keyLen = 1, key at [13:14]
 	raw[14] = 0xff // dataLen = 255 with only 0 bytes of data present
 	send(raw)
+	// keyLen = 0xFFFFFFFF: naive 13+keyLen+4 arithmetic overflows negative
+	// on 32-bit platforms and sails past the bounds check into a slice
+	// panic; the check must bound the length before doing any math.
+	raw = frame(opGet, 17)
+	raw[9], raw[10], raw[11], raw[12] = 0xff, 0xff, 0xff, 0xff
+	send(raw)
+	// The same overflow shape on the data length, behind a valid key.
+	raw = frame(opPut, 18)
+	raw[9] = 1
+	raw[14], raw[15], raw[16], raw[17] = 0xff, 0xff, 0xff, 0xff
+	send(raw)
 	// Unknown opcode with a well-formed frame.
 	send(frame(0x7f, 17))
 
@@ -175,8 +186,8 @@ func TestBadRequestAnswered(t *testing.T) {
 	if err := cli.Put("alive", []byte("ok")); err != nil {
 		t.Fatal(err)
 	}
-	if got := srv.Stats().BadRequests; got != 5 {
-		t.Fatalf("BadRequests = %d, want 5", got)
+	if got := srv.Stats().BadRequests; got != 7 {
+		t.Fatalf("BadRequests = %d, want 7", got)
 	}
 }
 
@@ -238,9 +249,12 @@ func TestConcurrentClientsCapacity(t *testing.T) {
 		}
 	}()
 
+	cls := make([]*Client, clients)
+	for n := range cls {
+		cls[n] = NewClient(tr.Endpoint(comm.NodeID(n)), comm.NodeID(clients))
+	}
 	var wg sync.WaitGroup
 	for n := 0; n < clients; n++ {
-		cli := NewClient(tr.Endpoint(comm.NodeID(n)), comm.NodeID(clients))
 		wg.Add(1)
 		go func(n int, cli *Client) {
 			defer wg.Done()
@@ -248,7 +262,7 @@ func TestConcurrentClientsCapacity(t *testing.T) {
 				k := storage.Key(fmt.Sprintf("k%d", (n*5+i)%keys))
 				switch i % 4 {
 				case 0, 1:
-					err := cli.Put(k, bytes.Repeat([]byte{byte(n)}, 200+(i%7)*100))
+					err := cli.Put(k, bytes.Repeat([]byte{byte(n)}, 500+(i%7)*150))
 					if err != nil && !errors.Is(err, storage.ErrCapacity) {
 						t.Errorf("put %q: %v", k, err)
 						return
@@ -265,17 +279,22 @@ func TestConcurrentClientsCapacity(t *testing.T) {
 					}
 				}
 			}
-		}(n, cli)
+		}(n, cls[n])
 	}
 	wg.Wait()
 	close(stop)
 	spectator.Wait()
+	// Deterministic lease pressure: a blob larger than the whole lease can
+	// never be admitted, whatever residency the hammer left behind.
+	if err := cls[0].Put("too-big", make([]byte, lease+1)); !errors.Is(err, storage.ErrCapacity) {
+		t.Fatalf("over-lease Put = %v, want ErrCapacity", err)
+	}
 	st := srv.Stats()
 	if st.BytesResident > lease {
 		t.Fatalf("lease exceeded at rest: %+v", st)
 	}
 	if st.RejectedPuts == 0 {
-		t.Fatalf("workload never hit the lease — raise the pressure: %+v", st)
+		t.Fatalf("no Put ever hit the lease: %+v", st)
 	}
 	if st.BadRequests != 0 {
 		t.Fatalf("well-formed traffic counted as bad requests: %+v", st)

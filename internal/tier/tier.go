@@ -311,7 +311,8 @@ func (s *Store) Put(key storage.Key, data []byte) error {
 		return storage.ErrClosed
 	}
 	ent := s.acquireLocked(key)
-	wasFast := ent.place == inFast || ent.place == demoting
+	prevPlace := ent.place
+	wasFast := prevPlace == inFast || prevPlace == demoting
 	oldSize := ent.size
 	admit := s.admitLocked(ent, size)
 	if admit {
@@ -326,7 +327,7 @@ func (s *Store) Put(key storage.Key, data []byte) error {
 	if admit {
 		err := s.fast.Put(key, data)
 		if err == nil {
-			if ent.place == inSlow || ent.place == promoting {
+			if prevPlace == inSlow || prevPlace == promoting {
 				// Scrub the stale tier-1 copy: residency stays single.
 				_ = s.slow.Delete(key)
 			}
@@ -367,18 +368,28 @@ func (s *Store) Put(key storage.Key, data []byte) error {
 	}
 	s.mu.Lock()
 	if err != nil {
-		// The write failed everywhere; whatever was resident before stays.
+		// The write failed everywhere; whatever was resident before stays
+		// authoritative. A mid-promotion entry reverts to its slow copy and
+		// drops the orphaned reservation — the gen bump means no mover will
+		// reconcile either.
 		if wasFast {
 			ent.place = inFast
+		} else {
+			if ent.place == promoting {
+				ent.place = inSlow
+			}
+			s.fastBytes -= ent.charged
+			ent.charged = 0
 		}
 		s.releaseLocked(ent)
 		s.mu.Unlock()
 		return err
 	}
-	if wasFast {
-		s.fastBytes -= ent.charged
-		ent.charged = 0
-	}
+	// Release whatever this key still charges against the lease — an old fast
+	// residency, or a promotion reservation orphaned by the gen bump. The
+	// latch plus that bump guarantee no mover still owns the charge.
+	s.fastBytes -= ent.charged
+	ent.charged = 0
 	ent.place = inSlow
 	ent.size = size
 	ent.misses = 0
@@ -445,16 +456,18 @@ func (s *Store) Get(key storage.Key) ([]byte, error) {
 		s.stats.SlowHits++
 		s.touchLocked(ent)
 		promote := false
+		var psize int64
 		if ent.place == inSlow && ent.gen == gen {
 			ent.misses++
 			if s.cfg.PromoteAfter > 0 && ent.misses >= s.cfg.PromoteAfter {
 				promote = s.reservePromoteLocked(ent)
 				gen = ent.gen
+				psize = ent.size // read under s.mu; a racing Put mutates it
 			}
 		}
 		s.mu.Unlock()
 		if promote {
-			s.startPromote(key, ent, gen, ent.size)
+			s.startPromote(key, ent, gen, psize)
 		}
 		return data, nil
 	}
@@ -593,6 +606,11 @@ func (s *Store) scheduleDemotion(key storage.Key, ent *entry, gen uint64) {
 		s.inFlight--
 		s.mu.Unlock()
 	}
+	// aborted marks a move reconciled inside the encode hook; encode and done
+	// run sequentially on one inner worker, so a plain bool is safe. The done
+	// hook cannot infer the abort from a nil blob — a zero-length value
+	// encodes to one.
+	aborted := false
 	ok := s.inner.Store(key, 0, func() ([]byte, error) {
 		s.mu.Lock()
 		for ent.writing {
@@ -600,6 +618,7 @@ func (s *Store) scheduleDemotion(key storage.Key, ent *entry, gen uint64) {
 		}
 		if ent.gen != gen || ent.place != demoting {
 			s.mu.Unlock()
+			aborted = true
 			abort(false)
 			return nil, errSuperseded
 		}
@@ -610,13 +629,14 @@ func (s *Store) scheduleDemotion(key storage.Key, ent *entry, gen uint64) {
 			s.mu.Lock()
 			s.releaseLocked(ent)
 			s.mu.Unlock()
+			aborted = true
 			abort(true)
 			return nil, err
 		}
 		return blob, nil
 	}, nil, func(blob []byte, err error) {
-		if blob == nil {
-			return // encode failed or was superseded; already reconciled
+		if aborted {
+			return // reconciled in the encode hook
 		}
 		size := int64(len(blob))
 		if err != nil {

@@ -396,6 +396,108 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 }
 
+// TestPutOnPromotingSpillReleasesReservation overwrites a mid-promotion key
+// with a blob admission refuses: the spill succeeds and must release the
+// orphaned promotion reservation — the gen bump means the promotion callback
+// never will, and a leaked charge shrinks the lease forever.
+func TestPutOnPromotingSpillReleasesReservation(t *testing.T) {
+	slow := storage.NewMem()
+	s := newTiered(t, Config{Slow: slow, Capacity: 1000, AdmitMax: 100, PromoteAfter: -1})
+	// Plant a key mid-promotion exactly as reservePromoteLocked leaves it
+	// while the prefetch load is in flight: slow copy authoritative, lease
+	// reservation charged.
+	if err := s.slow.Put("p", blob(80)); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.index["p"] = &entry{size: 80, charged: 80, place: promoting}
+	s.fastBytes += 80
+	s.mu.Unlock()
+
+	if err := s.Put("p", blob(150)); err != nil { // > AdmitMax: spills
+		t.Fatalf("put: %v", err)
+	}
+	if st := s.Snapshot(); st.FastBytes != 0 {
+		t.Fatalf("promotion reservation leaked into the lease: %+v", st)
+	}
+	if got, err := s.Get("p"); err != nil || len(got) != 150 {
+		t.Fatalf("get: %v (%d bytes)", err, len(got))
+	}
+	checkClean(t, s)
+}
+
+// TestPutFailingBothTiersOnPromotingRevertsToSlow fails a Put of a
+// mid-promotion key on both tiers: the entry must revert to its (still
+// authoritative) slow copy and drop the reservation, not stay `promoting`
+// forever with the charge held.
+func TestPutFailingBothTiersOnPromotingRevertsToSlow(t *testing.T) {
+	inner := storage.NewMem()
+	slow := storage.NewFault(inner, storage.FaultConfig{FailFirstPuts: 1})
+	s := newTiered(t, Config{Slow: slow, Capacity: 1000, AdmitMax: 100, PromoteAfter: -1})
+	if err := inner.Put("p", blob(80)); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.index["p"] = &entry{size: 80, charged: 80, place: promoting}
+	s.fastBytes += 80
+	s.mu.Unlock()
+
+	// > AdmitMax refuses tier 0 and the injected fault fails the spill: the
+	// Put errors out, the old slow copy stays the truth.
+	if err := s.Put("p", blob(150)); err == nil {
+		t.Fatal("want the double-fault put to fail")
+	}
+	s.mu.Lock()
+	ent := s.index["p"]
+	if ent.place != inSlow || ent.charged != 0 || s.fastBytes != 0 {
+		s.mu.Unlock()
+		t.Fatalf("entry not reconciled: place=%v charged=%d fastBytes=%d",
+			ent.place, ent.charged, s.fastBytes)
+	}
+	s.mu.Unlock()
+	if got, err := s.Get("p"); err != nil || len(got) != 80 {
+		t.Fatalf("old slow copy unreadable: %v (%d bytes)", err, len(got))
+	}
+	checkClean(t, s)
+}
+
+// nilOnEmpty returns a nil (not empty) slice for zero-length blobs, as some
+// stores legitimately do; the demotion pipeline must not mistake that for an
+// aborted move and wedge the key.
+type nilOnEmpty struct{ storage.Store }
+
+func (n nilOnEmpty) Get(k storage.Key) ([]byte, error) {
+	d, err := n.Store.Get(k)
+	if err == nil && len(d) == 0 {
+		return nil, nil
+	}
+	return d, err
+}
+
+func TestDemoteZeroLengthBlob(t *testing.T) {
+	s := newTiered(t, Config{
+		Fast: nilOnEmpty{storage.NewMem()}, Slow: storage.NewMem(),
+		Capacity: 1000, HighWater: 0.9, LowWater: 0.1, PromoteAfter: -1,
+	})
+	if err := s.Put("z", nil); err != nil { // zero-length, coldest
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := s.Put(storage.Key(fmt.Sprintf("k%d", i)), blob(100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("k0", blob(150)); err != nil { // crosses high water
+		t.Fatal(err)
+	}
+	// Wedges here if the done hook mistakes the nil blob for an abort.
+	s.WaitIdle()
+	if !s.slow.Has("z") {
+		t.Fatal("zero-length blob not demoted to tier 1")
+	}
+	checkClean(t, s)
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("want error without a Slow store")
