@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick bench-pipeline bench-tiers trace bench-json bench-baseline lint sim-soak examples clean
+.PHONY: all build vet test race bench bench-quick bench-pipeline bench-tiers bench-compress trace bench-json bench-baseline lint sim-soak examples clean
 
 all: build vet test
 
@@ -38,6 +38,11 @@ bench-pipeline:
 bench-tiers:
 	$(GO) run ./cmd/mrtsbench -exp tiers -scale $(SCALE)
 
+# The tier-0.5 compression sweep (off vs on) plus the swap hot path's
+# steady-state allocation audit (override: make bench-compress SCALE=0.5).
+bench-compress:
+	$(GO) run ./cmd/mrtsbench -exp compress,alloc -scale $(SCALE)
+
 # Capture a Perfetto-loadable event trace of one experiment
 # (override: make trace EXP=fig8 SCALE=0.25).
 EXP ?= tab4
@@ -53,7 +58,7 @@ bench-json:
 # Regenerate the CI benchmark-regression baseline (same config as the
 # bench-smoke job in .github/workflows/ci.yml; commit the result).
 bench-baseline:
-	$(GO) run ./cmd/mrtsbench -exp tab1,tab4,fig8,faults,pipeline,tiers -scale 0.05 -pes 2 -json ci/bench-baseline.json
+	$(GO) run ./cmd/mrtsbench -exp tab1,tab4,fig8,faults,pipeline,tiers,alloc,compress -scale 0.05 -pes 2 -json ci/bench-baseline.json
 
 # 100-seed deterministic-simulation soak (the nightly CI job runs the same
 # sweep under -race). Failing seeds are listed in the test output and in
@@ -65,7 +70,7 @@ sim-soak:
 # Packages that must take time from an injected clock.Clock so the
 # deterministic simulation harness can virtualize them. Only the clock
 # implementations themselves may call the time package for "now"/sleeping.
-CLOCKED_PKGS = internal/core internal/comm internal/storage internal/swapio internal/sched internal/cluster internal/tier
+CLOCKED_PKGS = internal/core internal/comm internal/storage internal/swapio internal/sched internal/cluster internal/tier internal/bufpool
 
 # gofmt check (staticcheck additionally runs in CI, where installing the
 # pinned version is possible), plus the clock-injection rule: no package

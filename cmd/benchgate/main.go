@@ -30,6 +30,8 @@ func main() {
 		timeTol      = flag.Float64("time-tol", 0, "relative time ceiling (0 = default 1.8)")
 		waitTol      = flag.Float64("wait-tol", 0, "relative demand-wait ceiling (0 = default 5)")
 		hitTol       = flag.Float64("hit-tol", 0, "allowed hit-ratio drop in points (0 = default 25)")
+		allocTol     = flag.Float64("alloc-tol", 0, "relative allocs/op ceiling (0 = default 2)")
+		bytesTol     = flag.Float64("bytes-tol", 0, "relative bytes-moved ceiling (0 = default 1.5)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -45,7 +47,10 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cfg := bench.GateConfig{SpeedTol: *speedTol, OverlapTol: *overlapTol, TimeTol: *timeTol, WaitTol: *waitTol, HitTol: *hitTol}
+	cfg := bench.GateConfig{
+		SpeedTol: *speedTol, OverlapTol: *overlapTol, TimeTol: *timeTol,
+		WaitTol: *waitTol, HitTol: *hitTol, AllocTol: *allocTol, BytesTol: *bytesTol,
+	}
 	violations := bench.Compare(baseline, current, cfg)
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s:\n", len(violations), *baselinePath)

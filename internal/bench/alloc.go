@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"mrts/internal/bufpool"
+	"mrts/internal/storage"
+	"mrts/internal/swapio"
+)
+
+// Alloc audits the steady-state allocation behaviour of the swap hot path:
+// the full submit-to-complete store (encode → write) and load (read →
+// callback) cycles through the swapio scheduler over a pooled in-memory
+// store. The I/O stages themselves are allocation-free (the zero-alloc unit
+// tests in internal/swapio pin that exactly); what this experiment measures
+// and the CI gate bounds is the whole public path, whose only remaining
+// allocations are the per-request bookkeeping (the request struct and its
+// callback slice). A regression here — a lost pooled path, a fresh buffer per
+// op, a closure snuck into the retry loop — shows up as a jump in allocs/op
+// long before it is visible as wall time.
+//
+// The op count and payload size are fixed (not scaled): bytes_moved is then
+// fully deterministic, so the gate's relative bound catches double-writes and
+// lost coalescing, not machine speed.
+func Alloc(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "alloc",
+		Title:   "steady-state allocations and bytes moved on the swap hot path",
+		Headers: []string{"stage", "allocs/op", "bytes moved", "pool hit%"},
+		Notes: []string{
+			"full submit-to-complete cycle; the I/O stages themselves are 0 allocs/op (see internal/swapio tests)",
+			"payload and op counts are fixed so bytes_moved is deterministic across machines",
+		},
+	}
+	const (
+		payloadSize = 8 << 10
+		warmupOps   = 64
+		measureOps  = 512
+	)
+
+	// The collector would attribute its own background allocations to the
+	// measured window; pin it for the duration.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	s := swapio.New(storage.NewMem(), swapio.Config{Workers: 1})
+	defer s.Close()
+
+	payload := make([]byte, payloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	ch := make(chan struct{}, 1)
+
+	// Store stage: encode produces a pooled clone (ownership transfers to
+	// the scheduler), done just signals. Both closures are built once and
+	// reused so the measurement sees the scheduler, not the harness.
+	encode := func() ([]byte, error) { return bufpool.Clone(payload), nil }
+	storeDone := func(int, error) { ch <- struct{}{} }
+	storeOnce := func(key storage.Key) {
+		if !s.Store(key, 1, encode, nil, storeDone) {
+			panic("bench: store refused")
+		}
+		<-ch
+	}
+	loadDone := func([]byte, error) { ch <- struct{}{} } // blob is scheduler-owned; untouched
+	loadOnce := func(key storage.Key) {
+		if !s.Load(key, 1, swapio.Demand, loadDone) {
+			panic("bench: load refused")
+		}
+		<-ch
+	}
+
+	const key = storage.Key("alloc-probe")
+	measure := func(op func(storage.Key)) float64 {
+		for i := 0; i < warmupOps; i++ {
+			op(key)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < measureOps; i++ {
+			op(key)
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / measureOps
+	}
+
+	poolBefore := bufpool.Snapshot()
+	ioBefore := s.Snapshot()
+	storeAllocs := measure(storeOnce)
+	ioMid := s.Snapshot()
+	loadAllocs := measure(loadOnce)
+	ioAfter := s.Snapshot()
+	poolAfter := bufpool.Snapshot()
+
+	bytesWritten := ioMid.BytesWritten - ioBefore.BytesWritten
+	bytesRead := ioAfter.BytesRead - ioMid.BytesRead
+	bytesMoved := bytesWritten + bytesRead
+
+	gets := (poolAfter.Hits + poolAfter.Misses) - (poolBefore.Hits + poolBefore.Misses)
+	hitPct := 0.0
+	if gets > 0 {
+		hitPct = float64(poolAfter.Hits-poolBefore.Hits) / float64(gets) * 100
+	}
+
+	t.AddRow("store (encode→write)", fmt.Sprintf("%.2f", storeAllocs), fmtInt(int(bytesWritten)), "")
+	t.AddRow("load (read→callback)", fmt.Sprintf("%.2f", loadAllocs), fmtInt(int(bytesRead)), fmtPct(hitPct))
+	t.SetMetric("steady/store_allocs_per_op", storeAllocs)
+	t.SetMetric("steady/load_allocs_per_op", loadAllocs)
+	t.SetMetric("steady/bytes_moved", float64(bytesMoved))
+	t.SetMetric("steady/pool_hit_pct", hitPct)
+	return t, nil
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -55,8 +56,8 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 20 {
-		t.Fatalf("expected 20 experiments, got %d", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("expected 22 experiments, got %d", len(ids))
 	}
 	seen := map[string]bool{}
 	for _, id := range ids {
@@ -101,5 +102,53 @@ func TestPoliciesTiny(t *testing.T) {
 	}
 	if len(tbl.Rows) != 10 {
 		t.Fatalf("expected 10 rows (5 policies x 2 workloads), got %d", len(tbl.Rows))
+	}
+}
+
+func TestAllocSmoke(t *testing.T) {
+	tbl, err := Alloc(Options{Scale: 0.05, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"steady/store_allocs_per_op", "steady/load_allocs_per_op",
+		"steady/bytes_moved", "steady/pool_hit_pct",
+	} {
+		if _, ok := tbl.Metrics[key]; !ok {
+			t.Fatalf("missing metric %s: %v", key, tbl.Metrics)
+		}
+	}
+	// The pooled path keeps per-op allocations at a small bookkeeping
+	// constant; double digits means a pooled buffer path came unhooked.
+	if a := tbl.Metrics["steady/store_allocs_per_op"]; a > 10 {
+		t.Fatalf("store allocs/op = %.2f, want bookkeeping-only", a)
+	}
+	if a := tbl.Metrics["steady/load_allocs_per_op"]; a > 10 {
+		t.Fatalf("load allocs/op = %.2f, want bookkeeping-only", a)
+	}
+	if tbl.Metrics["steady/bytes_moved"] == 0 {
+		t.Fatal("bytes_moved = 0; the probe moved no payload")
+	}
+}
+
+func TestCompressTiny(t *testing.T) {
+	tbl, err := Compress(Options{Scale: 0.02, PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int(60000 * 0.02)
+	off := tbl.Metrics[fmt.Sprintf("sz%d/off/bytes_moved", size)]
+	on := tbl.Metrics[fmt.Sprintf("sz%d/on/bytes_moved", size)]
+	if off == 0 || on == 0 {
+		t.Fatalf("bytes_moved missing: off=%v on=%v (%v)", off, on, tbl.Metrics)
+	}
+	ratio := tbl.Metrics[fmt.Sprintf("sz%d/on/compress_ratio", size)]
+	if ratio <= 0 {
+		t.Fatalf("compress_ratio = %v, want > 0", ratio)
+	}
+	// The layer exists to shrink media traffic; allow slack for framing
+	// overhead on tiny incompressible blobs but never a blow-up.
+	if on > off*1.1 {
+		t.Fatalf("compression increased media bytes: on=%v off=%v", on, off)
 	}
 }

@@ -64,6 +64,7 @@ func Experiments() []string {
 		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
 		"policies", "dirpolicies", "remotemem", "tiers", "faults", "pipeline",
+		"alloc", "compress",
 	}
 }
 
@@ -111,6 +112,10 @@ func Run(id string, opts Options) (*Table, error) {
 		return Faults(opts)
 	case "pipeline":
 		return Pipeline(opts)
+	case "alloc":
+		return Alloc(opts)
+	case "compress":
+		return Compress(opts)
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, Experiments())
 	}

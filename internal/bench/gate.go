@@ -26,6 +26,15 @@ import (
 //     percentage) may not drop more than HitTol absolute points below
 //     baseline — absolute, like overlap, because the interesting endpoints
 //     sit at 0 and 100 where relative bounds degenerate.
+//   - */*_allocs_per_op: steady-state heap allocations on the swap hot path
+//     (the alloc experiment) may not exceed baseline×AllocTol + allocSlack.
+//     The absolute slack matters because the healthy value is a small
+//     constant near zero, where a purely relative bound is meaningless.
+//   - */bytes_moved: payload bytes crossing a storage boundary may not
+//     exceed baseline×BytesTol. These are deterministic byte counts, not
+//     wall times, so the bound can be much tighter than the time bounds —
+//     a double-write or a lost compression win trips it regardless of
+//     machine speed.
 //
 // Everything else in the documents (evictions, element counts, breakdown
 // percentages) is informational and not gated.
@@ -45,11 +54,22 @@ type GateConfig struct {
 	// HitTol is the allowed absolute drop, in percentage points, for
 	// *hit_pct metrics. 0 means the default 25.
 	HitTol float64
+	// AllocTol is the relative upper bound for *_allocs_per_op metrics
+	// (current <= baseline*AllocTol + allocSlack). 0 means the default 2.
+	AllocTol float64
+	// BytesTol is the relative upper bound for bytes_moved metrics
+	// (current <= baseline*BytesTol). 0 means the default 1.5.
+	BytesTol float64
 }
 
 // waitSlackMs is the absolute headroom added on top of the relative wait
 // bound; below this, queueing latency is noise, not a regression.
 const waitSlackMs = 5.0
+
+// allocSlack is the absolute headroom on allocs/op: a couple of incidental
+// allocations (a map bucket split, a queue growth) are noise, not a
+// regression, when the baseline itself sits near zero.
+const allocSlack = 4.0
 
 func (g GateConfig) withDefaults() GateConfig {
 	if g.SpeedTol <= 0 {
@@ -66,6 +86,12 @@ func (g GateConfig) withDefaults() GateConfig {
 	}
 	if g.HitTol <= 0 {
 		g.HitTol = 25
+	}
+	if g.AllocTol <= 0 {
+		g.AllocTol = 2
+	}
+	if g.BytesTol <= 0 {
+		g.BytesTol = 1.5
 	}
 	return g
 }
@@ -138,6 +164,18 @@ func Compare(baseline, current *Doc, cfg GateConfig) []string {
 						"%s: %s regressed: %.1f%% < %.1f%% (baseline %.1f%% − %.0f pts)",
 						id, k, got, floor, want, cfg.HitTol))
 				}
+			case gateAlloc:
+				if ceil := want*cfg.AllocTol + allocSlack; got > ceil {
+					out = append(out, fmt.Sprintf(
+						"%s: %s regressed: %.2f > %.2f (baseline %.2f × tol %.2f + %.0f slack)",
+						id, k, got, ceil, want, cfg.AllocTol, allocSlack))
+				}
+			case gateBytes:
+				if ceil := want * cfg.BytesTol; got > ceil {
+					out = append(out, fmt.Sprintf(
+						"%s: %s regressed: %.0f > %.0f bytes (baseline %.0f × tol %.2f)",
+						id, k, got, ceil, want, cfg.BytesTol))
+				}
 			}
 		}
 	}
@@ -153,6 +191,8 @@ const (
 	gateTime
 	gateWait
 	gateHit
+	gateAlloc
+	gateBytes
 )
 
 // metricKind classifies a metric name ("sz40000/speed_ooc" etc.) into the
@@ -173,6 +213,10 @@ func metricKind(name string) gateKind {
 		return gateWait
 	case strings.HasSuffix(leaf, "hit_pct"):
 		return gateHit
+	case strings.HasSuffix(leaf, "_allocs_per_op"):
+		return gateAlloc
+	case leaf == "bytes_moved":
+		return gateBytes
 	default:
 		return gateSkip
 	}

@@ -139,6 +139,53 @@ func TestGateWaitMetric(t *testing.T) {
 	}
 }
 
+func TestGateAllocMetric(t *testing.T) {
+	base, cur := docPair()
+	base.Experiments["alloc"] = map[string]float64{"steady/store_allocs_per_op": 3}
+	cur.Experiments["alloc"] = map[string]float64{"steady/store_allocs_per_op": 3}
+
+	// A couple of incidental allocations under the absolute slack pass: the
+	// healthy value sits near zero where relative bounds degenerate.
+	cur.Experiments["alloc"]["steady/store_allocs_per_op"] = 8
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("sub-slack alloc growth must pass, got %v", v)
+	}
+	// A lost pooled path (every op allocating buffers again) trips.
+	cur.Experiments["alloc"]["steady/store_allocs_per_op"] = 15
+	v := Compare(base, cur, GateConfig{})
+	if len(v) != 1 || !strings.Contains(v[0], "store_allocs_per_op") {
+		t.Fatalf("want one alloc violation, got %v", v)
+	}
+	// Fewer allocations is never a regression.
+	cur.Experiments["alloc"]["steady/store_allocs_per_op"] = 0
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("improvement must pass, got %v", v)
+	}
+}
+
+func TestGateBytesMetric(t *testing.T) {
+	base, cur := docPair()
+	base.Experiments["compress"] = map[string]float64{"sz3000/on/bytes_moved": 1 << 20}
+	cur.Experiments["compress"] = map[string]float64{"sz3000/on/bytes_moved": 1 << 20}
+
+	// Within the relative ceiling passes.
+	cur.Experiments["compress"]["sz3000/on/bytes_moved"] = 1.3 * (1 << 20)
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("in-tolerance byte growth must pass, got %v", v)
+	}
+	// A doubled byte count (a lost compression win, a double-write) trips.
+	cur.Experiments["compress"]["sz3000/on/bytes_moved"] = 2 * (1 << 20)
+	v := Compare(base, cur, GateConfig{})
+	if len(v) != 1 || !strings.Contains(v[0], "bytes_moved") {
+		t.Fatalf("want one bytes violation, got %v", v)
+	}
+	// Moving fewer bytes is never a regression.
+	cur.Experiments["compress"]["sz3000/on/bytes_moved"] = 1 << 10
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("improvement must pass, got %v", v)
+	}
+}
+
 func TestGateHitMetric(t *testing.T) {
 	base, cur := docPair()
 	base.Experiments["tiers"] = map[string]float64{"sz3000/capmid/tier0_hit_pct": 40}

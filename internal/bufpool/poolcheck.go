@@ -1,0 +1,8 @@
+//go:build poolcheck
+
+package bufpool
+
+// Building with -tags poolcheck turns poison-on-put on for the whole binary,
+// so any read of a buffer after its release surfaces as garbled data in
+// ordinary test runs instead of lurking until a rare interleaving.
+func init() { poison.Store(true) }

@@ -130,10 +130,29 @@ type TierSpec struct {
 	// Workers is the inner I/O worker count serving the disk tier
 	// (default 2).
 	Workers int
+	// Compress, when non-nil, enables the transparent compression layer
+	// (tier 0.5) on every node: disk-bound blobs are flate-compressed and a
+	// byte-capped RAM cache of compressed frames fronts the disk. See
+	// tier.CompressConfig.
+	Compress *CompressSpec
 	// Fault, when non-nil, wraps the remote-memory tier in a deterministic
 	// fault injector (node-folded seed) — the knob the simulation harness
 	// uses to storm tier 0 while the disk tier stays healthy.
 	Fault *storage.FaultConfig
+}
+
+// CompressSpec configures each node's tier-0.5 compression layer.
+// Zero-value fields take the tier package defaults.
+type CompressSpec struct {
+	// CacheBytes caps the per-node RAM cache of compressed frames
+	// (0 disables the cache; compression still applies).
+	CacheBytes int64
+	// MinSize is the blob size below which compression is skipped.
+	MinSize int
+	// Level is the DEFLATE level (default flate.BestSpeed).
+	Level int
+	// AdmitHeat is the touch count before a frame earns cache space.
+	AdmitHeat int
 }
 
 // Cluster is a set of wired MRTS nodes.
@@ -145,6 +164,7 @@ type Cluster struct {
 	cols    []*trace.Collector
 	tracers []*obs.Tracer
 	tiers   []*tier.Store
+	bases   []storage.Store // each node's bottom-most (disk-level) store, for DiskStats
 	memsrv  *remotemem.Server
 	clk     clock.Clock
 	start   time.Time
@@ -227,6 +247,10 @@ func New(cfg Config) (*Cluster, error) {
 			} else {
 				base = storage.NewMem()
 			}
+			// Keep the raw bottom store before any wrappers: DiskStats reads
+			// bytes at the media level, where the compression layer's savings
+			// are visible.
+			c.bases = append(c.bases, base)
 			if disk.Seek > 0 || disk.BytesPerSec > 0 {
 				base = storage.NewLatencyClock(base, disk, clk)
 			}
@@ -247,6 +271,15 @@ func New(cfg Config) (*Cluster, error) {
 						fast = storage.NewFault(fast, fc)
 					}
 				}
+				var compress *tier.CompressConfig
+				if cfg.Tier.Compress != nil {
+					compress = &tier.CompressConfig{
+						CacheBytes: cfg.Tier.Compress.CacheBytes,
+						MinSize:    cfg.Tier.Compress.MinSize,
+						Level:      cfg.Tier.Compress.Level,
+						AdmitHeat:  cfg.Tier.Compress.AdmitHeat,
+					}
+				}
 				ts, err := tier.New(tier.Config{
 					Fast:         fast,
 					Slow:         base,
@@ -256,6 +289,7 @@ func New(cfg Config) (*Cluster, error) {
 					AdmitMax:     cfg.Tier.AdmitMax,
 					PromoteAfter: cfg.Tier.PromoteAfter,
 					Workers:      cfg.Tier.Workers,
+					Compress:     compress,
 					Retry:        retry,
 					Tracer:       tracer,
 					Clock:        cfg.Clock,
@@ -343,6 +377,37 @@ func (c *Cluster) TierStats() tier.Stats {
 	return out
 }
 
+// CompressStats aggregates the tier-0.5 counters across nodes. ok is false
+// when no node has a compression layer.
+func (c *Cluster) CompressStats() (stats tier.CompressStats, ok bool) {
+	for _, ts := range c.tiers {
+		if s, has := ts.CompressStats(); has {
+			stats.Add(s)
+			ok = true
+		}
+	}
+	return stats, ok
+}
+
+// DiskStats aggregates the bottom-most (media-level) store counters across
+// nodes. Bytes here are what actually hit the disk store — below the
+// compression layer, so tier-0.5 savings show as a drop. Nodes whose bottom
+// store does not count traffic contribute zero.
+func (c *Cluster) DiskStats() storage.Stats {
+	var out storage.Stats
+	for _, st := range c.bases {
+		if sr, ok := st.(storage.StatsReader); ok {
+			s := sr.Stats()
+			out.Puts += s.Puts
+			out.Gets += s.Gets
+			out.Deletes += s.Deletes
+			out.BytesWritten += s.BytesWritten
+			out.BytesRead += s.BytesRead
+		}
+	}
+	return out
+}
+
 // Wait blocks until the whole cluster is quiescent — the paper's
 // termination condition ("no message handlers executing and no messages
 // traveling").
@@ -412,6 +477,24 @@ func (c *Cluster) PublishMetrics(reg *obs.Registry) {
 		reg.Gauge("cluster.tier.spills", func() float64 { return float64(c.TierStats().Spills) })
 		reg.Gauge("cluster.tier.demotions", func() float64 { return float64(c.TierStats().Demotions) })
 		reg.Gauge("cluster.tier.promotions", func() float64 { return float64(c.TierStats().Promotions) })
+		if _, ok := c.CompressStats(); ok {
+			reg.Gauge("cluster.tier05.ratio", func() float64 {
+				s, _ := c.CompressStats()
+				return s.Ratio()
+			})
+			reg.Gauge("cluster.tier05.hit_pct", func() float64 {
+				s, _ := c.CompressStats()
+				return s.CacheHitRatio() * 100
+			})
+			reg.Gauge("cluster.tier05.stored_bytes", func() float64 {
+				s, _ := c.CompressStats()
+				return float64(s.StoredBytes)
+			})
+			reg.Gauge("cluster.disk.bytes_moved", func() float64 {
+				d := c.DiskStats()
+				return float64(d.BytesWritten + d.BytesRead)
+			})
+		}
 		for i, ts := range c.tiers {
 			ts := ts
 			reg.Gauge(fmt.Sprintf("node%d.tier.fast_bytes", i), func() float64 {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mrts/internal/bufpool"
 	"mrts/internal/clock"
 	"mrts/internal/obs"
 )
@@ -32,9 +33,12 @@ func (m LatencyModel) Delay(size int) time.Duration {
 }
 
 // item is a queued in-process message with its earliest delivery time.
+// pooled items carry a bufpool payload the dispatcher recycles after the
+// handler returns.
 type item struct {
 	msg       Message
 	deliverAt time.Time
+	pooled    bool
 }
 
 // inprocEndpoint delivers messages through an unbounded in-memory inbox. An
@@ -116,6 +120,10 @@ func (e *inprocEndpoint) Register(id uint32, h Handler) {
 }
 
 func (e *inprocEndpoint) Send(to NodeID, handler uint32, payload []byte) error {
+	return e.send(to, handler, payload, false)
+}
+
+func (e *inprocEndpoint) send(to NodeID, handler uint32, payload []byte, pooled bool) error {
 	if int(to) < 0 || int(to) >= len(e.tr.eps) {
 		return fmt.Errorf("comm: send to unknown node %d", to)
 	}
@@ -123,6 +131,7 @@ func (e *inprocEndpoint) Send(to NodeID, handler uint32, payload []byte) error {
 	it := item{
 		msg:       Message{From: e.id, Handler: handler, Payload: payload},
 		deliverAt: e.tr.clk.Now().Add(e.tr.model.Delay(len(payload))),
+		pooled:    pooled,
 	}
 	dst.mu.Lock()
 	if dst.closed {
@@ -165,6 +174,9 @@ func (e *inprocEndpoint) dispatch() {
 			sp := e.tracer.Load().Start(obs.KindCommDeliver, uint64(it.msg.Handler))
 			h(it.msg)
 			sp.End(int64(len(it.msg.Payload)))
+		}
+		if it.pooled {
+			bufpool.Put(it.msg.Payload)
 		}
 	}
 }

@@ -1,0 +1,53 @@
+package comm
+
+import "mrts/internal/bufpool"
+
+// BufSender is the pooled-payload send path, implemented by endpoints that
+// can recycle a bufpool buffer once the message no longer needs it (after
+// the receiving handler returns for in-process delivery, after the frame is
+// flushed for sockets).
+//
+// SendBuf takes ownership of payload unconditionally: whether it returns nil
+// or an error, the caller must not touch the buffer again. It is only safe
+// for messages whose handler does not retain the payload past its return —
+// the remote-memory protocol's request/response handlers qualify; general
+// application messages should keep using Send.
+type BufSender interface {
+	SendBuf(to NodeID, handler uint32, payload []byte) error
+}
+
+// SendPooled sends payload (a bufpool buffer owned by the caller) through
+// ep's pooled path when it has one, falling back to a plain Send where the
+// buffer is simply never recycled (dropping to the GC is always safe).
+// Either way, ownership transfers: the caller must not touch payload after
+// the call.
+func SendPooled(ep Endpoint, to NodeID, handler uint32, payload []byte) error {
+	if bs, ok := ep.(BufSender); ok {
+		return bs.SendBuf(to, handler, payload)
+	}
+	return ep.Send(to, handler, payload)
+}
+
+// SendBuf implements BufSender: the payload rides the normal inbox and is
+// recycled on the dispatcher after its handler returns (Close drains the
+// queue through the same path, so nothing is stranded).
+func (e *inprocEndpoint) SendBuf(to NodeID, handler uint32, payload []byte) error {
+	if err := e.send(to, handler, payload, true); err != nil {
+		bufpool.Put(payload)
+		return err
+	}
+	return nil
+}
+
+// SendBuf implements BufSender. On the socket path the frame is fully
+// buffered+flushed inside Send, so the payload is recycled as soon as Send
+// returns. The local fast path enqueues the payload itself into the inbox
+// with no pooled marker, so there the buffer is dropped to the GC instead —
+// correct, just not recycled.
+func (e *tcpEndpoint) SendBuf(to NodeID, handler uint32, payload []byte) error {
+	err := e.Send(to, handler, payload)
+	if to != e.id {
+		bufpool.Put(payload)
+	}
+	return err
+}

@@ -184,6 +184,13 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 		src := NodeID(int32(binary.LittleEndian.Uint32(hdr[0:4])))
 		handler := binary.LittleEndian.Uint32(hdr[4:8])
 		n := binary.LittleEndian.Uint32(hdr[8:12])
+		// Bound the claimed payload length: a corrupt or malicious frame
+		// could otherwise demand a 4 GiB allocation. Oversized frames drop
+		// the connection (the stream is unrecoverable once misframed).
+		const maxFramePayload = 1 << 28
+		if n > maxFramePayload {
+			return
+		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return

@@ -189,6 +189,11 @@ func (rt *Runtime) Restore(st storage.Store, prefix string) error {
 			}
 			h := HandlerID(binary.LittleEndian.Uint32(b[0:4]))
 			na := int(binary.LittleEndian.Uint32(b[4:8]))
+			// Bound the untrusted arg length before allocating.
+			const maxRestoreArg = 1 << 26
+			if na > maxRestoreArg {
+				return fmt.Errorf("core: restore: queued arg length %d exceeds limit %d (corrupt checkpoint?)", na, maxRestoreArg)
+			}
 			arg := make([]byte, na)
 			if _, err := io.ReadFull(r, arg); err != nil {
 				return err

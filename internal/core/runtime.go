@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mrts/internal/bufpool"
 	"mrts/internal/clock"
 	"mrts/internal/comm"
 	"mrts/internal/obs"
@@ -552,16 +553,29 @@ func WaitQuiescence(rts ...*Runtime) {
 	}
 }
 
-// encodeObject serializes obj, charging the disk-time account.
+// encodeObject serializes obj into a pooled buffer, charging the disk-time
+// account. The caller owns the returned blob; on the eviction path ownership
+// passes straight to the I/O scheduler (which hands it to the store or back
+// to the arena), so the steady-state swap cycle allocates nothing here.
 func (rt *Runtime) encodeObject(obj Object) ([]byte, error) {
 	t0 := rt.clk.Now()
-	var buf bytes.Buffer
-	err := obj.EncodeTo(&buf)
+	w := bufpool.GetWriter(obj.SizeHint())
+	err := obj.EncodeTo(w)
+	blob := w.Detach()
+	bufpool.PutWriter(w)
+	if err != nil {
+		bufpool.Put(blob)
+		blob = nil
+	}
 	if rt.col != nil {
 		rt.col.Add(trace.Disk, rt.clk.Since(t0))
 	}
-	return buf.Bytes(), err
+	return blob, err
 }
+
+// readerPool recycles the bytes.Reader wrapped around each decode source;
+// no DecodeFrom implementation retains its reader past the call.
+var readerPool = sync.Pool{New: func() any { return bytes.NewReader(nil) }}
 
 func (rt *Runtime) decodeObject(typeID uint16, blob []byte) (Object, error) {
 	t0 := rt.clk.Now()
@@ -569,7 +583,11 @@ func (rt *Runtime) decodeObject(typeID uint16, blob []byte) (Object, error) {
 	if err != nil {
 		return nil, err
 	}
-	err = obj.DecodeFrom(bytes.NewReader(blob))
+	r := readerPool.Get().(*bytes.Reader)
+	r.Reset(blob)
+	err = obj.DecodeFrom(r)
+	r.Reset(nil) // drop the blob reference before pooling
+	readerPool.Put(r)
 	if rt.col != nil {
 		rt.col.Add(trace.Disk, rt.clk.Since(t0))
 	}

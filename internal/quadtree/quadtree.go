@@ -298,6 +298,12 @@ func (t *Tree) DecodeFrom(r io.Reader) error {
 		return fmt.Errorf("quadtree: bad magic")
 	}
 	n := int(binary.LittleEndian.Uint32(b[4:8]))
+	// Bound the untrusted node count: a corrupted prefix could otherwise
+	// demand a multi-gigabyte allocation before the short read is noticed.
+	const maxDecodeNodes = 1 << 24
+	if n > maxDecodeNodes {
+		return fmt.Errorf("quadtree: node count %d exceeds limit %d (corrupt blob?)", n, maxDecodeNodes)
+	}
 	nodes := make([]node, n)
 	leaves := 0
 	for i := range nodes {

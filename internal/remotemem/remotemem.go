@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mrts/internal/bufpool"
 	"mrts/internal/comm"
 	"mrts/internal/storage"
 )
@@ -133,11 +134,12 @@ func (s *Server) onRequest(msg comm.Message) {
 			}
 		}
 	case opGet:
-		d, err := s.mem.Get(key)
+		d, err := s.mem.GetBuf(key)
 		if err != nil {
 			status = stNotFound
 		} else {
 			out = d
+			defer s.mem.ReleaseBuf(d) // respond copies out into the frame
 		}
 	case opDelete:
 		_ = s.mem.Delete(key)
@@ -160,12 +162,15 @@ func (s *Server) reject(to comm.NodeID, reqID uint64) {
 }
 
 func (s *Server) respond(to comm.NodeID, reqID uint64, status byte, out []byte) {
-	resp := make([]byte, 9+4+len(out))
+	// The response frame is pooled: the client's onResponse copies what it
+	// needs out of the payload, so the transport recycles the frame after
+	// the handler returns.
+	resp := bufpool.Get(9 + 4 + len(out))
 	binary.LittleEndian.PutUint64(resp[0:8], reqID)
 	resp[8] = status
 	binary.LittleEndian.PutUint32(resp[9:13], uint32(len(out)))
 	copy(resp[13:], out)
-	_ = s.ep.Send(to, wireResp, resp)
+	_ = comm.SendPooled(s.ep, to, wireResp, resp)
 }
 
 // Client is a storage.Store backed by a remote Server's memory.
@@ -202,14 +207,21 @@ func (c *Client) onResponse(msg comm.Message) {
 	if n < 0 || n > len(msg.Payload)-13 { // overflow-safe bound, as onRequest
 		return
 	}
-	data := make([]byte, n)
-	copy(data, msg.Payload[13:13+n])
+	var data []byte
+	if n > 0 {
+		// Copied into a pooled buffer the caller of Get comes to own; the
+		// frame itself belongs to the transport.
+		data = bufpool.Get(n)
+		copy(data, msg.Payload[13:13+n])
+	}
 	c.mu.Lock()
 	ch := c.pending[reqID]
 	delete(c.pending, reqID)
 	c.mu.Unlock()
 	if ch != nil {
 		ch <- response{status: status, data: data}
+	} else if data != nil {
+		bufpool.Put(data) // waiter already failed by Close
 	}
 }
 
@@ -226,20 +238,29 @@ func (c *Client) call(op byte, key storage.Key, data []byte) (response, error) {
 	c.pending[reqID] = ch
 	c.mu.Unlock()
 
-	req := make([]byte, 13+len(key)+4+len(data))
+	// The request frame is pooled; the server's onRequest only reads the
+	// payload during the handler, so the transport recycles it afterwards.
+	req := bufpool.Get(13 + len(key) + 4 + len(data))
 	req[0] = op
 	binary.LittleEndian.PutUint64(req[1:9], reqID)
 	binary.LittleEndian.PutUint32(req[9:13], uint32(len(key)))
 	copy(req[13:], key)
 	binary.LittleEndian.PutUint32(req[13+len(key):], uint32(len(data)))
 	copy(req[17+len(key):], data)
-	if err := c.ep.Send(c.server, wireReq, req); err != nil {
+	if err := comm.SendPooled(c.ep, c.server, wireReq, req); err != nil {
 		c.mu.Lock()
 		delete(c.pending, reqID)
 		c.mu.Unlock()
 		return response{}, fmt.Errorf("remotemem: %w", err)
 	}
-	return <-ch, nil
+	// A closed channel (not a sent value) means Close failed this waiter:
+	// the response was lost or will arrive after the client is gone. Without
+	// this distinction a lost frame blocked the caller forever.
+	r, ok := <-ch
+	if !ok {
+		return response{}, fmt.Errorf("remotemem: call %d abandoned: %w", reqID, storage.ErrClosed)
+	}
+	return r, nil
 }
 
 // ErrBadRequest is returned when the server answered stBadRequest: the wire
@@ -299,11 +320,26 @@ func (c *Client) Has(key storage.Key) bool {
 	return err == nil && r.status == stOK
 }
 
-// Close implements storage.Store. In-flight calls receive ErrClosed-free
-// completion (their responses may still arrive); new calls fail.
+// GetBuf implements storage.BufGetter: the response data is already a
+// pooled buffer owned by the caller.
+func (c *Client) GetBuf(key storage.Key) ([]byte, error) { return c.Get(key) }
+
+// ReleaseBuf implements storage.BufGetter.
+func (c *Client) ReleaseBuf(data []byte) { bufpool.Put(data) }
+
+// Close implements storage.Store. Every in-flight call fails promptly with
+// storage.ErrClosed (its channel is closed out from under it — a waiter must
+// never outlive the client, or a lost response would strand it forever);
+// new calls fail immediately. A response racing with Close is dropped: only
+// one of onResponse and Close removes a given waiter from pending, so a
+// waiter is either completed or failed, never both.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
 	c.mu.Unlock()
 	return nil
 }

@@ -1,0 +1,124 @@
+package remotemem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mrts/internal/comm"
+	"mrts/internal/storage"
+)
+
+// TestCloseFailsInFlightCall is the regression test for the lost-response
+// hang: a client whose request is never answered (no server registered on
+// the peer, so the frame is dropped) used to block in call forever, and
+// Close did nothing about it. Close must fail the waiter with ErrClosed.
+func TestCloseFailsInFlightCall(t *testing.T) {
+	tr := comm.NewInProc(2, comm.LatencyModel{})
+	defer tr.Close()
+	cli := NewClient(tr.Endpoint(0), 1) // node 1 runs no server
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cli.Get("k")
+		errc <- err
+	}()
+
+	// Wait until the call is actually in flight (registered in pending).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cli.mu.Lock()
+		n := len(cli.pending)
+		cli.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("call never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, storage.ErrClosed) {
+			t.Fatalf("in-flight Get returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight Get still blocked after Close")
+	}
+
+	// New calls after Close fail immediately.
+	if _, err := cli.Get("k"); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseRacesManyInFlightCalls hammers Close against a storm of calls
+// whose responses are lost; every caller must come back with ErrClosed and
+// nothing may deadlock or double-complete (run under -race in CI).
+func TestCloseRacesManyInFlightCalls(t *testing.T) {
+	tr := comm.NewInProc(2, comm.LatencyModel{})
+	defer tr.Close()
+	cli := NewClient(tr.Endpoint(0), 1)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cli.Get("k")
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond) // let a prefix of the calls get in flight
+	cli.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, storage.ErrClosed) {
+			t.Fatalf("caller %d: %v, want ErrClosed", i, err)
+		}
+	}
+}
+
+// TestCloseRacesResponseDelivery closes the client while a real server is
+// answering: each call must either complete normally or fail with ErrClosed
+// — never hang, never observe a half-delivered response.
+func TestCloseRacesResponseDelivery(t *testing.T) {
+	tr := comm.NewInProc(2, comm.LatencyModel{})
+	defer tr.Close()
+	NewServer(tr.Endpoint(1))
+	cli := NewClient(tr.Endpoint(0), 1)
+	if err := cli.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				d, err := cli.Get("k")
+				if err != nil {
+					if !errors.Is(err, storage.ErrClosed) {
+						t.Errorf("Get: %v", err)
+					}
+					return
+				}
+				if string(d) != "v" {
+					t.Errorf("Get = %q", d)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	cli.Close()
+	wg.Wait()
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// A corrupted ballast length must be rejected before allocation: the old code
+// would make() up to 4 GiB from one bad u32 and only then hit the short read.
+func TestSimObjDecodeRejectsHugeBallast(t *testing.T) {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], 7)
+	binary.LittleEndian.PutUint32(hdr[8:12], 0xFFFFFFFF)
+	var o simObj
+	err := o.DecodeFrom(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("DecodeFrom(huge ballast) err = %v, want bound error", err)
+	}
+}
+
+// Decoding into an object whose ballast already has capacity must reuse it
+// (the swap hot path decodes into recycled objects).
+func TestSimObjDecodeReusesBallastCapacity(t *testing.T) {
+	src := simObj{Count: 3, Ballast: bytes.Repeat([]byte{0xAB}, 256)}
+	var buf bytes.Buffer
+	if err := src.EncodeTo(&buf); err != nil {
+		t.Fatalf("EncodeTo: %v", err)
+	}
+	dst := simObj{Ballast: make([]byte, 1024)}
+	keep := &dst.Ballast[0]
+	if err := dst.DecodeFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("DecodeFrom: %v", err)
+	}
+	if dst.Count != 3 || len(dst.Ballast) != 256 {
+		t.Fatalf("decoded count=%d len=%d, want 3, 256", dst.Count, len(dst.Ballast))
+	}
+	if &dst.Ballast[0] != keep {
+		t.Fatal("DecodeFrom reallocated ballast despite sufficient capacity")
+	}
+	for i, b := range dst.Ballast {
+		if b != 0xAB {
+			t.Fatalf("ballast[%d] = %#x, want 0xAB", i, b)
+		}
+	}
+}
+
+// Truncated payload after a plausible length must still fail (the bound does
+// not mask truncation detection).
+func TestSimObjDecodeTruncatedBallast(t *testing.T) {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[8:12], 64)
+	var o simObj
+	if err := o.DecodeFrom(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("DecodeFrom(truncated ballast) succeeded, want error")
+	}
+}

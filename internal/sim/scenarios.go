@@ -32,13 +32,28 @@ func (o *simObj) EncodeTo(w io.Writer) error {
 	return err
 }
 
+// maxBallast bounds the decoded ballast length. The prefix arrives from
+// storage and must not be trusted: one corrupted u32 could otherwise demand
+// a 4 GiB allocation before the short read is ever noticed.
+const maxBallast = 1 << 26
+
 func (o *simObj) DecodeFrom(r io.Reader) error {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
 	o.Count = int64(binary.LittleEndian.Uint64(hdr[0:8]))
-	o.Ballast = make([]byte, binary.LittleEndian.Uint32(hdr[8:12]))
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n > maxBallast {
+		return fmt.Errorf("sim: ballast length %d exceeds limit %d (corrupt blob?)", n, maxBallast)
+	}
+	// Reuse the existing ballast when it fits: decoding into a recycled
+	// object is then allocation-free.
+	if cap(o.Ballast) >= int(n) {
+		o.Ballast = o.Ballast[:n]
+	} else {
+		o.Ballast = make([]byte, n)
+	}
 	_, err := io.ReadFull(r, o.Ballast)
 	return err
 }

@@ -1,0 +1,217 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mrts/internal/bufpool"
+)
+
+func payload(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+// exerciseBufPath runs the ownership-transfer round trip against any store.
+func exerciseBufPath(t *testing.T, st Store) {
+	t.Helper()
+	want := payload(3000, 3)
+	blob := bufpool.Clone(want)
+	if err := PutBuf(st, "k", blob); err != nil {
+		t.Fatalf("PutBuf: %v", err)
+	}
+	// blob is owned by the store now; read it back through the pooled path.
+	got, err := GetBuf(st, "k")
+	if err != nil {
+		t.Fatalf("GetBuf: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("GetBuf content mismatch (len %d vs %d)", len(got), len(want))
+	}
+	ReleaseBuf(st, got)
+	// The plain path must still see the same value.
+	d, err := st.Get("k")
+	if err != nil || !bytes.Equal(d, want) {
+		t.Fatalf("Get after PutBuf: %v", err)
+	}
+	if _, err := GetBuf(st, "absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetBuf miss: %v, want ErrNotFound", err)
+	}
+	if err := st.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufPathMemStore(t *testing.T) { exerciseBufPath(t, NewMem()) }
+
+func TestBufPathFileStore(t *testing.T) {
+	fs, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseBufPath(t, fs)
+}
+
+func TestBufPathMappedFileStore(t *testing.T) {
+	fs, err := NewFileStoreMapped(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseBufPath(t, fs)
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufPathLatencyAndFaultDelegate(t *testing.T) {
+	fs, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewFault(NewLatency(fs, DiskModel{}), FaultConfig{})
+	exerciseBufPath(t, st)
+}
+
+func TestMappedGetBufSurvivesOverwriteAndDelete(t *testing.T) {
+	fs, err := NewFileStoreMapped(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	v1 := payload(4096, 1)
+	if err := fs.Put("k", v1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fs.GetBuf("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite and delete while the mapping is live: the temp+rename write
+	// and the unlink must leave the mapped pages of the old inode intact.
+	if err := fs.Put("k", payload(2048, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m, v1) {
+		t.Fatalf("live mapping changed under overwrite/delete")
+	}
+	fs.ReleaseBuf(m)
+}
+
+func TestMappedReleaseBufTruncatedView(t *testing.T) {
+	fs, err := NewFileStoreMapped(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Put("k", payload(8192, 2)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fs.GetBuf("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Releasing a truncated view (what fault injection hands back) must
+	// still unmap the full region — Close would otherwise find a leak.
+	fs.ReleaseBuf(m[:len(m)/2])
+}
+
+func TestMappedZeroLengthObject(t *testing.T) {
+	fs, err := NewFileStoreMapped(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fs.GetBuf("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 {
+		t.Fatalf("len=%d", len(m))
+	}
+	fs.ReleaseBuf(m)
+}
+
+func TestFaultStoreCorruptGetBuf(t *testing.T) {
+	inner := NewMem()
+	if err := inner.Put("k", payload(1000, 5)); err != nil {
+		t.Fatal(err)
+	}
+	st := NewFault(inner, FaultConfig{FailFirstGets: 1, CorruptGets: true})
+	d, err := st.GetBuf("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 500 {
+		t.Fatalf("corrupt GetBuf len=%d, want 500", len(d))
+	}
+	st.ReleaseBuf(d)
+	d2, err := st.GetBuf("k")
+	if err != nil || len(d2) != 1000 {
+		t.Fatalf("second GetBuf: len=%d err=%v", len(d2), err)
+	}
+	st.ReleaseBuf(d2)
+}
+
+func TestMemStorePooledValuesRecycledSafely(t *testing.T) {
+	bufpool.SetPoison(true)
+	defer bufpool.SetPoison(false)
+	st := NewMem()
+	want := payload(700, 7)
+	if err := st.Put("k", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite recycles (and poisons) the old internal value; the copy Get
+	// handed out must be unaffected.
+	if err := st.Put("k", payload(700, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Get result aliased store-internal memory")
+	}
+	if err := st.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreGetBufSteadyStateZeroAlloc(t *testing.T) {
+	fs, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("k", payload(4096, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		d, err := fs.GetBuf("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.ReleaseBuf(d)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		d, err := fs.GetBuf("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.ReleaseBuf(d)
+	})
+	// os.Open allocates a file object; the blob buffer itself must be
+	// pool-served. A small constant is fine, growth with blob size is not.
+	if allocs > 6 {
+		t.Fatalf("GetBuf allocates %.1f/op", allocs)
+	}
+}

@@ -160,6 +160,37 @@ func (s *FaultStore) Get(key Key) ([]byte, error) {
 	return s.inner.Get(key)
 }
 
+// GetBuf implements BufGetter, injecting the same faults as Get while
+// forwarding the pooled path inward. A corrupted read returns a truncated
+// view of the inner buffer; ReleaseBuf below still releases the full region.
+func (s *FaultStore) GetBuf(key Key) ([]byte, error) {
+	if s.trip(key, s.getsRem, s.cfg.FailFirstGets, s.cfg.GetFailProb) {
+		s.injGets.Add(1)
+		if s.cfg.CorruptGets {
+			d, err := GetBuf(s.inner, key)
+			if err != nil {
+				return nil, err
+			}
+			return d[:len(d)/2], nil
+		}
+		return nil, s.injectedErr("get", key)
+	}
+	return GetBuf(s.inner, key)
+}
+
+// ReleaseBuf implements BufGetter.
+func (s *FaultStore) ReleaseBuf(data []byte) { ReleaseBuf(s.inner, data) }
+
+// PutBuf implements BufPutter: an injected fault leaves the buffer with the
+// caller (exactly the retry contract), otherwise ownership passes inward.
+func (s *FaultStore) PutBuf(key Key, data []byte) error {
+	if s.trip(key, s.putsRem, s.cfg.FailFirstPuts, s.cfg.PutFailProb) {
+		s.injPuts.Add(1)
+		return s.injectedErr("put", key)
+	}
+	return PutBuf(s.inner, key, data)
+}
+
 // Delete implements Store.
 func (s *FaultStore) Delete(key Key) error { return s.inner.Delete(key) }
 

@@ -2,10 +2,13 @@ package storage
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"mrts/internal/bufpool"
 )
 
 // FileStore keeps each object in its own file under a spool directory — the
@@ -95,6 +98,46 @@ func (s *FileStore) Has(key Key) bool {
 
 // Close implements Store. The spool directory is left in place.
 func (s *FileStore) Close() error { return nil }
+
+// GetBuf implements BufGetter: the file is read into a pooled buffer sized
+// from its stat, so a demand load costs no heap allocation in steady state.
+func (s *FileStore) GetBuf(key Key) ([]byte, error) {
+	f, err := os.Open(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: get %q: %w", key, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: get %q: %w", key, err)
+	}
+	d := bufpool.Get(int(fi.Size()))
+	if _, err := io.ReadFull(f, d); err != nil {
+		bufpool.Put(d)
+		return nil, fmt.Errorf("storage: get %q: %w", key, err)
+	}
+	s.mu.Lock()
+	s.stats.Gets++
+	s.stats.BytesRead += uint64(len(d))
+	s.mu.Unlock()
+	return d, nil
+}
+
+// ReleaseBuf implements BufGetter.
+func (s *FileStore) ReleaseBuf(data []byte) { bufpool.Put(data) }
+
+// PutBuf implements BufPutter: the bytes are written out (FileStore retains
+// nothing), then the caller's buffer is recycled.
+func (s *FileStore) PutBuf(key Key, data []byte) error {
+	err := s.Put(key, data)
+	if err == nil {
+		bufpool.Put(data)
+	}
+	return err
+}
 
 // Stats returns a snapshot of the store counters.
 func (s *FileStore) Stats() Stats {

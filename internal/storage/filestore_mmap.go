@@ -1,0 +1,121 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+	"unsafe"
+
+	"mrts/internal/bufpool"
+)
+
+// MappedFileStore is a FileStore whose read path serves blobs as read-only
+// memory mappings: a demand load decodes straight out of the page cache with
+// no read(2) copy and no heap buffer at all. Writes go through the ordinary
+// temp-file + rename path, which keeps already-mapped readers valid — the
+// rename replaces the directory entry while the old inode's pages stay
+// mapped until ReleaseBuf unmaps them (the same holds for Delete's unlink).
+type MappedFileStore struct {
+	*FileStore
+	mapMu sync.Mutex
+	// maps records each live mapping by its base pointer so ReleaseBuf can
+	// unmap the full original region even when the caller hands back a
+	// truncated or re-sliced view (fault injection does exactly that).
+	maps map[*byte][]byte
+}
+
+// NewFileStoreMapped returns a FileStore rooted at dir whose GetBuf path is
+// mmap-backed. On platforms without mmap this falls back to pooled reads
+// (see filestore_mmap_stub.go).
+func NewFileStoreMapped(dir string) (*MappedFileStore, error) {
+	fs, err := NewFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &MappedFileStore{FileStore: fs, maps: make(map[*byte][]byte)}, nil
+}
+
+// GetBuf implements BufGetter: the returned buffer is a read-only mapping of
+// the object's file. The caller must not write to it and must hand it back
+// with ReleaseBuf, which unmaps.
+func (s *MappedFileStore) GetBuf(key Key) ([]byte, error) {
+	f, err := os.Open(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: get %q: %w", key, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: get %q: %w", key, err)
+	}
+	size := int(fi.Size())
+	if size == 0 {
+		// mmap rejects zero-length mappings; hand out a pooled empty buffer
+		// instead (ReleaseBuf recognizes it by not finding a mapping).
+		return bufpool.Get(0), nil
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("storage: mmap %q: %w", key, err)
+	}
+	s.mapMu.Lock()
+	s.maps[unsafe.SliceData(m)] = m
+	s.mapMu.Unlock()
+	s.mu.Lock()
+	s.stats.Gets++
+	s.stats.BytesRead += uint64(size)
+	s.mu.Unlock()
+	return m, nil
+}
+
+// ReleaseBuf implements BufGetter: it unmaps the full original mapping that
+// data is a view of. Buffers that are not mappings (the zero-length case, or
+// a pooled fallback) are recycled into the arena.
+func (s *MappedFileStore) ReleaseBuf(data []byte) {
+	if cap(data) == 0 {
+		return
+	}
+	base := unsafe.SliceData(data[:cap(data)])
+	s.mapMu.Lock()
+	m, ok := s.maps[base]
+	if ok {
+		delete(s.maps, base)
+	}
+	s.mapMu.Unlock()
+	if ok {
+		_ = syscall.Munmap(m)
+		return
+	}
+	bufpool.Put(data)
+}
+
+// Get implements Store: a caller-owned copy (callers of the plain interface
+// may hold the result indefinitely, which a mapping must not be).
+func (s *MappedFileStore) Get(key Key) ([]byte, error) {
+	m, err := s.GetBuf(key)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]byte, len(m))
+	copy(cp, m)
+	s.ReleaseBuf(m)
+	return cp, nil
+}
+
+// Close implements Store, unmapping any mappings never released (a leak
+// guard, not an expected path — the swap scheduler releases every load).
+func (s *MappedFileStore) Close() error {
+	s.mapMu.Lock()
+	for base, m := range s.maps {
+		_ = syscall.Munmap(m)
+		delete(s.maps, base)
+	}
+	s.mapMu.Unlock()
+	return s.FileStore.Close()
+}

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package storage
+
+// MappedFileStore falls back to the FileStore's pooled read path on
+// platforms without mmap; the API is identical so callers never branch.
+type MappedFileStore struct {
+	*FileStore
+}
+
+// NewFileStoreMapped returns a FileStore rooted at dir. Without mmap support
+// GetBuf serves pooled reads (still allocation-free in steady state).
+func NewFileStoreMapped(dir string) (*MappedFileStore, error) {
+	fs, err := NewFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &MappedFileStore{FileStore: fs}, nil
+}

@@ -86,26 +86,63 @@ func NewRetrier(p RetryPolicy) *Retrier {
 // reported to the policy's OnRetry observer.
 func (t *Retrier) Do(key Key, op func() error) error { return t.r.do(key, op) }
 
+// DoGetBuf runs GetBuf(st, key) under the retry policy. It exists alongside
+// Do because the swap read path calls it per load: taking the operation as a
+// closure would heap-allocate the closure on every call, and the hot path
+// must stay allocation-free in the steady state.
+func (t *Retrier) DoGetBuf(st Store, key Key) ([]byte, error) {
+	delay := t.r.p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		blob, err := GetBuf(st, key)
+		if err == nil || !t.r.shouldRetry(key, attempt, err, &delay) {
+			return blob, err
+		}
+	}
+}
+
+// DoPutBuf runs PutBuf(st, key, blob) under the retry policy, closure-free
+// like DoGetBuf. PutBuf's ownership contract holds across retries: the
+// buffer transfers only on success, so a failed attempt may safely retry
+// with the same bytes.
+func (t *Retrier) DoPutBuf(st Store, key Key, blob []byte) error {
+	delay := t.r.p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err := PutBuf(st, key, blob)
+		if err == nil || !t.r.shouldRetry(key, attempt, err, &delay) {
+			return err
+		}
+	}
+}
+
 // Retries returns the cumulative count of absorbed (retried) failures.
 func (t *Retrier) Retries() uint64 { return t.r.retries.Load() }
 
 // do runs op, retrying transient failures within the attempt budget.
 func (r *retrier) do(key Key, op func() error) error {
-	var err error
 	delay := r.p.BaseDelay
 	for attempt := 1; ; attempt++ {
-		err = op()
-		if err == nil || attempt >= r.p.MaxAttempts || IsPermanent(err) {
+		err := op()
+		if err == nil || !r.shouldRetry(key, attempt, err, &delay) {
 			return err
 		}
-		r.retries.Add(1)
-		if r.p.OnRetry != nil {
-			r.p.OnRetry(key, attempt, err)
-		}
-		r.clk.Sleep(r.jitter(delay))
-		delay *= 2
-		if delay > r.p.MaxDelay {
-			delay = r.p.MaxDelay
-		}
 	}
+}
+
+// shouldRetry decides whether another attempt is allowed after err on the
+// given 1-based attempt; when it is, it performs the retry bookkeeping and
+// backoff sleep and advances *delay along the exponential envelope.
+func (r *retrier) shouldRetry(key Key, attempt int, err error, delay *time.Duration) bool {
+	if attempt >= r.p.MaxAttempts || IsPermanent(err) {
+		return false
+	}
+	r.retries.Add(1)
+	if r.p.OnRetry != nil {
+		r.p.OnRetry(key, attempt, err)
+	}
+	r.clk.Sleep(r.jitter(*delay))
+	*delay *= 2
+	if *delay > r.p.MaxDelay {
+		*delay = r.p.MaxDelay
+	}
+	return true
 }

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mrts/internal/bufpool"
 	"mrts/internal/clock"
 )
 
@@ -36,8 +37,15 @@ var ErrNotFound = errors.New("storage: object not found")
 var ErrCapacity = errors.New("storage: capacity exhausted")
 
 // Store is a byte-blob store for serialized mobile objects.
+//
+// Stores may additionally implement BufGetter/BufPutter (bufio.go), the
+// pooled ownership-transfer path the swap hot path uses to avoid per-blob
+// allocations; the package-level GetBuf/PutBuf helpers fall back to the
+// methods below for stores that do not.
 type Store interface {
-	// Put stores data under key, replacing any previous value.
+	// Put stores data under key, replacing any previous value. The store
+	// must not retain data after Put returns (implementations copy or write
+	// out) — callers may recycle the buffer immediately on success.
 	Put(key Key, data []byte) error
 	// Get returns the data stored under key.
 	Get(key Key) ([]byte, error)
@@ -255,15 +263,18 @@ func NewMemCap(capacity int64) *MemStore {
 // the resident bytes past the cap fails loudly with ErrCapacity (replacing
 // an existing value accounts only the size delta).
 func (s *MemStore) Put(key Key, data []byte) error {
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	// The stored copy lives in pooled memory owned by the map; it is
+	// recycled on overwrite and Delete. Get/GetBuf always copy out, so no
+	// reference to a map value ever escapes the store.
+	cp := bufpool.Clone(data)
 	s.mu.Lock()
-	old := int64(len(s.data[key]))
-	next := s.resident - old + int64(len(data))
+	old, hadOld := s.data[key]
+	next := s.resident - int64(len(old)) + int64(len(data))
 	if s.capacity > 0 && next > s.capacity {
 		s.rejected++
 		resident := s.resident
 		s.mu.Unlock()
+		bufpool.Put(cp)
 		return fmt.Errorf("put %q (%d bytes, %d/%d resident): %w",
 			string(key), len(data), resident, s.capacity, ErrCapacity)
 	}
@@ -272,6 +283,9 @@ func (s *MemStore) Put(key Key, data []byte) error {
 	s.stats.Puts++
 	s.stats.BytesWritten += uint64(len(data))
 	s.mu.Unlock()
+	if hadOld {
+		bufpool.Put(old)
+	}
 	return nil
 }
 
@@ -293,10 +307,14 @@ func (s *MemStore) Get(key Key) ([]byte, error) {
 // Delete implements Store.
 func (s *MemStore) Delete(key Key) error {
 	s.mu.Lock()
-	s.resident -= int64(len(s.data[key]))
+	old, had := s.data[key]
+	s.resident -= int64(len(old))
 	delete(s.data, key)
 	s.stats.Deletes++
 	s.mu.Unlock()
+	if had {
+		bufpool.Put(old)
+	}
 	return nil
 }
 

@@ -1,0 +1,201 @@
+package swapio
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"mrts/internal/bufpool"
+	"mrts/internal/storage"
+)
+
+// The encode/write stage — encode into a pooled writer, detach, hand the
+// blob to the store via the ownership-transfer path — must be allocation-free
+// once the pools are warm. This drives the scheduler's own execute path with
+// a reused request, exactly as a worker does.
+func TestStoreStageSteadyStateZeroAlloc(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	st := storage.NewMem()
+	s := New(st, Config{Workers: 1})
+	defer s.Close()
+
+	payload := bytes.Repeat([]byte{0x5A}, 4096)
+	var lastErr error
+	encode := func() ([]byte, error) {
+		w := bufpool.GetWriter(len(payload))
+		w.Write(payload)
+		blob := w.Detach()
+		bufpool.PutWriter(w)
+		return blob, nil
+	}
+	done := func(n int, err error) {
+		if err != nil {
+			lastErr = err
+		}
+	}
+	r := &request{op: opStore, key: "alloc-store", class: Write, encode: encode, done: done}
+
+	for i := 0; i < 16; i++ { // warm the pools and the store's map slot
+		s.execute(r)
+	}
+	allocs := testing.AllocsPerRun(200, func() { s.execute(r) })
+	if lastErr != nil {
+		t.Fatalf("store stage error: %v", lastErr)
+	}
+	if allocs > 0 {
+		t.Fatalf("encode/write stage allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// The read/decode stage — pooled read buffer from the store, decode through a
+// reused reader inside the done callback, buffer back to the arena — must
+// likewise be allocation-free in the steady state.
+func TestLoadStageSteadyStateZeroAlloc(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	st := storage.NewMem()
+	payload := bytes.Repeat([]byte{0xA5}, 4096)
+	if err := st.Put("alloc-load", payload); err != nil {
+		t.Fatal(err)
+	}
+	s := New(st, Config{Workers: 1})
+	defer s.Close()
+
+	var reader bytes.Reader
+	scratch := make([]byte, len(payload))
+	var lastErr error
+	done := func(blob []byte, err error) {
+		if err != nil {
+			lastErr = err
+			return
+		}
+		reader.Reset(blob)
+		if _, err := io.ReadFull(&reader, scratch); err != nil {
+			lastErr = err
+		}
+		reader.Reset(nil)
+	}
+	dones := []func([]byte, error){done}
+	r := &request{op: opLoad, key: "alloc-load", class: Demand}
+
+	run := func() {
+		r.dones = dones // execute nils this out; reuse the same backing slice
+		s.execute(r)
+	}
+	for i := 0; i < 16; i++ {
+		run()
+	}
+	allocs := testing.AllocsPerRun(200, run)
+	if lastErr != nil {
+		t.Fatalf("load stage error: %v", lastErr)
+	}
+	if allocs > 0 {
+		t.Fatalf("read/decode stage allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// Poison hammer: with buffer poisoning on, any read of a pooled buffer after
+// its release shows 0xDB instead of the expected pattern, and the race
+// detector flags the concurrent access. Loads verify full contents inside
+// the callback (the only window the scheduler guarantees); stores re-encode
+// the same pattern concurrently through the real worker pool.
+func TestPoisonHammerNoReadAfterRelease(t *testing.T) {
+	bufpool.SetPoison(true)
+	defer bufpool.SetPoison(false)
+
+	st := storage.NewMem()
+	s := New(st, Config{Workers: 4})
+	defer s.Close()
+
+	const nKeys = 8
+	const blobSize = 2048
+	const iters = 300
+
+	keyOf := func(i int) storage.Key { return storage.Key(fmt.Sprintf("hammer-%d", i)) }
+	encodeFor := func(i int) func() ([]byte, error) {
+		fill := byte(i + 1)
+		return func() ([]byte, error) {
+			w := bufpool.GetWriter(blobSize)
+			for j := 0; j < blobSize; j++ {
+				w.WriteByte(fill)
+			}
+			blob := w.Detach()
+			bufpool.PutWriter(w)
+			return blob, nil
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, nKeys*iters)
+
+	// Seed every key synchronously so loads never see NotFound.
+	for i := 0; i < nKeys; i++ {
+		wg.Add(1)
+		if !s.Store(keyOf(i), uint64(i), encodeFor(i), nil, func(n int, err error) {
+			if err != nil {
+				errCh <- err
+			}
+			wg.Done()
+		}) {
+			t.Fatal("seed store refused")
+		}
+	}
+	wg.Wait()
+
+	var workers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		workers.Add(1)
+		go func(seed int64) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for it := 0; it < iters; it++ {
+				i := rng.Intn(nKeys)
+				key := keyOf(i)
+				want := byte(i + 1)
+				if rng.Intn(3) == 0 {
+					wg.Add(1)
+					if !s.Store(key, uint64(i), encodeFor(i), nil, func(n int, err error) {
+						if err != nil {
+							errCh <- fmt.Errorf("store %s: %w", key, err)
+						}
+						wg.Done()
+					}) {
+						wg.Done()
+					}
+					continue
+				}
+				wg.Add(1)
+				if !s.Load(key, uint64(i), Demand, func(blob []byte, err error) {
+					defer wg.Done()
+					if err != nil {
+						errCh <- fmt.Errorf("load %s: %w", key, err)
+						return
+					}
+					if len(blob) != blobSize {
+						errCh <- fmt.Errorf("load %s: got %d bytes, want %d", key, len(blob), blobSize)
+						return
+					}
+					for _, b := range blob {
+						if b != want {
+							errCh <- fmt.Errorf("load %s: byte %#x, want %#x (read-after-release?)", key, b, want)
+							return
+						}
+					}
+				}) {
+					wg.Done()
+				}
+			}
+		}(int64(g + 1))
+	}
+	workers.Wait()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

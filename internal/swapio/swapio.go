@@ -26,8 +26,10 @@ package swapio
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mrts/internal/bufpool"
 	"mrts/internal/clock"
 	"mrts/internal/obs"
 	"mrts/internal/storage"
@@ -109,10 +111,13 @@ type request struct {
 
 	// Stores pipeline serialization onto the worker: encode produces the
 	// blob there, encoded (optional) observes its size between a successful
-	// encode and the Put, done receives the blob and the final error.
+	// encode and the Put, done receives the blob's size and the final error.
+	// done no longer receives the blob itself: the scheduler hands its
+	// ownership to the store (or recycles it on failure), so by the time
+	// done runs the bytes may already be reused.
 	encode  func() ([]byte, error)
 	encoded func(int)
-	done    func([]byte, error)
+	done    func(int, error)
 }
 
 // Stats is a point-in-time snapshot of scheduler activity. Aggregate
@@ -142,6 +147,10 @@ type Stats struct {
 	// Retries is the cumulative count of transient faults absorbed by the
 	// retry layer.
 	Retries uint64
+	// BytesRead / BytesWritten count the payload bytes the scheduler moved
+	// through the backing store (loads and eviction writes respectively).
+	BytesRead    uint64
+	BytesWritten uint64
 	// PriorityInversions counts dispatches that handed a worker a Prefetch
 	// while a Demand load sat queued. Strict class order makes this
 	// impossible by construction, so any non-zero value is a scheduler bug;
@@ -178,6 +187,8 @@ func (s *Stats) Add(other Stats) {
 		s.DemandWaitMax = other.DemandWaitMax
 	}
 	s.Retries += other.Retries
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
 	s.PriorityInversions += other.PriorityInversions
 }
 
@@ -211,6 +222,10 @@ type Scheduler struct {
 	demandWaitTotal time.Duration
 	demandWaitMax   time.Duration
 	inversions      uint64
+
+	// Byte counters, outside mu: workers bump them mid-operation.
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
 }
 
 // New returns a running Scheduler over st. The Scheduler owns st and closes
@@ -271,6 +286,11 @@ func (s *Scheduler) QueuedPrefetches() int {
 // and the post-retry error — decode there, not on a compute worker — or,
 // for a cancelled prefetch, on the canceller's goroutine with ErrCanceled.
 //
+// The blob is owned by the scheduler's read path and is recycled as soon as
+// every callback of the (possibly coalesced) request has returned: done must
+// decode or copy, never retain the blob past its return. Use LoadSync for a
+// caller-owned result.
+//
 // A load of a key already queued or in flight coalesces: done joins the
 // existing request's callback list and no second read is issued; a Demand
 // joiner additionally promotes a still-queued prefetch. Load reports whether
@@ -313,7 +333,9 @@ func (s *Scheduler) Load(key storage.Key, id uint64, class Class, done func([]by
 // LoadSync is Load at Demand class, blocking for the result — the migration
 // path's synchronous read. It coalesces with any in-flight load of key.
 // Never call it from an I/O worker callback: with one worker it would wait
-// on itself.
+// on itself. The returned blob is caller-owned (a pooled copy of the
+// scheduler-owned read buffer); recycling it with bufpool.Put when done is
+// optional but keeps the steady state allocation-free.
 func (s *Scheduler) LoadSync(key storage.Key, id uint64) ([]byte, error) {
 	type result struct {
 		blob []byte
@@ -321,6 +343,11 @@ func (s *Scheduler) LoadSync(key storage.Key, id uint64) ([]byte, error) {
 	}
 	ch := make(chan result, 1)
 	if !s.Load(key, id, Demand, func(blob []byte, err error) {
+		if err == nil {
+			blob = bufpool.Clone(blob) // the original is recycled after this callback
+		} else {
+			blob = nil
+		}
 		ch <- result{blob, err}
 	}) {
 		return nil, storage.ErrClosed
@@ -330,13 +357,17 @@ func (s *Scheduler) LoadSync(key storage.Key, id uint64) ([]byte, error) {
 }
 
 // Store schedules an eviction write. encode runs on an I/O worker (the
-// pipelined serialization); encoded, when non-nil, observes the blob size
-// between a successful encode and the Put — the hook the runtime uses to
-// record the serialized size; done receives the blob and the final error.
-// When encode itself fails, done gets (nil, encodeErr) and encoded never
-// runs. Store reports whether the request was accepted; writes are never
-// bounded, only a closed scheduler refuses them (and then nothing runs).
-func (s *Scheduler) Store(key storage.Key, id uint64, encode func() ([]byte, error), encoded func(int), done func([]byte, error)) bool {
+// pipelined serialization) and should produce a pooled buffer
+// (bufpool.Writer / bufpool.Get): the scheduler takes ownership of it,
+// handing it to the store via the ownership-transfer write path (recycled on
+// write, not copied) or recycling it itself on failure. encoded, when
+// non-nil, observes the blob size between a successful encode and the Put —
+// the hook the runtime uses to record the serialized size; done receives the
+// blob's size and the final error. When encode itself fails, done gets
+// (0, encodeErr) and encoded never runs. Store reports whether the request
+// was accepted; writes are never bounded, only a closed scheduler refuses
+// them (and then nothing runs).
+func (s *Scheduler) Store(key storage.Key, id uint64, encode func() ([]byte, error), encoded func(int), done func(int, error)) bool {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -471,6 +502,8 @@ func (s *Scheduler) Snapshot() Stats {
 		DemandWaitTotal:    s.demandWaitTotal,
 		DemandWaitMax:      s.demandWaitMax,
 		Retries:            s.retry.Retries(),
+		BytesRead:          s.bytesRead.Load(),
+		BytesWritten:       s.bytesWritten.Load(),
 		PriorityInversions: s.inversions,
 	}
 }
@@ -535,12 +568,15 @@ func (s *Scheduler) worker() {
 func (s *Scheduler) execute(r *request) {
 	switch r.op {
 	case opLoad:
-		var blob []byte
-		err := s.retry.Do(r.key, func() error {
-			var e error
-			blob, e = s.st.Get(r.key)
-			return e
-		})
+		// DoGetBuf rather than Do(closure): the closure would heap-allocate
+		// per load and this path must stay allocation-free.
+		blob, err := s.retry.DoGetBuf(s.st, r.key)
+		if err != nil {
+			blob = nil
+		}
+		if err == nil {
+			s.bytesRead.Add(uint64(len(blob)))
+		}
 		s.mu.Lock()
 		// Remove from the coalescing map before the callbacks run: a
 		// late joiner must issue a fresh read, not attach to a request
@@ -553,19 +589,34 @@ func (s *Scheduler) execute(r *request) {
 		for _, d := range dones {
 			d(blob, err)
 		}
+		// Every callback has returned; the read buffer goes back to the
+		// store's read path (pool, or munmap for a mapped store).
+		if blob != nil {
+			storage.ReleaseBuf(s.st, blob)
+		}
 	case opStore:
 		blob, err := r.encode()
 		if err != nil {
 			s.finish(Write)
-			r.done(nil, err)
+			r.done(0, err)
 			return
 		}
+		n := len(blob)
 		if r.encoded != nil {
-			r.encoded(len(blob))
+			r.encoded(n)
 		}
-		err = s.retry.Do(r.key, func() error { return s.st.Put(r.key, blob) })
+		// PutBuf transfers ownership on success (one buffer from encode to
+		// media, no copy for stores that write out); on failure the buffer
+		// is still ours and goes back to the arena. DoPutBuf keeps the path
+		// closure-free.
+		err = s.retry.DoPutBuf(s.st, r.key, blob)
+		if err != nil {
+			bufpool.Put(blob)
+		} else {
+			s.bytesWritten.Add(uint64(n))
+		}
 		s.finish(Write)
-		r.done(blob, err)
+		r.done(n, err)
 	case opDelete:
 		_ = s.st.Delete(r.key)
 		s.finish(Write)

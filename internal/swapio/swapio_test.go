@@ -35,6 +35,16 @@ func (g *gatedStore) Get(key storage.Key) ([]byte, error) {
 	return g.MemStore.Get(key)
 }
 
+// GetBuf gates identically: the scheduler reads through the pooled path, and
+// the embedded MemStore's ungated GetBuf must not leak past the instrument.
+func (g *gatedStore) GetBuf(key storage.Key) ([]byte, error) {
+	if g.started != nil {
+		g.started <- key
+	}
+	<-g.release
+	return g.MemStore.GetBuf(key)
+}
+
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
@@ -288,7 +298,7 @@ func TestBoundRejectsOnlyPrefetch(t *testing.T) {
 	if !s.Load("d", 4, Demand, func([]byte, error) {}) {
 		t.Fatal("demand load refused by the prefetch bound")
 	}
-	if !s.Store("w", 5, func() ([]byte, error) { return []byte("w"), nil }, nil, func([]byte, error) {}) {
+	if !s.Store("w", 5, func() ([]byte, error) { return []byte("w"), nil }, nil, func(int, error) {}) {
 		t.Fatal("write refused by the prefetch bound")
 	}
 	for i := 0; i < 4; i++ {
@@ -312,7 +322,7 @@ func TestStorePipeline(t *testing.T) {
 	s.Store("k", 1,
 		func() ([]byte, error) { return []byte("encoded-blob"), nil },
 		func(n int) { sized = n },
-		func(blob []byte, err error) { ch <- err })
+		func(n int, err error) { ch <- err })
 	if err := <-ch; err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +338,7 @@ func TestStorePipeline(t *testing.T) {
 	s.Store("bad", 2,
 		func() ([]byte, error) { return nil, encodeErr },
 		func(int) { hookRan = true },
-		func(blob []byte, err error) { ch <- err })
+		func(n int, err error) { ch <- err })
 	if err := <-ch; !errors.Is(err, encodeErr) {
 		t.Fatalf("expected encode error, got %v", err)
 	}
@@ -385,7 +395,7 @@ func TestCloseSemantics(t *testing.T) {
 	if s.Load("d", 1, Demand, func([]byte, error) {}) {
 		t.Fatal("Load accepted after Close")
 	}
-	if s.Store("k", 1, func() ([]byte, error) { return nil, nil }, nil, func([]byte, error) {}) {
+	if s.Store("k", 1, func() ([]byte, error) { return nil, nil }, nil, func(int, error) {}) {
 		t.Fatal("Store accepted after Close")
 	}
 	if s.Delete("k") {

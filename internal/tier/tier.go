@@ -66,6 +66,12 @@ type Config struct {
 	PromoteAfter int
 	// Workers is the inner I/O worker count serving tier 1 (default 2).
 	Workers int
+	// Compress, when non-nil, inserts the transparent compression layer
+	// (tier 0.5) between the placement policy and Slow: tier-1 writes are
+	// framed and flate-compressed on the way down, and a byte-capped RAM
+	// cache of compressed frames absorbs repeat reads before they reach the
+	// disk. See CompressConfig.
+	Compress *CompressConfig
 	// Retry is the retry policy of the inner scheduler (absorbs transient
 	// tier-1 faults in demand reads and demotion writes).
 	Retry storage.RetryPolicy
@@ -183,7 +189,8 @@ func (s *Stats) Add(other Stats) {
 type Store struct {
 	cfg    Config
 	fast   storage.Store
-	slow   storage.Store
+	slow   storage.Store     // tier 1 as the placement policy sees it (the compression layer when enabled)
+	comp   *compressedStore  // tier 0.5, nil when Compress is not configured
 	inner  *swapio.Scheduler // serves tier 1: demand reads, demotion writes, promotion reads
 	clk    clock.Clock
 	tracer *obs.Tracer
@@ -219,10 +226,17 @@ func New(cfg Config) (*Store, error) {
 	if cfg.PromoteAfter == 0 {
 		cfg.PromoteAfter = 2
 	}
+	slow := cfg.Slow
+	var comp *compressedStore
+	if cfg.Compress != nil {
+		comp = newCompressedStore(cfg.Slow, *cfg.Compress, cfg.Clock)
+		slow = comp
+	}
 	s := &Store{
 		cfg:    cfg,
 		fast:   cfg.Fast,
-		slow:   cfg.Slow,
+		slow:   slow,
+		comp:   comp,
 		clk:    clock.Or(cfg.Clock),
 		tracer: cfg.Tracer,
 		index:  make(map[storage.Key]*entry),
@@ -232,7 +246,7 @@ func New(cfg Config) (*Store, error) {
 		s.lowMark = int64(float64(cfg.Capacity) * cfg.LowWater)
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.inner = swapio.New(cfg.Slow, swapio.Config{
+	s.inner = swapio.New(slow, swapio.Config{
 		Workers: cfg.Workers,
 		Retry:   cfg.Retry,
 		Clock:   cfg.Clock,
@@ -634,11 +648,11 @@ func (s *Store) scheduleDemotion(key storage.Key, ent *entry, gen uint64) {
 			return nil, err
 		}
 		return blob, nil
-	}, nil, func(blob []byte, err error) {
+	}, nil, func(n int, err error) {
 		if aborted {
 			return // reconciled in the encode hook
 		}
-		size := int64(len(blob))
+		size := int64(n)
 		if err != nil {
 			// The slow write failed after retries: the blob stays in fast,
 			// still charged — loud, not lost.
@@ -815,6 +829,15 @@ func (s *Store) Snapshot() Stats {
 // IOStats exposes the inner scheduler's counters (demotion writes, promotion
 // prefetches, demand reads against tier 1).
 func (s *Store) IOStats() swapio.Stats { return s.inner.Snapshot() }
+
+// CompressStats returns the tier-0.5 counters; ok is false when the store
+// was built without a compression layer.
+func (s *Store) CompressStats() (stats CompressStats, ok bool) {
+	if s.comp == nil {
+		return CompressStats{}, false
+	}
+	return s.comp.Stats(), true
+}
 
 // CheckInvariants audits the tier state and returns one message per
 // violation. The shallow form (deep=false) checks the always-true accounting
