@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick bench-pipeline bench-tiers bench-compress trace bench-json bench-baseline lint sim-soak examples clean
+.PHONY: all build vet test race bench bench-quick bench-pipeline bench-tiers bench-compress trace bench-json bench-baseline lint sim-soak e2e-multiproc examples clean
 
 all: build vet test
 
@@ -73,13 +73,28 @@ sim-soak:
 CLOCKED_PKGS = internal/core internal/comm internal/storage internal/swapio internal/sched internal/cluster internal/tier internal/bufpool
 
 # gofmt check (staticcheck additionally runs in CI, where installing the
-# pinned version is possible), plus the clock-injection rule: no package
-# below cmd/ that the simulator drives may read real time directly.
+# pinned version is possible), plus two layering rules: the clock-injection
+# rule (no package below cmd/ that the simulator drives may read real time
+# directly) and the transport-encapsulation rule (all raw TCP lives behind
+# internal/comm — everything else addresses peers by NodeID through an
+# Endpoint, so the simulator can swap the transport).
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	@out="$$(grep -rnE 'time\.(Now|Sleep|After|NewTimer|NewTicker|Tick)\(' --include='*.go' --exclude='*_test.go' $(CLOCKED_PKGS) || true)"; \
 	if [ -n "$$out" ]; then echo "direct time calls in clocked packages (inject clock.Clock instead):"; echo "$$out"; exit 1; fi
+	@out="$$(grep -rnE 'net\.(Dial|Listen)\(' --include='*.go' internal cmd examples | grep -v '^internal/comm/' || true)"; \
+	if [ -n "$$out" ]; then echo "raw net.Dial/net.Listen outside internal/comm (use comm endpoints):"; echo "$$out"; exit 1; fi
+
+# The multi-process e2e lane CI runs: a 3-process loopback OUPDR cluster
+# that loses one worker after the first phase barrier and relaunches it
+# from its checkpoint, checked block for block against a single-process
+# baseline of the same problem.
+e2e-multiproc:
+	$(GO) build -o bin/meshnode ./cmd/meshnode
+	$(GO) build -o bin/meshctl ./cmd/meshctl
+	bin/meshctl -meshnode bin/meshnode -nodes 1 -blocks 6 -elements 20000 -phases 3 -dir e2e-run/baseline -out baseline.txt
+	bin/meshctl -meshnode bin/meshnode -nodes 3 -blocks 6 -elements 20000 -phases 3 -kill 2 -kill-after 0 -dir e2e-run/cluster -baseline baseline.txt
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,370 @@
+// Command meshctl launches and drives a multi-process OUPDR cluster: it
+// spawns one cmd/meshnode process per node (the first is the membership
+// seed), steps them through the phase barriers over their stdin/stdout
+// protocol, optionally SIGKILLs one worker between phases and relaunches it
+// from its checkpoint under the same node ID, and finally merges the
+// per-node block dumps into one mesh report — verifying every block is
+// reported exactly once.
+//
+//	meshctl -meshnode bin/meshnode -nodes 1 -out baseline.txt
+//	meshctl -meshnode bin/meshnode -nodes 3 -kill 2 -kill-after 0 -baseline baseline.txt
+//
+// The second invocation exits nonzero unless the cluster's mesh — through a
+// kill and rejoin — is identical to the baseline file. Per-node stderr goes
+// to node<id>.log under -dir.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		meshnode  = flag.String("meshnode", "meshnode", "path to the meshnode binary")
+		nodes     = flag.Int("nodes", 3, "cluster size")
+		blocks    = flag.Int("blocks", 6, "decomposition grid dimension")
+		elements  = flag.Int("elements", 50000, "target total element count")
+		quality   = flag.Float64("quality", 0, "radius-edge quality bound")
+		phases    = flag.Int("phases", 3, "barrier-separated kick-off phases")
+		budget    = flag.Int64("budget", 0, "per-node memory budget in bytes")
+		dir       = flag.String("dir", "", "working directory for logs/spools/checkpoints (default: temp)")
+		kill      = flag.Int("kill", -1, "worker node to SIGKILL and relaunch mid-run (-1: none; 0, the seed, is not killable)")
+		killAfter = flag.Int("kill-after", 0, "phase barrier after which to kill")
+		out       = flag.String("out", "", "write the merged block dump to this file")
+		baseline  = flag.String("baseline", "", "compare the merged dump against this file; exit 1 on any difference")
+		trace     = flag.Bool("trace", false, "have each node write a Chrome trace under -dir")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-step timeout")
+	)
+	flag.Parse()
+	if *kill == 0 || *kill >= *nodes {
+		fatalf("-kill must name a worker node in [1,%d)", *nodes)
+	}
+	if *kill > 0 && (*killAfter < 0 || *killAfter >= *phases-1) {
+		fatalf("-kill-after must leave a phase to run after the rejoin (have %d phases)", *phases)
+	}
+
+	work := *dir
+	if work == "" {
+		var err error
+		work, err = os.MkdirTemp("", "meshctl-")
+		if err != nil {
+			fatalf("workdir: %v", err)
+		}
+		defer os.RemoveAll(work)
+	} else if err := os.MkdirAll(work, 0o755); err != nil {
+		fatalf("workdir: %v", err)
+	}
+
+	ctl := &control{
+		meshnode: *meshnode, work: work, nodes: *nodes, timeout: *timeout,
+		common: []string{
+			"-nodes", fmt.Sprint(*nodes),
+			"-blocks", fmt.Sprint(*blocks),
+			"-elements", fmt.Sprint(*elements),
+			"-quality", fmt.Sprint(*quality),
+			"-phases", fmt.Sprint(*phases),
+			"-budget", fmt.Sprint(*budget),
+			"-heartbeat", "100ms",
+			"-expire", "1s",
+		},
+		trace: *trace,
+		procs: make([]*proc, *nodes),
+	}
+	defer ctl.killAll()
+
+	// Launch the seed first, then the workers against its address.
+	seed, err := ctl.launch(0, false)
+	if err != nil {
+		fatalf("launch seed: %v", err)
+	}
+	ctl.procs[0] = seed
+	ctl.seedAddr = seed.addr
+	for i := 1; i < *nodes; i++ {
+		p, err := ctl.launch(i, false)
+		if err != nil {
+			fatalf("launch node %d: %v", i, err)
+		}
+		ctl.procs[i] = p
+	}
+
+	for k := 0; k < *phases; k++ {
+		if err := ctl.phase(k); err != nil {
+			fatalf("phase %d: %v", k, err)
+		}
+		logf("phase %d complete on all %d nodes", k, *nodes)
+		if *kill > 0 && k == *killAfter {
+			victim := ctl.procs[*kill]
+			logf("killing node %d (pid %d)", *kill, victim.cmd.Process.Pid)
+			victim.cmd.Process.Kill()
+			victim.cmd.Wait()
+			p, err := ctl.launch(*kill, true)
+			if err != nil {
+				fatalf("relaunch node %d: %v", *kill, err)
+			}
+			ctl.procs[*kill] = p
+			logf("node %d rejoined at %s and restored from checkpoint", *kill, p.addr)
+		}
+	}
+
+	dump, err := ctl.dump()
+	if err != nil {
+		fatalf("dump: %v", err)
+	}
+	report := strings.Join(dump, "\n") + "\n"
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fatalf("out: %v", err)
+		}
+		logf("wrote %d blocks to %s", len(dump), *out)
+	}
+
+	if err := ctl.quitAll(); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+
+	if *baseline != "" {
+		want, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		if string(want) != report {
+			diff(strings.Split(strings.TrimRight(string(want), "\n"), "\n"), dump)
+			fatalf("mesh differs from baseline %s", *baseline)
+		}
+		logf("mesh identical to baseline %s (%d blocks)", *baseline, len(dump))
+	}
+}
+
+// proc is one running meshnode process.
+type proc struct {
+	id    int
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	lines chan string
+	addr  string
+}
+
+type control struct {
+	meshnode string
+	work     string
+	nodes    int
+	timeout  time.Duration
+	common   []string
+	trace    bool
+	seedAddr string
+	procs    []*proc
+}
+
+// launch starts node i: the seed listens, workers dial the seed; a relaunch
+// reclaims the node's old ID and restores from its checkpoint directory.
+func (c *control) launch(i int, relaunch bool) (*proc, error) {
+	ndir := filepath.Join(c.work, fmt.Sprintf("node%d", i))
+	args := append([]string{
+		"-listen", "127.0.0.1:0",
+		"-spool", filepath.Join(ndir, "spool"),
+		"-ckpt", filepath.Join(ndir, "ckpt"),
+	}, c.common...)
+	if i > 0 {
+		args = append(args, "-seed", c.seedAddr)
+	}
+	if relaunch {
+		args = append(args, "-restore", "-id", fmt.Sprint(i))
+	}
+	if c.trace {
+		args = append(args, "-trace", filepath.Join(c.work, fmt.Sprintf("node%d.trace.json", i)))
+	}
+
+	if err := os.MkdirAll(ndir, 0o755); err != nil {
+		return nil, err
+	}
+	logName := filepath.Join(c.work, fmt.Sprintf("node%d.log", i))
+	logFile, err := os.OpenFile(logName, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+
+	cmd := exec.Command(c.meshnode, args...)
+	cmd.Stderr = logFile
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		logFile.Close()
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		logFile.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return nil, err
+	}
+	logFile.Close() // the child holds its own descriptor now
+
+	p := &proc{id: i, cmd: cmd, stdin: stdin, lines: make(chan string, 256)}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			p.lines <- sc.Text()
+		}
+		close(p.lines)
+	}()
+
+	ready, err := c.expect(p, "ready ")
+	if err != nil {
+		return nil, fmt.Errorf("node %d not ready: %w (see %s)", i, err, logName)
+	}
+	var id int
+	if _, err := fmt.Sscanf(ready, "ready %d %s", &id, &p.addr); err != nil {
+		return nil, fmt.Errorf("node %d: bad ready line %q", i, ready)
+	}
+	if id != i {
+		return nil, fmt.Errorf("launched node %d but the seed assigned ID %d", i, id)
+	}
+	return p, nil
+}
+
+// expect reads lines from p until one starts with prefix.
+func (c *control) expect(p *proc, prefix string) (string, error) {
+	deadline := time.After(c.timeout)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				return "", fmt.Errorf("process exited (wanted %q)", prefix)
+			}
+			if strings.HasPrefix(line, prefix) {
+				return line, nil
+			}
+			return "", fmt.Errorf("unexpected output %q (wanted %q)", line, prefix)
+		case <-deadline:
+			return "", fmt.Errorf("timeout waiting for %q", prefix)
+		}
+	}
+}
+
+// phase drives one global barrier: every node posts its share, and the
+// barrier completes only when the distributed termination protocol fires on
+// all of them.
+func (c *control) phase(k int) error {
+	for _, p := range c.procs {
+		if _, err := fmt.Fprintf(p.stdin, "phase %d\n", k); err != nil {
+			return fmt.Errorf("node %d: %w", p.id, err)
+		}
+	}
+	for _, p := range c.procs {
+		if _, err := c.expect(p, fmt.Sprintf("done %d", k)); err != nil {
+			return fmt.Errorf("node %d: %w", p.id, err)
+		}
+	}
+	return nil
+}
+
+// dump collects every node's block reports and merges them, verifying each
+// block appears exactly once across the cluster.
+func (c *control) dump() ([]string, error) {
+	for _, p := range c.procs {
+		if _, err := fmt.Fprintln(p.stdin, "dump"); err != nil {
+			return nil, fmt.Errorf("node %d: %w", p.id, err)
+		}
+	}
+	seen := make(map[string]int) // "j i" -> reporting node
+	var all []string
+	for _, p := range c.procs {
+		deadline := time.After(c.timeout)
+		for {
+			var line string
+			var ok bool
+			select {
+			case line, ok = <-p.lines:
+				if !ok {
+					return nil, fmt.Errorf("node %d exited mid-dump", p.id)
+				}
+			case <-deadline:
+				return nil, fmt.Errorf("node %d: timeout mid-dump", p.id)
+			}
+			if line == "dumped" {
+				break
+			}
+			rec, found := strings.CutPrefix(line, "block ")
+			if !found {
+				return nil, fmt.Errorf("node %d: unexpected output %q", p.id, line)
+			}
+			f := strings.Fields(rec)
+			if len(f) != 4 {
+				return nil, fmt.Errorf("node %d: bad block line %q", p.id, line)
+			}
+			key := f[0] + " " + f[1]
+			if prev, dup := seen[key]; dup {
+				return nil, fmt.Errorf("block (%s) reported by both node %d and node %d", key, prev, p.id)
+			}
+			seen[key] = p.id
+			all = append(all, rec)
+		}
+	}
+	sort.Strings(all)
+	return all, nil
+}
+
+func (c *control) quitAll() error {
+	for _, p := range c.procs {
+		fmt.Fprintln(p.stdin, "quit")
+	}
+	var firstErr error
+	for _, p := range c.procs {
+		if err := p.cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("node %d: %w", p.id, err)
+		}
+		p.cmd = nil
+	}
+	return firstErr
+}
+
+func (c *control) killAll() {
+	for _, p := range c.procs {
+		if p != nil && p.cmd != nil && p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+		}
+	}
+}
+
+// diff prints the first few lines that differ between the baseline and the
+// cluster dump.
+func diff(want, got []string) {
+	n := 0
+	for i := 0; i < len(want) || i < len(got); i++ {
+		w, g := "", ""
+		if i < len(want) {
+			w = want[i]
+		}
+		if i < len(got) {
+			g = got[i]
+		}
+		if w != g {
+			fmt.Fprintf(os.Stderr, "meshctl: line %d: baseline %q, cluster %q\n", i+1, w, g)
+			if n++; n >= 5 {
+				fmt.Fprintln(os.Stderr, "meshctl: ...")
+				return
+			}
+		}
+	}
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "meshctl: "+format+"\n", args...)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "meshctl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -30,11 +30,12 @@ func (c *Cluster) Balance(weight Weight) int {
 		ptr core.MobilePtr
 		w   int64
 	}
-	n := len(c.rts)
+	rts := c.Runtimes()
+	n := len(rts)
 	loads := make([]int64, n)
 	objs := make([][]item, n)
 	var total int64
-	for i, rt := range c.rts {
+	for i, rt := range rts {
 		for _, p := range rt.LocalObjects() {
 			w := weight(p, rt)
 			if w <= 0 {
@@ -53,7 +54,7 @@ func (c *Cluster) Balance(weight Weight) int {
 	moved := 0
 	// Greedy: repeatedly move an object from the most loaded node to the
 	// least loaded one while that strictly improves the imbalance.
-	for iter := 0; iter < 4*len(c.rts)*64; iter++ {
+	for iter := 0; iter < 4*n*64; iter++ {
 		hi, lo := 0, 0
 		for i := range loads {
 			if loads[i] > loads[hi] {
@@ -81,7 +82,7 @@ func (c *Cluster) Balance(weight Weight) int {
 			break
 		}
 		it := objs[hi][cand]
-		if err := c.rts[hi].Migrate(it.ptr, core.NodeID(lo)); err != nil {
+		if err := rts[hi].Migrate(it.ptr, core.NodeID(lo)); err != nil {
 			// Busy or gone: drop it from consideration.
 			objs[hi] = append(objs[hi][:cand], objs[hi][cand+1:]...)
 			if len(objs[hi]) == 0 {
@@ -117,8 +118,9 @@ func (c *Cluster) Balance(weight Weight) int {
 
 // ObjectCounts returns the number of mobile objects per node.
 func (c *Cluster) ObjectCounts() []int {
-	out := make([]int, len(c.rts))
-	for i, rt := range c.rts {
+	rts := c.Runtimes()
+	out := make([]int, len(rts))
+	for i, rt := range rts {
 		out[i] = rt.NumLocalObjects()
 	}
 	return out

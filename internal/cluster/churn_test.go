@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"testing"
+
+	"mrts/internal/core"
+)
+
+func registerInc(rts []*core.Runtime) {
+	for _, rt := range rts {
+		rt.Register(1, func(ctx *core.Ctx, arg []byte) {
+			ctx.Object().(*ballastObj).N++
+		})
+	}
+}
+
+func postAll(c *Cluster, ptrs []core.MobilePtr) {
+	for i, p := range ptrs {
+		c.RT(i%c.Nodes()).Post(p, 1, nil)
+	}
+	c.Wait()
+}
+
+func readCounts(t *testing.T, c *Cluster, ptrs []core.MobilePtr) map[core.MobilePtr]int64 {
+	t.Helper()
+	got := make(map[core.MobilePtr]int64)
+	for _, p := range ptrs {
+		for _, rt := range c.Runtimes() {
+			rt := rt
+			if !rt.IsLocal(p) {
+				continue
+			}
+			var v int64
+			done := make(chan struct{})
+			rt.Register(2, func(ctx *core.Ctx, arg []byte) {
+				v = ctx.Object().(*ballastObj).N
+				close(done)
+			})
+			rt.Post(p, 2, nil)
+			<-done
+			got[p] = v
+			break
+		}
+	}
+	return got
+}
+
+// Graceful leave drains every object off the node to its ring owners;
+// rejoin pulls back exactly the keys the ring assigns it. No object is
+// lost, every post lands, and the directory invariants hold throughout.
+func TestLeaveJoinRebalance(t *testing.T) {
+	c := newBalanceCluster(t, 4)
+	registerInc(c.Runtimes())
+
+	var ptrs []core.MobilePtr
+	for i := 0; i < 32; i++ {
+		ptrs = append(ptrs, c.RT(i%4).CreateObject(&ballastObj{Data: make([]byte, 64)}))
+	}
+	postAll(c, ptrs)
+
+	moved, err := c.LeaveNode(2)
+	if err != nil {
+		t.Fatalf("LeaveNode: %v", err)
+	}
+	if moved != 8 {
+		t.Errorf("drained %d objects off node 2, want its 8", moved)
+	}
+	if n := c.RT(2).NumLocalObjects(); n != 0 {
+		t.Fatalf("node 2 still hosts %d objects after drain", n)
+	}
+	if bad := c.DirectoryInvariants(); len(bad) > 0 {
+		t.Fatalf("after leave: %v", bad)
+	}
+	if c.ActiveNodes() != 3 || c.Directory().Size() != 3 {
+		t.Fatalf("active=%d ring=%d, want 3/3", c.ActiveNodes(), c.Directory().Size())
+	}
+
+	// Posting keeps working while the node is out: messages to its old
+	// objects follow the migration's directory updates.
+	postAll(c, ptrs)
+
+	back, err := c.JoinNode(2)
+	if err != nil {
+		t.Fatalf("JoinNode: %v", err)
+	}
+	if back == 0 {
+		t.Error("rejoined node owns no objects")
+	}
+	if bad := c.DirectoryInvariants(); len(bad) > 0 {
+		t.Fatalf("after join: %v", bad)
+	}
+	postAll(c, ptrs)
+
+	total := 0
+	for _, n := range c.ObjectCounts() {
+		total += n
+	}
+	if total != 32 {
+		t.Fatalf("object count %d after churn, want 32", total)
+	}
+	for p, n := range readCounts(t, c, ptrs) {
+		if n != 3 {
+			t.Errorf("object %v counted %d increments, want 3", p, n)
+		}
+	}
+	if c.Rebalanced() != int64(moved)+int64(back) {
+		t.Errorf("Rebalanced() = %d, want %d", c.Rebalanced(), moved+back)
+	}
+}
+
+// Crash + restart: the node's state survives through the checkpoint, its
+// slot gets a fresh runtime, and computation resumes with nothing lost.
+func TestCrashRestartNode(t *testing.T) {
+	c := newBalanceCluster(t, 3)
+	registerInc(c.Runtimes())
+
+	var ptrs []core.MobilePtr
+	for i := 0; i < 12; i++ {
+		ptrs = append(ptrs, c.RT(i%3).CreateObject(&ballastObj{Data: make([]byte, 64)}))
+	}
+	postAll(c, ptrs)
+
+	if err := c.CrashNode(1); err != nil {
+		t.Fatalf("CrashNode: %v", err)
+	}
+	if bad := c.DirectoryInvariants(); len(bad) > 0 {
+		t.Fatalf("during outage: %v", bad)
+	}
+	if !c.Directory().Contains(1) {
+		t.Fatal("crashed node must keep its ring membership")
+	}
+
+	rt, err := c.RestartNode(1)
+	if err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	if rt != c.RT(1) {
+		t.Fatal("restarted runtime not installed in its slot")
+	}
+	registerInc([]*core.Runtime{rt}) // a fresh process re-registers handlers
+	if bad := c.DirectoryInvariants(); len(bad) > 0 {
+		t.Fatalf("after restart: %v", bad)
+	}
+	if n := rt.NumLocalObjects(); n != 4 {
+		t.Fatalf("restored node hosts %d objects, want 4", n)
+	}
+
+	postAll(c, ptrs)
+	for p, n := range readCounts(t, c, ptrs) {
+		if n != 2 {
+			t.Errorf("object %v counted %d increments, want 2", p, n)
+		}
+	}
+
+	// A second crash of the same node must also work (fresh slot state).
+	if err := c.CrashNode(1); err != nil {
+		t.Fatalf("second CrashNode: %v", err)
+	}
+	if _, err := c.RestartNode(1); err != nil {
+		t.Fatalf("second RestartNode: %v", err)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	c := newBalanceCluster(t, 2)
+	if _, err := c.LeaveNode(5); err == nil {
+		t.Error("LeaveNode out of range must fail")
+	}
+	if _, err := c.JoinNode(0); err == nil {
+		t.Error("JoinNode of an active node must fail")
+	}
+	if _, err := c.RestartNode(0); err == nil {
+		t.Error("RestartNode without a crash must fail")
+	}
+	if _, err := c.LeaveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LeaveNode(0); err == nil {
+		t.Error("draining the last ring member must fail")
+	}
+	if err := c.CrashNode(1); err == nil {
+		t.Error("crashing a drained node must fail")
+	}
+	if _, err := c.JoinNode(1); err != nil {
+		t.Fatal(err)
+	}
+}

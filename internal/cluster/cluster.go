@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mrts/internal/clock"
@@ -160,14 +162,24 @@ type Cluster struct {
 	cfg     Config
 	tr      *comm.InProcTransport
 	pools   []sched.Pool
-	rts     []*core.Runtime
 	cols    []*trace.Collector
 	tracers []*obs.Tracer
 	tiers   []*tier.Store
-	bases   []storage.Store // each node's bottom-most (disk-level) store, for DiskStats
 	memsrv  *remotemem.Server
 	clk     clock.Clock
 	start   time.Time
+
+	// nmu guards the per-node slots that churn operations replace or flag
+	// (a restarted node gets a fresh runtime and store in the same slot)
+	// against readers like the simulator's continuous invariant sweep.
+	nmu      sync.RWMutex
+	rts      []*core.Runtime
+	bases    []storage.Store // each node's bottom-most (disk-level) store, for DiskStats
+	inactive []bool          // node has left (drained) or crashed
+	ckpts    []storage.Store // crash checkpoints awaiting RestartNode
+
+	dir        *Directory   // consistent-hash object placement ring
+	rebalanced atomic.Int64 // objects moved by churn rebalancing
 }
 
 // New builds and starts a cluster.
@@ -236,29 +248,15 @@ func New(cfg Config) (*Cluster, error) {
 			// The disk (or backstop) store keeps its full latency + fault
 			// stack even when remote memory fronts it — the service-time
 			// model is part of the tier, not an alternative to it.
-			var base storage.Store
-			if cfg.SpoolDir != "" {
-				fs, err := storage.NewFile(filepath.Join(cfg.SpoolDir, fmt.Sprintf("node%d", i)))
-				if err != nil {
-					c.Close()
-					return nil, err
-				}
-				base = fs
-			} else {
-				base = storage.NewMem()
+			base, raw, err := c.nodeBaseStore(i, disk)
+			if err != nil {
+				c.Close()
+				return nil, err
 			}
 			// Keep the raw bottom store before any wrappers: DiskStats reads
 			// bytes at the media level, where the compression layer's savings
 			// are visible.
-			c.bases = append(c.bases, base)
-			if disk.Seek > 0 || disk.BytesPerSec > 0 {
-				base = storage.NewLatencyClock(base, disk, clk)
-			}
-			if cfg.Fault != nil {
-				fc := *cfg.Fault
-				fc.Seed += int64(i) * 7919
-				base = storage.NewFault(base, fc)
-			}
+			c.bases = append(c.bases, raw)
 			if tiered {
 				var fast storage.Store
 				if cfg.Tier.Capacity != 0 {
@@ -344,7 +342,42 @@ func New(cfg Config) (*Cluster, error) {
 		c.cols = append(c.cols, col)
 		c.tracers = append(c.tracers, tracer)
 	}
+	ids := make([]core.NodeID, cfg.Nodes)
+	for i := range ids {
+		ids[i] = core.NodeID(i)
+	}
+	c.dir = NewDirectory(ids, 0)
+	c.inactive = make([]bool, cfg.Nodes)
+	c.ckpts = make([]storage.Store, cfg.Nodes)
 	return c, nil
+}
+
+// nodeBaseStore builds node i's bottom-level store stack for a non-remote
+// node: the raw media store (file under SpoolDir or memory), wrapped by the
+// modeled disk latency and the deterministic fault layer. It returns the
+// wrapped store plus the raw media store (kept for DiskStats), and is also
+// how RestartNode gives a restarted node a fresh stack in the same slot.
+func (c *Cluster) nodeBaseStore(i int, disk storage.DiskModel) (wrapped, raw storage.Store, err error) {
+	var base storage.Store
+	if c.cfg.SpoolDir != "" {
+		fs, err := storage.NewFile(filepath.Join(c.cfg.SpoolDir, fmt.Sprintf("node%d", i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		base = fs
+	} else {
+		base = storage.NewMem()
+	}
+	raw = base
+	if disk.Seek > 0 || disk.BytesPerSec > 0 {
+		base = storage.NewLatencyClock(base, disk, c.clk)
+	}
+	if c.cfg.Fault != nil {
+		fc := *c.cfg.Fault
+		fc.Seed += int64(i) * 7919
+		base = storage.NewFault(base, fc)
+	}
+	return base, raw, nil
 }
 
 // Nodes returns the node count.
@@ -353,11 +386,22 @@ func (c *Cluster) Nodes() int { return len(c.rts) }
 // PEs returns the total processing element count (nodes × workers).
 func (c *Cluster) PEs() int { return len(c.rts) * c.cfg.WorkersPerNode }
 
-// RT returns node i's runtime.
-func (c *Cluster) RT(i int) *core.Runtime { return c.rts[i] }
+// RT returns node i's runtime (the current one, if the node was restarted).
+func (c *Cluster) RT(i int) *core.Runtime {
+	c.nmu.RLock()
+	defer c.nmu.RUnlock()
+	return c.rts[i]
+}
 
-// Runtimes returns all runtimes.
-func (c *Cluster) Runtimes() []*core.Runtime { return c.rts }
+// Runtimes returns a snapshot of all runtimes. Slots of restarted nodes
+// change between calls; callers iterate the snapshot, not the live slice.
+func (c *Cluster) Runtimes() []*core.Runtime {
+	c.nmu.RLock()
+	defer c.nmu.RUnlock()
+	out := make([]*core.Runtime, len(c.rts))
+	copy(out, c.rts)
+	return out
+}
 
 // MemoryServer returns the remote-memory server when the cluster was built
 // with RemoteMemory, else nil.
@@ -395,7 +439,11 @@ func (c *Cluster) CompressStats() (stats tier.CompressStats, ok bool) {
 // store does not count traffic contribute zero.
 func (c *Cluster) DiskStats() storage.Stats {
 	var out storage.Stats
-	for _, st := range c.bases {
+	c.nmu.RLock()
+	bases := make([]storage.Store, len(c.bases))
+	copy(bases, c.bases)
+	c.nmu.RUnlock()
+	for _, st := range bases {
 		if sr, ok := st.(storage.StatsReader); ok {
 			s := sr.Stats()
 			out.Puts += s.Puts
@@ -411,7 +459,7 @@ func (c *Cluster) DiskStats() storage.Stats {
 // Wait blocks until the whole cluster is quiescent — the paper's
 // termination condition ("no message handlers executing and no messages
 // traveling").
-func (c *Cluster) Wait() { core.WaitQuiescence(c.rts...) }
+func (c *Cluster) Wait() { core.WaitQuiescence(c.Runtimes()...) }
 
 // Report merges the per-node trace reports for the elapsed wall time.
 func (c *Cluster) Report() trace.Report {
@@ -426,7 +474,7 @@ func (c *Cluster) Report() trace.Report {
 // MemStats aggregates the OOC statistics across nodes.
 func (c *Cluster) MemStats() ooc.Stats {
 	var out ooc.Stats
-	for _, rt := range c.rts {
+	for _, rt := range c.Runtimes() {
 		s := rt.Mem().Snapshot()
 		out.Evictions += s.Evictions
 		out.Loads += s.Loads
@@ -471,6 +519,10 @@ func (c *Cluster) PublishMetrics(reg *obs.Registry) {
 	reg.Gauge("cluster.demand_wait_ms", func() float64 {
 		return float64(c.IOStats().DemandWaitMean().Microseconds()) / 1000
 	})
+	reg.Gauge("cluster.ring_epoch", func() float64 { return float64(c.dir.Epoch()) })
+	reg.Gauge("cluster.ring_nodes", func() float64 { return float64(c.dir.Size()) })
+	reg.Gauge("cluster.active_nodes", func() float64 { return float64(c.ActiveNodes()) })
+	reg.Gauge("cluster.rebalanced_objects", func() float64 { return float64(c.rebalanced.Load()) })
 	if len(c.tiers) > 0 {
 		reg.Gauge("cluster.tier0_hit_pct", func() float64 { return c.TierStats().HitRatio() * 100 })
 		reg.Gauge("cluster.tier.fast_bytes", func() float64 { return float64(c.TierStats().FastBytes) })
@@ -517,7 +569,7 @@ func (c *Cluster) Metrics() obs.Snapshot {
 // (counters sum; high-water marks take the per-node maximum).
 func (c *Cluster) IOStats() swapio.Stats {
 	var out swapio.Stats
-	for _, rt := range c.rts {
+	for _, rt := range c.Runtimes() {
 		out.Add(rt.IOStats())
 	}
 	return out
@@ -526,7 +578,7 @@ func (c *Cluster) IOStats() swapio.Stats {
 // SwapStats aggregates the swap-failure statistics across nodes.
 func (c *Cluster) SwapStats() core.SwapStats {
 	var out core.SwapStats
-	for _, rt := range c.rts {
+	for _, rt := range c.Runtimes() {
 		s := rt.SwapStats()
 		out.LoadFailures += s.LoadFailures
 		out.StoreFailures += s.StoreFailures
@@ -539,7 +591,7 @@ func (c *Cluster) SwapStats() core.SwapStats {
 // Close shuts everything down: runtimes (waiting for swap ops), pools and
 // the transport.
 func (c *Cluster) Close() {
-	for _, rt := range c.rts {
+	for _, rt := range c.Runtimes() {
 		if rt != nil {
 			rt.Close()
 		}

@@ -41,6 +41,13 @@ type Handler func(Message)
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("comm: endpoint closed")
 
+// ErrPeerDown is returned (wrapped) by Send when the destination peer is
+// unreachable: its connection died mid-stream, a dial failed, or the
+// membership layer marked it down. It is retryable — transports drop the
+// broken connection and re-dial on a later Send — so callers should treat
+// it like a transient storage error, not a permanent one.
+var ErrPeerDown = errors.New("comm: peer down")
+
 // Endpoint is one node's attachment to a transport.
 type Endpoint interface {
 	// Node returns this endpoint's ID.

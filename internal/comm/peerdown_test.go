@@ -1,0 +1,50 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+)
+
+// A peer that dies mid-connection must surface as the typed, retryable
+// ErrPeerDown — not as a raw io error the storage retry policy can't
+// classify.
+func TestTCPSendToDeadPeerIsErrPeerDown(t *testing.T) {
+	tr, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	a, b := tr.Endpoint(0), tr.Endpoint(1)
+	b.Register(9, func(Message) {})
+
+	// Establish the connection with a successful send first, so the
+	// failure below is a mid-connection death, not a failed dial.
+	if err := a.Send(1, 9, []byte("warmup")); err != nil {
+		t.Fatalf("warmup send: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("close peer: %v", err)
+	}
+
+	// The kernel may buffer a few writes before the RST lands; keep
+	// sending until the failure surfaces.
+	var sendErr error
+	for i := 0; i < 10000; i++ {
+		if sendErr = a.Send(1, 9, make([]byte, 4096)); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("sends to a closed peer never failed")
+	}
+	if !errors.Is(sendErr, ErrPeerDown) {
+		t.Fatalf("send to dead peer = %v, want errors.Is(_, ErrPeerDown)", sendErr)
+	}
+
+	// The failed connection must have been dropped so a later send
+	// re-dials (and fails the dial, still as ErrPeerDown: the peer's
+	// listener is gone too).
+	if err := a.Send(1, 9, []byte("x")); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("send after drop = %v, want ErrPeerDown", err)
+	}
+}

@@ -48,6 +48,47 @@ type tcpConn struct {
 	c  net.Conn
 }
 
+// maxFramePayload bounds the claimed payload length of one frame: a corrupt
+// or malicious frame could otherwise demand a 4 GiB allocation. Oversized
+// frames drop the connection (the stream is unrecoverable once misframed).
+const maxFramePayload = 1 << 28
+
+// frameHdrSize is the fixed frame header: src(4) handler(4) len(4).
+const frameHdrSize = 12
+
+// writeFrame writes one length-prefixed frame. The caller serializes access
+// to w and flushes it.
+func writeFrame(w *bufio.Writer, src NodeID, handler uint32, payload []byte) error {
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(src))
+	binary.LittleEndian.PutUint32(hdr[4:8], handler)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) (src NodeID, handler uint32, payload []byte, err error) {
+	var hdr [frameHdrSize]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	src = NodeID(int32(binary.LittleEndian.Uint32(hdr[0:4])))
+	handler = binary.LittleEndian.Uint32(hdr[4:8])
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n > maxFramePayload {
+		return 0, 0, nil, fmt.Errorf("comm: frame payload %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return src, handler, payload, nil
+}
+
 // inbox is an unbounded FIFO used to serialize handler execution on one
 // dispatcher goroutine regardless of how many reader connections feed it.
 type inbox struct {
@@ -176,27 +217,13 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 	defer e.wg.Done()
 	defer c.Close()
 	br := bufio.NewReader(c)
-	var hdr [12]byte
 	for {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return
-		}
-		src := NodeID(int32(binary.LittleEndian.Uint32(hdr[0:4])))
-		handler := binary.LittleEndian.Uint32(hdr[4:8])
-		n := binary.LittleEndian.Uint32(hdr[8:12])
-		// Bound the claimed payload length: a corrupt or malicious frame
-		// could otherwise demand a 4 GiB allocation. Oversized frames drop
-		// the connection (the stream is unrecoverable once misframed).
-		const maxFramePayload = 1 << 28
-		if n > maxFramePayload {
-			return
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(br, payload); err != nil {
+		src, handler, payload, err := readFrame(br)
+		if err != nil {
 			return
 		}
 		e.stats.msgsReceived.Add(1)
-		e.stats.bytesReceived.Add(uint64(n))
+		e.stats.bytesReceived.Add(uint64(len(payload)))
 		if !e.inbox.push(Message{From: src, Handler: handler, Payload: payload}) {
 			return
 		}
@@ -236,11 +263,23 @@ func (e *tcpEndpoint) connTo(to NodeID) (*tcpConn, error) {
 	addr := e.tr.eps[to].ln.Addr().String()
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("comm: dial node %d: %v: %w", to, err, ErrPeerDown)
 	}
 	tc := &tcpConn{w: bufio.NewWriter(c), c: c}
 	e.conns[to] = tc
 	return tc, nil
+}
+
+// dropConn discards the cached connection to a peer if it is still the one
+// that just failed, so the next Send re-dials instead of reusing a socket
+// known to be dead.
+func (e *tcpEndpoint) dropConn(to NodeID, tc *tcpConn) {
+	e.cmu.Lock()
+	if e.conns[to] == tc {
+		delete(e.conns, to)
+	}
+	e.cmu.Unlock()
+	tc.c.Close()
 }
 
 func (e *tcpEndpoint) Send(to NodeID, handler uint32, payload []byte) error {
@@ -263,20 +302,18 @@ func (e *tcpEndpoint) Send(to NodeID, handler uint32, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(e.id))
-	binary.LittleEndian.PutUint32(hdr[4:8], handler)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
 	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if _, err := tc.w.Write(hdr[:]); err != nil {
-		return err
+	err = writeFrame(tc.w, e.id, handler, payload)
+	if err == nil {
+		err = tc.w.Flush()
 	}
-	if _, err := tc.w.Write(payload); err != nil {
-		return err
-	}
-	if err := tc.w.Flush(); err != nil {
-		return err
+	tc.mu.Unlock()
+	if err != nil {
+		// The stream is misframed or the peer died mid-connection: drop
+		// the socket so a later Send re-dials, and surface a typed,
+		// retryable error instead of the raw io error.
+		e.dropConn(to, tc)
+		return fmt.Errorf("comm: send to node %d: %v: %w", to, err, ErrPeerDown)
 	}
 	e.stats.msgsSent.Add(1)
 	e.stats.bytesSent.Add(uint64(len(payload)))

@@ -1,0 +1,241 @@
+package comm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastCfg returns a config with intervals short enough for wall-clock tests.
+// Real sockets need the real clock: a Virtual clock only advances when all
+// goroutines quiesce, which never happens while kernel I/O is in flight.
+func fastCfg(seed string, want NodeID) TCPNodeConfig {
+	return TCPNodeConfig{
+		Listen:         "127.0.0.1:0",
+		Seed:           seed,
+		WantID:         want,
+		HeartbeatEvery: 20 * time.Millisecond,
+		ExpireAfter:    150 * time.Millisecond,
+		RedialBackoff:  5 * time.Millisecond,
+		RedialMax:      50 * time.Millisecond,
+	}
+}
+
+func startCluster(t *testing.T, n int) []*TCPNode {
+	t.Helper()
+	seed, err := StartTCPNode(fastCfg("", -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []*TCPNode{seed}
+	for i := 1; i < n; i++ {
+		nd, err := StartTCPNode(fastCfg(seed.Addr(), -1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	for _, nd := range nodes {
+		if err := nd.WaitMembers(n, 5*time.Second); err != nil {
+			t.Fatalf("node %d: %v", nd.Node(), err)
+		}
+	}
+	return nodes
+}
+
+func closeAll(nodes []*TCPNode) {
+	for _, nd := range nodes {
+		nd.Close()
+	}
+}
+
+func TestJoinAssignsSequentialIDs(t *testing.T) {
+	nodes := startCluster(t, 3)
+	defer closeAll(nodes)
+	for i, nd := range nodes {
+		if nd.Node() != NodeID(i) {
+			t.Fatalf("node %d got ID %d", i, nd.Node())
+		}
+	}
+	// Every node sees the same 3-member table at the same epoch.
+	for _, nd := range nodes {
+		ms := nd.Members()
+		if len(ms) != 3 {
+			t.Fatalf("node %d sees %d members", nd.Node(), len(ms))
+		}
+		for _, m := range ms {
+			if !m.Up {
+				t.Fatalf("node %d sees member %d down", nd.Node(), m.ID)
+			}
+		}
+	}
+}
+
+func TestAllPairsDelivery(t *testing.T) {
+	const n = 3
+	nodes := startCluster(t, n)
+	defer closeAll(nodes)
+
+	var mu sync.Mutex
+	got := make(map[NodeID][]NodeID) // receiver -> senders seen
+	var wg sync.WaitGroup
+	wg.Add(n * (n - 1))
+	for _, nd := range nodes {
+		to := nd.Node()
+		nd.Register(7, func(m Message) {
+			mu.Lock()
+			got[to] = append(got[to], m.From)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	for _, nd := range nodes {
+		for peer := 0; peer < n; peer++ {
+			if NodeID(peer) == nd.Node() {
+				continue
+			}
+			if err := nd.Send(NodeID(peer), 7, []byte("hi")); err != nil {
+				t.Fatalf("send %d->%d: %v", nd.Node(), peer, err)
+			}
+		}
+	}
+	waitDone(t, &wg, 5*time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	for _, nd := range nodes {
+		if len(got[nd.Node()]) != n-1 {
+			t.Fatalf("node %d received %d messages, want %d", nd.Node(), len(got[nd.Node()]), n-1)
+		}
+	}
+}
+
+func waitDone(t *testing.T, wg *sync.WaitGroup, timeout time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for deliveries")
+	}
+}
+
+// A graceful Close announces LEAVE: peers see the member go down without
+// waiting for heartbeat expiry, and sends to it fail typed.
+func TestLeaveMarksMemberDown(t *testing.T) {
+	nodes := startCluster(t, 3)
+	defer closeAll(nodes[:2])
+	nodes[2].Close()
+
+	if err := waitMemberState(nodes[1], 2, false, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[1].Send(2, 7, []byte("x")); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("send to departed member = %v, want ErrPeerDown", err)
+	}
+}
+
+// A silent crash (no LEAVE) is detected by the seed's heartbeat expiry.
+func TestHeartbeatExpiryDetectsSilentCrash(t *testing.T) {
+	nodes := startCluster(t, 3)
+	defer closeAll(nodes[:2])
+	nodes[2].abort() // dies without announcing
+
+	if err := waitMemberState(nodes[0], 2, false, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitMemberState(nodes[1], 2, false, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A node that rejoins with WantID after dying gets its old ID back — at a
+// new address — and traffic to it resumes, even from peers holding stale
+// dead connections.
+func TestRejoinSameIDNewAddress(t *testing.T) {
+	nodes := startCluster(t, 3)
+	defer closeAll(nodes[:2])
+
+	// Warm a connection 1->2 so node 1 holds a stale socket afterwards.
+	nodes[2].Register(7, func(Message) {})
+	if err := nodes[1].Send(2, 7, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	nodes[2].Close()
+	if err := waitMemberState(nodes[1], 2, false, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	reborn, err := StartTCPNode(fastCfg(nodes[0].Addr(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	if reborn.Node() != 2 {
+		t.Fatalf("rejoin assigned ID %d, want 2", reborn.Node())
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	reborn.Register(7, func(m Message) { wg.Done() })
+	if err := waitMemberState(nodes[1], 2, true, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The member table's new address replaced the stale connection; the
+	// send may need one retry while the revival broadcast settles.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := nodes[1].Send(2, 7, []byte("again")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("send to rejoined member kept failing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitDone(t, &wg, 5*time.Second)
+
+	if reborn.Epoch() == 0 {
+		t.Fatal("rejoined node has no epoch")
+	}
+}
+
+// Membership epochs only move forward, and each change bumps them.
+func TestEpochMonotonic(t *testing.T) {
+	seed, err := StartTCPNode(fastCfg("", -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	e1 := seed.Epoch()
+	n1, err := StartTCPNode(fastCfg(seed.Addr(), -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := seed.Epoch()
+	if e2 <= e1 {
+		t.Fatalf("epoch did not advance on join: %d -> %d", e1, e2)
+	}
+	n1.Close()
+	if err := waitMemberState(seed, 1, false, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e3 := seed.Epoch(); e3 <= e2 {
+		t.Fatalf("epoch did not advance on leave: %d -> %d", e2, e3)
+	}
+}
+
+func waitMemberState(nd *TCPNode, id NodeID, up bool, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, m := range nd.Members() {
+			if m.ID == id && m.Up == up {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return errors.New("timed out waiting for member state change")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -67,6 +67,17 @@ func (rt *Runtime) Checkpoint(st storage.Store, prefix string) error {
 		manifest.Write(db[:])
 	}
 
+	// Termination counters. A restored node must rejoin the Mattern
+	// double-count where its old incarnation left off: the other nodes'
+	// counters still include traffic exchanged with it, so a node restarting
+	// at zero would leave the cluster's sent/recv totals unbalanced forever.
+	// Quiescence makes the snapshot stable (only application messages are
+	// counted, and none are in flight).
+	var cb [16]byte
+	binary.LittleEndian.PutUint64(cb[0:8], uint64(rt.sent.Load()))
+	binary.LittleEndian.PutUint64(cb[8:16], uint64(rt.recv.Load()))
+	manifest.Write(cb[:])
+
 	return st.Put(storage.Key(prefix+"-manifest"), manifest.Bytes())
 }
 
@@ -244,5 +255,13 @@ func (rt *Runtime) Restore(st storage.Store, prefix string) error {
 		rt.dir[getPtr(b[0:8])] = NodeID(int32(binary.LittleEndian.Uint32(b[8:12])))
 	}
 	rt.mu.Unlock()
+
+	// Termination counters (see Checkpoint).
+	var cb [16]byte
+	if _, err := io.ReadFull(r, cb[:]); err != nil {
+		return fmt.Errorf("core: restore: truncated counters: %w", err)
+	}
+	rt.sent.Store(int64(binary.LittleEndian.Uint64(cb[0:8])))
+	rt.recv.Store(int64(binary.LittleEndian.Uint64(cb[8:16])))
 	return nil
 }

@@ -1,0 +1,22 @@
+package e2e
+
+import "testing"
+
+// TestBaselineDeterminism pins the property every cross-run equality check in
+// this package rests on: two independent runs of the same problem produce
+// identical block dumps. The dump hashes canonical triangle geometry rather
+// than mesh encoding bytes — the encoder's output depends on scheduling-
+// sensitive ID assignment order, and this test is what catches a regression
+// to encoding-sensitive hashing.
+func TestBaselineDeterminism(t *testing.T) {
+	a := singleNodeBaseline(t)
+	b := singleNodeBaseline(t)
+	if len(a) != len(b) {
+		t.Fatalf("baseline dumped %d blocks, then %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("baseline diverged from itself at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package e2e holds end-to-end tests of the multi-node deployment path: a
+// cluster of TCP-joined nodes (internal/comm.TCPNode) each running its own
+// core.Runtime, driving a distributed OUPDR run (internal/meshgen.Dist)
+// through kill and rejoin, and comparing the produced mesh byte for byte
+// against a single-node run. The multi-process variant of the same flow
+// lives in cmd/meshnode + cmd/meshctl and runs in CI's e2e-multiproc lane;
+// this package keeps the logic under `go test -race`.
+package e2e

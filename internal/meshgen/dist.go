@@ -1,0 +1,317 @@
+package meshgen
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"mrts/internal/cluster"
+	"mrts/internal/core"
+	"mrts/internal/mesh"
+	"mrts/internal/storage"
+	"mrts/internal/workload"
+)
+
+// This file is the SPMD driver for a true multi-process OUPDR run: every
+// worker process executes the same code against its own core.Runtime, and
+// the only thing the processes share is the deterministic placement function
+// below. No process ever tells another which MobilePtr it minted — each one
+// recomputes the full pointer table from the block grid, the consistent-hash
+// directory, and the runtime's sequential Seq assignment, and CreateBlocks
+// verifies the prediction against what CreateObject actually returned.
+
+// hBlockDump asks a block to report (i, j, elements, mesh hash) for the
+// cross-run equality check.
+const hBlockDump core.HandlerID = 103
+
+// DistConfig parameterizes one node's share of a distributed OUPDR run. All
+// processes of a run must use identical Blocks/TargetElements/QualityBound/
+// Nodes/Phases/VNodes; Node is the process's own ID.
+type DistConfig struct {
+	// Blocks is the decomposition grid dimension (Blocks×Blocks blocks).
+	Blocks int
+	// TargetElements is the approximate total element count.
+	TargetElements int
+	// QualityBound is the radius-edge bound (0 = default √2).
+	QualityBound float64
+	// Nodes is the cluster size; Node is this process (0..Nodes-1).
+	Nodes, Node int
+	// Phases splits the kick-off posts into Phases barrier-separated rounds
+	// (block idx k is posted in phase k%Phases). Multi-phase runs give the
+	// launcher quiescent boundaries to checkpoint — and kill — workers at.
+	Phases int
+	// VNodes overrides the directory's virtual node count (0 = default).
+	VNodes int
+}
+
+func (c *DistConfig) defaults() error {
+	if c.Blocks <= 0 {
+		c.Blocks = 4
+	}
+	if c.TargetElements <= 0 {
+		return fmt.Errorf("meshgen: TargetElements must be positive")
+	}
+	if c.Nodes <= 0 {
+		return fmt.Errorf("meshgen: Nodes must be positive")
+	}
+	if c.Node < 0 || c.Node >= c.Nodes {
+		return fmt.Errorf("meshgen: Node %d out of range [0,%d)", c.Node, c.Nodes)
+	}
+	if c.Phases <= 0 {
+		c.Phases = 1
+	}
+	return nil
+}
+
+// BlockDump is one block's contribution to the mesh-equality check.
+type BlockDump struct {
+	I, J     int
+	Elements int32
+	Hash     string // hex sha256 of the encoded refined mesh
+}
+
+// String renders the canonical dump line.
+func (b BlockDump) String() string {
+	return fmt.Sprintf("%d %d %d %s", b.J, b.I, b.Elements, b.Hash)
+}
+
+// Dist drives one node of a distributed OUPDR run.
+type Dist struct {
+	rt  *core.Runtime
+	cfg DistConfig
+	sh  *oupdrShared
+
+	ptrs   []core.MobilePtr // global pointer table, indexed j*Blocks+i
+	owners []core.NodeID    // owner per block, same indexing
+	order  []int            // canonical creation order (indexes into ptrs)
+
+	mu   sync.Mutex
+	dump []BlockDump
+}
+
+// NewDist computes the placement table and registers the OUPDR handlers on
+// rt. It does not create objects: call CreateBlocks on a fresh start, or
+// Restore when relaunching from a checkpoint.
+func NewDist(rt *core.Runtime, cfg DistConfig) (*Dist, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	d := &Dist{rt: rt, cfg: cfg, sh: &oupdrShared{}}
+
+	ids := make([]core.NodeID, cfg.Nodes)
+	for i := range ids {
+		ids[i] = core.NodeID(i)
+	}
+	dir := cluster.NewDirectory(ids, cfg.VNodes)
+
+	// Predict every block's MobilePtr: owner from the directory, Seq from
+	// the owner's creation order (CreateObject assigns 1, 2, ... on a fresh
+	// runtime). The canonical order is top-right first — j then i descending
+	// — so each block's right/top neighbors are already placed when it is.
+	nb := cfg.Blocks
+	d.ptrs = make([]core.MobilePtr, nb*nb)
+	d.owners = make([]core.NodeID, nb*nb)
+	d.order = make([]int, 0, nb*nb)
+	seq := make([]uint32, cfg.Nodes)
+	for j := nb - 1; j >= 0; j-- {
+		for i := nb - 1; i >= 0; i-- {
+			idx := j*nb + i
+			owner, _ := dir.Owner(fmt.Sprintf("block-%d-%d", i, j))
+			seq[owner]++
+			d.ptrs[idx] = core.MobilePtr{Home: owner, Seq: seq[owner]}
+			d.owners[idx] = owner
+			d.order = append(d.order, idx)
+		}
+	}
+
+	rt.Register(hBlockMesh, func(c *core.Ctx, arg []byte) {
+		oupdrMeshHandler(c, c.Object().(*blockObj), d.sh)
+	})
+	rt.Register(hBlockIface, func(c *core.Ctx, arg []byte) {
+		oupdrIfaceHandler(c, c.Object().(*blockObj), arg, d.sh)
+	})
+	rt.Register(hBlockDump, func(c *core.Ctx, arg []byte) {
+		o := c.Object().(*blockObj)
+		// Recover (i, j) from the block rectangle: Min = (i, j)/Blocks.
+		i := int(math.Round(o.Rect.Min.X * float64(nb)))
+		j := int(math.Round(o.Rect.Min.Y * float64(nb)))
+		rec := BlockDump{I: i, J: j, Elements: o.Elements,
+			Hash: hex.EncodeToString(hashMesh(o.MeshData))}
+		d.mu.Lock()
+		d.dump = append(d.dump, rec)
+		d.mu.Unlock()
+	})
+	return d, nil
+}
+
+// hashMesh digests a block's refined mesh by geometry, not by encoding:
+// mesh.EncodeTo's byte output depends on internal ID assignment order, which
+// varies with scheduling, so two geometrically identical meshes can encode
+// differently. The canonical form is the multiset of live non-super triangles,
+// each as its three vertex coordinates sorted, the list itself sorted.
+func hashMesh(data []byte) []byte {
+	m := mesh.New()
+	if err := m.DecodeFrom(bytes.NewReader(data)); err != nil {
+		// An undecodable mesh hashes to a tagged digest of the raw bytes so
+		// the equality check fails loudly rather than panicking mid-handler.
+		h := sha256.Sum256(append([]byte("undecodable:"), data...))
+		return h[:]
+	}
+	type tri [6]float64
+	var tris []tri
+	m.ForEachTri(func(t mesh.TriID, _ mesh.Tri) {
+		if m.HasSuperVertex(t) {
+			return
+		}
+		g := m.Triangle(t)
+		pts := [3][2]float64{{g.A.X, g.A.Y}, {g.B.X, g.B.Y}, {g.C.X, g.C.Y}}
+		sort.Slice(pts[:], func(a, b int) bool {
+			if pts[a][0] != pts[b][0] {
+				return pts[a][0] < pts[b][0]
+			}
+			return pts[a][1] < pts[b][1]
+		})
+		tris = append(tris, tri{pts[0][0], pts[0][1], pts[1][0], pts[1][1], pts[2][0], pts[2][1]})
+	})
+	sort.Slice(tris, func(a, b int) bool {
+		for k := 0; k < 6; k++ {
+			if tris[a][k] != tris[b][k] {
+				return tris[a][k] < tris[b][k]
+			}
+		}
+		return false
+	})
+	h := sha256.New()
+	var b [8]byte
+	for _, tr := range tris {
+		for _, v := range tr {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum(nil)
+}
+
+// CreateBlocks creates this node's blocks in the canonical order and
+// verifies each minted pointer against the prediction — the property the
+// whole cross-process addressing scheme rests on.
+func (d *Dist) CreateBlocks() error {
+	nb := d.cfg.Blocks
+	h := workload.UniformSizeFor(d.cfg.TargetElements, 1.0)
+	beta := d.cfg.QualityBound
+	for _, idx := range d.order {
+		if d.owners[idx] != core.NodeID(d.cfg.Node) {
+			continue
+		}
+		i, j := idx%nb, idx/nb
+		right, top := core.Nil, core.Nil
+		if i+1 < nb {
+			right = d.ptrs[j*nb+i+1]
+		}
+		if j+1 < nb {
+			top = d.ptrs[(j+1)*nb+i]
+		}
+		expect := int32(0)
+		if i > 0 {
+			expect++
+		}
+		if j > 0 {
+			expect++
+		}
+		got := d.rt.CreateObject(&blockObj{
+			Rect:        blockRect(nb, i, j),
+			H:           h,
+			Beta:        beta,
+			Right:       right,
+			Top:         top,
+			IfaceNeeded: expect,
+		})
+		if got != d.ptrs[idx] {
+			return fmt.Errorf("meshgen: block (%d,%d) minted %v, placement predicted %v",
+				i, j, got, d.ptrs[idx])
+		}
+	}
+	return nil
+}
+
+// NumLocalBlocks returns how many blocks the placement assigns this node.
+func (d *Dist) NumLocalBlocks() int {
+	n := 0
+	for _, o := range d.owners {
+		if o == core.NodeID(d.cfg.Node) {
+			n++
+		}
+	}
+	return n
+}
+
+// PostPhase posts the mesh kick-off to this node's blocks of phase k (block
+// order index k mod Phases). Every process must post the same phase, then
+// call WaitPhase — the phases are global barriers.
+func (d *Dist) PostPhase(k int) {
+	for ord, idx := range d.order {
+		if ord%d.cfg.Phases != k || d.owners[idx] != core.NodeID(d.cfg.Node) {
+			continue
+		}
+		d.rt.Post(d.ptrs[idx], hBlockMesh, nil)
+	}
+}
+
+// WaitPhase runs the distributed termination protocol for one phase barrier.
+func (d *Dist) WaitPhase() { d.rt.WaitTermination(d.cfg.Nodes) }
+
+// Dump posts the dump request to every local block, waits for global
+// termination (every process must call Dump together), and returns this
+// node's block reports sorted by (j, i).
+func (d *Dist) Dump() []BlockDump {
+	d.mu.Lock()
+	d.dump = nil
+	d.mu.Unlock()
+	for _, ptr := range d.rt.LocalObjects() {
+		d.rt.Post(ptr, hBlockDump, nil)
+	}
+	d.rt.WaitTermination(d.cfg.Nodes)
+	d.mu.Lock()
+	out := append([]BlockDump(nil), d.dump...)
+	d.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].J != out[b].J {
+			return out[a].J < out[b].J
+		}
+		return out[a].I < out[b].I
+	})
+	return out
+}
+
+// Elements returns the elements meshed on this node so far.
+func (d *Dist) Elements() int64 { return d.sh.elements.Load() }
+
+// Mismatches returns the interface conformity violations observed locally.
+func (d *Dist) Mismatches() int64 { return d.sh.mismatch.Load() }
+
+// Checkpoint writes the node's state into st at a phase barrier, absorbing
+// the short window where background evictions still hold objects.
+func (d *Dist) Checkpoint(st storage.Store, prefix string) error {
+	var err error
+	for attempt := 0; attempt < 1000; attempt++ {
+		err = d.rt.Checkpoint(st, prefix)
+		if !errors.Is(err, core.ErrBusy) {
+			return err
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return err
+}
+
+// Restore rebuilds the node from a checkpoint written by Checkpoint; the
+// runtime must be fresh (NewDist registered handlers, no objects created).
+func (d *Dist) Restore(st storage.Store, prefix string) error {
+	return d.rt.Restore(st, prefix)
+}

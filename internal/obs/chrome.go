@@ -59,6 +59,10 @@ func argName(k Kind) string {
 		return "handler"
 	case KindMcastStart:
 		return "members"
+	case KindNodeJoin, KindNodeLeave:
+		return "epoch"
+	case KindDirRebalance:
+		return "dest"
 	default:
 		return "arg"
 	}

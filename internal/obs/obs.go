@@ -85,6 +85,16 @@ const (
 	// KindTierPromote marks a completed slow→fast move earned by repeated
 	// demand misses (Arg: blob bytes).
 	KindTierPromote
+	// KindNodeJoin marks a node (re)entering the placement ring (ID: the
+	// node, Arg: the new ring epoch).
+	KindNodeJoin
+	// KindNodeLeave marks a node leaving the placement ring (ID: the
+	// node, Arg: the new ring epoch).
+	KindNodeLeave
+	// KindDirRebalance marks one object migrated to its ring owner during
+	// a membership change (ID: the object's packed mobile pointer, Arg:
+	// the destination node).
+	KindDirRebalance
 	numKinds
 )
 
@@ -129,6 +139,12 @@ func (k Kind) String() string {
 		return "tier.demote"
 	case KindTierPromote:
 		return "tier.promote"
+	case KindNodeJoin:
+		return "node.join"
+	case KindNodeLeave:
+		return "node.leave"
+	case KindDirRebalance:
+		return "dir.rebalance"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -147,6 +163,8 @@ func (k Kind) Track() string {
 		return "sched"
 	case KindTierSpill, KindTierDemote, KindTierPromote:
 		return "tier"
+	case KindNodeJoin, KindNodeLeave, KindDirRebalance:
+		return "cluster"
 	case KindHandler:
 		return "app"
 	default:

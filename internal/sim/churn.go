@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+
+	"mrts/internal/core"
+)
+
+// registerHandlersOn installs the scenario handlers on one runtime — the
+// re-registration a relaunched worker process performs before resuming.
+func registerHandlersOn(rt *core.Runtime, board *counterBoard) {
+	rt.Register(hInc, func(c *core.Ctx, arg []byte) {
+		c.Object().(*simObj).Count++
+	})
+	rt.Register(hReport, func(c *core.Ctx, arg []byte) {
+		n := c.Object().(*simObj).Count
+		board.mu.Lock()
+		board.counts[c.Self] = n
+		board.mu.Unlock()
+	})
+}
+
+// verifyCounts compares the reported counters to the expectation and records
+// the confluent digest entries.
+func verifyCounts(env *Env, ptrs []core.MobilePtr, got, expected map[core.MobilePtr]int64) error {
+	var sum int64
+	for _, p := range ptrs {
+		if got[p] != expected[p] {
+			return fmt.Errorf("object %v: count %d, expected %d", p, got[p], expected[p])
+		}
+		env.Record(fmt.Sprintf("count.%v", p), got[p])
+		sum += got[p]
+	}
+	env.Record("objects", int64(len(ptrs)))
+	env.Record("sum", sum)
+	return nil
+}
+
+// auditPlacement snapshots the directory invariants at a phase boundary and
+// turns any violation into a scenario error (the harness's final audit would
+// catch it too, but failing at the boundary names the epoch that broke).
+func auditPlacement(env *Env, when string) error {
+	if bad := env.Cluster.DirectoryInvariants(); len(bad) > 0 {
+		return fmt.Errorf("placement %s: %v", when, bad)
+	}
+	return nil
+}
+
+// NodeChurnStorm interleaves the increment storm with a graceful membership
+// change: one seed-drawn node leaves the ring mid-run (draining its objects
+// to their new ring owners), the storm keeps posting at the drained node's
+// old objects while it is out, then the node rejoins and pulls back the keys
+// it owns. Every increment must land exactly once and the directory
+// invariants must hold at every epoch boundary.
+type NodeChurnStorm struct{}
+
+// Name implements Scenario.
+func (NodeChurnStorm) Name() string { return "node-churn-storm" }
+
+// Fault implements Scenario.
+func (NodeChurnStorm) Fault() FaultKind { return FaultNodeCrash }
+
+// Run implements Scenario.
+func (NodeChurnStorm) Run(env *Env) error {
+	board := &counterBoard{counts: make(map[core.MobilePtr]int64)}
+	registerHandlers(env, board)
+	ptrs := buildObjects(env)
+	churn := env.Plan.ChurnNode
+	posts := env.Plan.Nodes * env.Plan.Objects * env.Plan.Messages
+	third := posts / 3
+	env.Note("churn storm of %d posts; node %d leaves and rejoins", posts, churn)
+
+	expected := postStorm(env, ptrs, third)
+	env.WaitTermination()
+
+	moved, err := env.Cluster.LeaveNode(churn)
+	if err != nil {
+		return fmt.Errorf("leave node %d: %w", churn, err)
+	}
+	if err := auditPlacement(env, "after leave"); err != nil {
+		return err
+	}
+	// The drained node's object count is seed-determined (objects stay where
+	// they were created until the drain moves them).
+	env.Record("rebalanced.out", int64(moved))
+
+	// The storm keeps running while the node is out: posts to its old
+	// objects follow the drain's directory updates, and the drained node
+	// itself still forwards as a live shell.
+	for p, n := range postStorm(env, ptrs, third) {
+		expected[p] += n
+	}
+	env.WaitTermination()
+
+	back, err := env.Cluster.JoinNode(churn)
+	if err != nil {
+		return fmt.Errorf("rejoin node %d: %w", churn, err)
+	}
+	if err := auditPlacement(env, "after join"); err != nil {
+		return err
+	}
+	// back counts the keys the rejoined member took over — a pure function
+	// of the ring, so it digests deterministically.
+	env.Record("rebalanced.in", int64(back))
+
+	for p, n := range postStorm(env, ptrs, posts-2*third) {
+		expected[p] += n
+	}
+	env.WaitTermination()
+
+	got := reportPhase(env, board, ptrs)
+	return verifyCounts(env, ptrs, got, expected)
+}
+
+// NodeCrashStorm kills a seed-drawn node at a quiescent phase boundary —
+// checkpoint, teardown, relaunch in the same slot with the same node ID,
+// restore — and resumes the storm. The crashed node keeps its ring
+// membership (it is down, not departed), no object may be lost through the
+// checkpoint round-trip, and every increment posted before and after the
+// outage must land exactly once.
+type NodeCrashStorm struct{}
+
+// Name implements Scenario.
+func (NodeCrashStorm) Name() string { return "node-crash-storm" }
+
+// Fault implements Scenario.
+func (NodeCrashStorm) Fault() FaultKind { return FaultNodeCrash }
+
+// Run implements Scenario.
+func (NodeCrashStorm) Run(env *Env) error {
+	board := &counterBoard{counts: make(map[core.MobilePtr]int64)}
+	registerHandlers(env, board)
+	ptrs := buildObjects(env)
+	churn := env.Plan.ChurnNode
+	posts := env.Plan.Nodes * env.Plan.Objects * env.Plan.Messages
+	half := posts / 2
+	env.Note("crash storm of %d posts; node %d crashes and restarts", posts, churn)
+
+	expected := postStorm(env, ptrs, half)
+	env.WaitTermination()
+
+	if err := env.Cluster.CrashNode(churn); err != nil {
+		return fmt.Errorf("crash node %d: %w", churn, err)
+	}
+	if err := auditPlacement(env, "during outage"); err != nil {
+		return err
+	}
+	if !env.Cluster.Directory().Contains(core.NodeID(churn)) {
+		return fmt.Errorf("crashed node %d lost its ring membership", churn)
+	}
+
+	rt, err := env.Cluster.RestartNode(churn)
+	if err != nil {
+		return fmt.Errorf("restart node %d: %w", churn, err)
+	}
+	registerHandlersOn(rt, board) // the relaunched process re-registers
+	if err := auditPlacement(env, "after restart"); err != nil {
+		return err
+	}
+	restored := rt.NumLocalObjects()
+	if restored != env.Plan.Objects {
+		return fmt.Errorf("node %d restored %d objects from its checkpoint, want %d",
+			churn, restored, env.Plan.Objects)
+	}
+	env.Record("restored", int64(restored))
+
+	for p, n := range postStorm(env, ptrs, posts-half) {
+		expected[p] += n
+	}
+	env.WaitTermination()
+
+	got := reportPhase(env, board, ptrs)
+	return verifyCounts(env, ptrs, got, expected)
+}

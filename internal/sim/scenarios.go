@@ -80,15 +80,7 @@ type counterBoard struct {
 // registerHandlers installs the increment and report handlers on every node.
 func registerHandlers(env *Env, board *counterBoard) {
 	for _, rt := range env.Cluster.Runtimes() {
-		rt.Register(hInc, func(c *core.Ctx, arg []byte) {
-			c.Object().(*simObj).Count++
-		})
-		rt.Register(hReport, func(c *core.Ctx, arg []byte) {
-			n := c.Object().(*simObj).Count
-			board.mu.Lock()
-			board.counts[c.Self] = n
-			board.mu.Unlock()
-		})
+		registerHandlersOn(rt, board)
 	}
 }
 

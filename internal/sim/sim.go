@@ -47,6 +47,12 @@ const (
 	// whose remote-memory tier takes transient faults: writes spill to the
 	// disk tier, reads fall back or retry — never an object loss.
 	FaultTierTransient
+	// FaultNodeCrash draws a churn victim (Plan.ChurnNode) on clean plain
+	// disk stores: the scenario takes a whole node out mid-run — gracefully
+	// (leave/join with directory rebalancing) or by crash (checkpoint,
+	// teardown, restart) — and the directory invariants must hold through
+	// every membership epoch.
+	FaultNodeCrash
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +66,8 @@ func (k FaultKind) String() string {
 		return "permanent"
 	case FaultTierTransient:
 		return "tier-transient"
+	case FaultNodeCrash:
+		return "node-crash"
 	default:
 		return "invalid"
 	}
@@ -87,6 +95,9 @@ type Plan struct {
 	// disk — a valid point the hierarchy must handle).
 	Tiered       bool
 	TierCapacity int64
+	// ChurnNode is the node the churn scenarios take out mid-run
+	// (FaultNodeCrash plans only; -1 otherwise).
+	ChurnNode int
 }
 
 // expandPlan draws a Plan from the seed. All draws happen in a fixed order
@@ -101,6 +112,7 @@ func expandPlan(seed int64, kind FaultKind) Plan {
 		NetLatency: time.Duration(rng.Intn(500)) * time.Microsecond,       // 0..0.5ms
 		DiskSeek:   time.Duration(100+rng.Intn(1_500)) * time.Microsecond, // 0.1..1.6ms
 		SlowNode:   -1,
+		ChurnNode:  -1,
 		Fault:      kind,
 		Retries:    3 + rng.Intn(3),
 		Objects:    3 + rng.Intn(5), // per node
@@ -122,6 +134,8 @@ func expandPlan(seed int64, kind FaultKind) Plan {
 		} else {
 			p.TierCapacity = int64(2_000 + rng.Intn(10_000))
 		}
+	case FaultNodeCrash:
+		p.ChurnNode = rng.Intn(p.Nodes)
 	}
 	return p
 }
@@ -190,7 +204,8 @@ func (p Plan) render(w *strings.Builder) {
 	fmt.Fprintf(w, "plan seed=%d nodes=%d workers=%d budget=%d", p.Seed, p.Nodes, p.Workers, p.MemBudget)
 	fmt.Fprintf(w, " net=%s disk=%s slow=%d", p.NetLatency, p.DiskSeek, p.SlowNode)
 	fmt.Fprintf(w, " fault=%s failfirst=%d getprob=%.3f retries=%d", p.Fault, p.FailFirst, p.GetProb, p.Retries)
-	fmt.Fprintf(w, " objects=%d messages=%d tiered=%t tiercap=%d\n", p.Objects, p.Messages, p.Tiered, p.TierCapacity)
+	fmt.Fprintf(w, " objects=%d messages=%d tiered=%t tiercap=%d churn=%d\n",
+		p.Objects, p.Messages, p.Tiered, p.TierCapacity, p.ChurnNode)
 }
 
 // Env is the execution environment handed to a scenario: the running
@@ -339,6 +354,11 @@ func Run(seed int64, scenario Scenario) *Result {
 				// accounting self-consistent.
 				found = append(found, ts.CheckInvariants(false)...)
 			}
+			// Ring structure is always valid — every key has exactly one
+			// owner in every epoch. (Per-object single-host placement is a
+			// quiescent property: it is checked in the final audit, where
+			// no migration is in flight to straddle two nodes.)
+			found = append(found, cl.Directory().CheckInvariants()...)
 			if len(found) > 8 {
 				found = found[:8] // one broken invariant repeats; cap the noise
 			}
@@ -373,6 +393,9 @@ func Run(seed int64, scenario Scenario) *Result {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("termination fired with work=%d sent=%d recv=%d", work, sent, recv))
 		}
+		// Placement audit: every object hosted by exactly one active node,
+		// drained nodes empty, ring membership matching node state.
+		res.Violations = append(res.Violations, cl.DirectoryInvariants()...)
 		if inv := cl.IOStats().PriorityInversions; inv != 0 {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("swapio dispatched %d prefetches past queued demand loads", inv))

@@ -19,7 +19,7 @@ var (
 
 // scenarioForSeed distributes the seed space across the scenarios.
 func scenarioForSeed(seed int64) Scenario {
-	switch seed % 5 {
+	switch seed % 7 {
 	case 0:
 		return CounterStorm{}
 	case 1:
@@ -28,8 +28,12 @@ func scenarioForSeed(seed int64) Scenario {
 		return MigrationShuffle{}
 	case 3:
 		return PermanentFaultStorm{}
-	default:
+	case 4:
 		return TieredFaultStorm{}
+	case 5:
+		return NodeChurnStorm{}
+	default:
+		return NodeCrashStorm{}
 	}
 }
 
@@ -84,7 +88,7 @@ func TestSoak(t *testing.T) {
 // exported traces to match byte for byte — the property that makes
 // -sim.seed replays trustworthy.
 func TestSeedReplayByteEqual(t *testing.T) {
-	for seed := int64(1); seed <= 5; seed++ {
+	for seed := int64(1); seed <= 7; seed++ {
 		first := runSeed(t, seed)
 		second := runSeed(t, seed)
 		if !bytes.Equal(first.TraceBytes(), second.TraceBytes()) {
