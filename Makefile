@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick bench-pipeline bench-tiers bench-compress trace bench-json bench-baseline lint sim-soak e2e-multiproc examples clean
+.PHONY: all build vet test race bench bench-quick bench-pipeline bench-tiers bench-compress bench-routing trace bench-json bench-baseline lint sim-soak e2e-multiproc examples clean
 
 all: build vet test
 
@@ -43,6 +43,12 @@ bench-tiers:
 bench-compress:
 	$(GO) run ./cmd/mrtsbench -exp compress,alloc -scale $(SCALE)
 
+# The first-hop routing sweep: four locators × two migration regimes
+# (override: make bench-routing SCALE=0.5 DIR=placed to run one locator).
+DIR ?=
+bench-routing:
+	$(GO) run ./cmd/mrtsbench -exp routing -scale $(SCALE) -dir "$(DIR)"
+
 # Capture a Perfetto-loadable event trace of one experiment
 # (override: make trace EXP=fig8 SCALE=0.25).
 EXP ?= tab4
@@ -58,7 +64,7 @@ bench-json:
 # Regenerate the CI benchmark-regression baseline (same config as the
 # bench-smoke job in .github/workflows/ci.yml; commit the result).
 bench-baseline:
-	$(GO) run ./cmd/mrtsbench -exp tab1,tab4,fig8,faults,pipeline,tiers,alloc,compress -scale 0.05 -pes 2 -json ci/bench-baseline.json
+	$(GO) run ./cmd/mrtsbench -exp tab1,tab4,fig8,faults,pipeline,tiers,alloc,compress,routing -scale 0.05 -pes 2 -json ci/bench-baseline.json
 
 # 100-seed deterministic-simulation soak (the nightly CI job runs the same
 # sweep under -race). Failing seeds are listed in the test output and in
@@ -85,6 +91,8 @@ lint:
 	if [ -n "$$out" ]; then echo "direct time calls in clocked packages (inject clock.Clock instead):"; echo "$$out"; exit 1; fi
 	@out="$$(grep -rnE 'net\.(Dial|Listen)\(' --include='*.go' internal cmd examples | grep -v '^internal/comm/' || true)"; \
 	if [ -n "$$out" ]; then echo "raw net.Dial/net.Listen outside internal/comm (use comm endpoints):"; echo "$$out"; exit 1; fi
+	@out="$$(grep -rnE '(Send|Post|PostMulticast|RequestMigration|Migrate)\([^)]*\.Home' --include='*.go' internal cmd examples | grep -v '^internal/core/' || true)"; \
+	if [ -n "$$out" ]; then echo "routing decision on ptr.Home outside internal/core (go through the Locator seam):"; echo "$$out"; exit 1; fi
 
 # The multi-process e2e lane CI runs: a 3-process loopback OUPDR cluster
 # that loses one worker after the first phase barrier and relaunches it

@@ -32,6 +32,8 @@ func main() {
 		hitTol       = flag.Float64("hit-tol", 0, "allowed hit-ratio drop in points (0 = default 25)")
 		allocTol     = flag.Float64("alloc-tol", 0, "relative allocs/op ceiling (0 = default 2)")
 		bytesTol     = flag.Float64("bytes-tol", 0, "relative bytes-moved ceiling (0 = default 1.5)")
+		forwardTol   = flag.Float64("forward-tol", 0, "relative forwarded-per-message ceiling (0 = default 2)")
+		hopsTol      = flag.Float64("hops-tol", 0, "relative mean-hop-count ceiling (0 = default 1.5)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -50,6 +52,7 @@ func main() {
 	cfg := bench.GateConfig{
 		SpeedTol: *speedTol, OverlapTol: *overlapTol, TimeTol: *timeTol,
 		WaitTol: *waitTol, HitTol: *hitTol, AllocTol: *allocTol, BytesTol: *bytesTol,
+		ForwardTol: *forwardTol, HopsTol: *hopsTol,
 	}
 	violations := bench.Compare(baseline, current, cfg)
 	if len(violations) > 0 {

@@ -41,6 +41,7 @@ func main() {
 		killAfter = flag.Int("kill-after", 0, "phase barrier after which to kill")
 		out       = flag.String("out", "", "write the merged block dump to this file")
 		baseline  = flag.String("baseline", "", "compare the merged dump against this file; exit 1 on any difference")
+		routing   = flag.String("routing", "placed", "routing locator passed to every node: placed, lazy, eager or home")
 		trace     = flag.Bool("trace", false, "have each node write a Chrome trace under -dir")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-step timeout")
 	)
@@ -73,6 +74,7 @@ func main() {
 			"-quality", fmt.Sprint(*quality),
 			"-phases", fmt.Sprint(*phases),
 			"-budget", fmt.Sprint(*budget),
+			"-routing", *routing,
 			"-heartbeat", "100ms",
 			"-expire", "1s",
 		},

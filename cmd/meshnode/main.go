@@ -21,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"mrts/internal/cluster"
 	"mrts/internal/comm"
 	"mrts/internal/core"
 	"mrts/internal/meshgen"
@@ -46,6 +47,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file on quit")
 		restore  = flag.Bool("restore", false, "restore from the checkpoint in -ckpt instead of creating blocks")
 		workers  = flag.Int("workers", 2, "task pool workers")
+		routing  = flag.String("routing", "placed", "routing locator: placed, lazy, eager or home")
 		hb       = flag.Duration("heartbeat", 0, "heartbeat interval (0 = default)")
 		expire   = flag.Duration("expire", 0, "seed-side member expiry (0 = default)")
 	)
@@ -102,24 +104,51 @@ func main() {
 	if tracer != nil {
 		pool.SetTracer(tracer)
 	}
-	rt := core.NewRuntime(core.Config{
-		Endpoint: tn,
-		Pool:     pool,
-		Factory:  meshgen.Factory,
-		Mem:      ooc.Config{Budget: b},
-		Store:    store,
-		Tracer:   tracer,
-	})
-	defer rt.Close()
-
-	d, err := meshgen.NewDist(rt, meshgen.DistConfig{
+	rkind, err := cluster.ParseRouting(*routing)
+	if err != nil {
+		fatalf("routing: %v", err)
+	}
+	dcfg := meshgen.DistConfig{
 		Blocks:         *blocks,
 		TargetElements: *elements,
 		QualityBound:   *quality,
 		Nodes:          *nodes,
 		Node:           int(tn.Node()),
 		Phases:         *phases,
-	})
+	}
+	// The placement directory exists before the runtime: under -routing
+	// placed it doubles as the runtime's locator, so block addressing and
+	// message routing come from the same ring and every first hop lands on
+	// the owner directly.
+	pl, err := meshgen.NewPlacement(dcfg)
+	if err != nil {
+		fatalf("dist: %v", err)
+	}
+	cc := core.Config{
+		Endpoint: tn,
+		Pool:     pool,
+		Factory:  meshgen.Factory,
+		Mem:      ooc.Config{Budget: b},
+		Store:    store,
+		Tracer:   tracer,
+		NumNodes: *nodes,
+	}
+	switch rkind {
+	case cluster.RoutePlaced:
+		// Keyed by Placement.Key: blocks were placed on the ring by their
+		// "block-i-j" names, so first hops must resolve by those names too.
+		cc.Locator = cluster.NewPlacedLocatorKeyed(pl.Dir, tn.Node(), pl.Key)
+	case cluster.RouteEager:
+		cc.Directory = core.DirEager
+	case cluster.RouteHome:
+		cc.Directory = core.DirHome
+	default:
+		cc.Directory = core.DirLazy
+	}
+	rt := core.NewRuntime(cc)
+	defer rt.Close()
+
+	d, err := meshgen.NewDistFrom(rt, dcfg, pl)
 	if err != nil {
 		fatalf("dist: %v", err)
 	}

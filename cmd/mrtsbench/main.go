@@ -40,6 +40,7 @@ func main() {
 		jsonPath  = flag.String("json", "", "write machine-readable metrics (bench.Doc JSON)")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address while running")
 		seed      = flag.Int64("seed", 0, "perturb every seeded random stream in the experiments (0 = legacy fixed seeds)")
+		dir       = flag.String("dir", "", "restrict the routing experiment to one locator (placed, lazy, eager, home)")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
-	opts := bench.Options{Scale: *scale, PEs: *pes, Seed: *seed}
+	opts := bench.Options{Scale: *scale, PEs: *pes, Seed: *seed, Dir: *dir}
 	var sink *obs.TraceSink
 	if *tracePath != "" {
 		sink = obs.NewTraceSink(obs.DefaultCapacity)

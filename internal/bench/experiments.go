@@ -34,6 +34,10 @@ type Options struct {
 	// (access skew, directory traffic). Zero keeps the legacy fixed
 	// seeds, so the CI bench baseline stays bit-stable by default.
 	Seed int64
+	// Dir, when non-empty, restricts locator-sweep experiments (routing) to
+	// one locator kind ("lazy", "eager", "home" or "placed") so a single
+	// cell can run standalone (mrtsbench -dir placed -exp routing).
+	Dir string
 }
 
 // seedFor returns the rng seed for one experiment stream: the stream's
@@ -63,8 +67,8 @@ func Experiments() []string {
 	return []string{
 		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
-		"policies", "dirpolicies", "remotemem", "tiers", "faults", "pipeline",
-		"alloc", "compress",
+		"policies", "dirpolicies", "routing", "remotemem", "tiers", "faults",
+		"pipeline", "alloc", "compress",
 	}
 }
 
@@ -104,6 +108,8 @@ func Run(id string, opts Options) (*Table, error) {
 		return Policies(opts)
 	case "dirpolicies":
 		return DirPolicies(opts)
+	case "routing":
+		return Routing(opts)
 	case "remotemem":
 		return RemoteMem(opts)
 	case "tiers":

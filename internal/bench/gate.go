@@ -35,6 +35,14 @@ import (
 //     wall times, so the bound can be much tighter than the time bounds —
 //     a double-write or a lost compression win trips it regardless of
 //     machine speed.
+//   - */forwarded_per_msg: routing indirection (the routing experiment) may
+//     not exceed baseline×ForwardTol + forwardSlack. The slack carries the
+//     placed locator's settled regime, whose healthy baseline is exactly
+//     zero — any systematic forwarding there is a routing regression, while
+//     a purely relative bound over zero would be vacuous.
+//   - */hops_mean: the delivered-message mean hop count may not exceed
+//     baseline×HopsTol + hopsSlack; 1.0 means every remote message took the
+//     direct hop.
 //
 // Everything else in the documents (evictions, element counts, breakdown
 // percentages) is informational and not gated.
@@ -60,6 +68,12 @@ type GateConfig struct {
 	// BytesTol is the relative upper bound for bytes_moved metrics
 	// (current <= baseline*BytesTol). 0 means the default 1.5.
 	BytesTol float64
+	// ForwardTol is the relative upper bound for forwarded_per_msg metrics
+	// (current <= baseline*ForwardTol + forwardSlack). 0 means the default 2.
+	ForwardTol float64
+	// HopsTol is the relative upper bound for hops_mean metrics
+	// (current <= baseline*HopsTol + hopsSlack). 0 means the default 1.5.
+	HopsTol float64
 }
 
 // waitSlackMs is the absolute headroom added on top of the relative wait
@@ -70,6 +84,15 @@ const waitSlackMs = 5.0
 // allocations (a map bucket split, a queue growth) are noise, not a
 // regression, when the baseline itself sits near zero.
 const allocSlack = 4.0
+
+// forwardSlack is the absolute headroom on forwarded-per-message: a handful
+// of forwards from scheduling races (a post landing during a migration
+// install) are noise even when the baseline is exactly zero.
+const forwardSlack = 0.05
+
+// hopsSlack is the absolute headroom on the mean hop count, for the same
+// reason: the healthy placed baseline sits at exactly 1.0.
+const hopsSlack = 0.25
 
 func (g GateConfig) withDefaults() GateConfig {
 	if g.SpeedTol <= 0 {
@@ -92,6 +115,12 @@ func (g GateConfig) withDefaults() GateConfig {
 	}
 	if g.BytesTol <= 0 {
 		g.BytesTol = 1.5
+	}
+	if g.ForwardTol <= 0 {
+		g.ForwardTol = 2
+	}
+	if g.HopsTol <= 0 {
+		g.HopsTol = 1.5
 	}
 	return g
 }
@@ -176,6 +205,18 @@ func Compare(baseline, current *Doc, cfg GateConfig) []string {
 						"%s: %s regressed: %.0f > %.0f bytes (baseline %.0f × tol %.2f)",
 						id, k, got, ceil, want, cfg.BytesTol))
 				}
+			case gateForward:
+				if ceil := want*cfg.ForwardTol + forwardSlack; got > ceil {
+					out = append(out, fmt.Sprintf(
+						"%s: %s regressed: %.3f > %.3f (baseline %.3f × tol %.2f + %.2f slack)",
+						id, k, got, ceil, want, cfg.ForwardTol, forwardSlack))
+				}
+			case gateHops:
+				if ceil := want*cfg.HopsTol + hopsSlack; got > ceil {
+					out = append(out, fmt.Sprintf(
+						"%s: %s regressed: %.2f > %.2f hops (baseline %.2f × tol %.2f + %.2f slack)",
+						id, k, got, ceil, want, cfg.HopsTol, hopsSlack))
+				}
 			}
 		}
 	}
@@ -193,6 +234,8 @@ const (
 	gateHit
 	gateAlloc
 	gateBytes
+	gateForward
+	gateHops
 )
 
 // metricKind classifies a metric name ("sz40000/speed_ooc" etc.) into the
@@ -217,6 +260,10 @@ func metricKind(name string) gateKind {
 		return gateAlloc
 	case leaf == "bytes_moved":
 		return gateBytes
+	case leaf == "forwarded_per_msg":
+		return gateForward
+	case leaf == "hops_mean":
+		return gateHops
 	default:
 		return gateSkip
 	}

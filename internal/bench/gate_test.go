@@ -186,6 +186,63 @@ func TestGateBytesMetric(t *testing.T) {
 	}
 }
 
+func TestGateForwardMetric(t *testing.T) {
+	base, cur := docPair()
+	base.Experiments["routing"] = map[string]float64{
+		"placed/settled/forwarded_per_msg": 0,
+		"lazy/drift/forwarded_per_msg":     0.2,
+	}
+	cur.Experiments["routing"] = map[string]float64{
+		"placed/settled/forwarded_per_msg": 0,
+		"lazy/drift/forwarded_per_msg":     0.2,
+	}
+
+	// The placed settled baseline is exactly zero — the absolute slack keeps
+	// a stray scheduling-race forward from tripping the gate.
+	cur.Experiments["routing"]["placed/settled/forwarded_per_msg"] = 0.04
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("sub-slack forwarding must pass, got %v", v)
+	}
+	// Systematic forwarding over a zero baseline trips: the placed locator
+	// stopped resolving first hops off the ring.
+	cur.Experiments["routing"]["placed/settled/forwarded_per_msg"] = 0.3
+	v := Compare(base, cur, GateConfig{})
+	if len(v) != 1 || !strings.Contains(v[0], "forwarded_per_msg") {
+		t.Fatalf("want one forwarding violation, got %v", v)
+	}
+	// Over a nonzero baseline the relative bound applies.
+	cur.Experiments["routing"]["placed/settled/forwarded_per_msg"] = 0
+	cur.Experiments["routing"]["lazy/drift/forwarded_per_msg"] = 0.6
+	v = Compare(base, cur, GateConfig{})
+	if len(v) != 1 || !strings.Contains(v[0], "lazy/drift") {
+		t.Fatalf("want one relative forwarding violation, got %v", v)
+	}
+	// Less forwarding is never a regression.
+	cur.Experiments["routing"]["lazy/drift/forwarded_per_msg"] = 0
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("improvement must pass, got %v", v)
+	}
+}
+
+func TestGateHopsMetric(t *testing.T) {
+	base, cur := docPair()
+	base.Experiments["routing"] = map[string]float64{"placed/drift/hops_mean": 1.1}
+	cur.Experiments["routing"] = map[string]float64{"placed/drift/hops_mean": 1.1}
+
+	// The healthy floor is 1.0 (every remote message direct), so small
+	// absolute growth under the slack is noise.
+	cur.Experiments["routing"]["placed/drift/hops_mean"] = 1.3
+	if v := Compare(base, cur, GateConfig{}); len(v) != 0 {
+		t.Fatalf("sub-slack hop growth must pass, got %v", v)
+	}
+	// A forwarding chain creeping toward the hop bound trips.
+	cur.Experiments["routing"]["placed/drift/hops_mean"] = 2.5
+	v := Compare(base, cur, GateConfig{})
+	if len(v) != 1 || !strings.Contains(v[0], "hops_mean") {
+		t.Fatalf("want one hop-count violation, got %v", v)
+	}
+}
+
 func TestGateHitMetric(t *testing.T) {
 	base, cur := docPair()
 	base.Experiments["tiers"] = map[string]float64{"sz3000/capmid/tier0_hit_pct": 40}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mrts/internal/cluster"
+	"mrts/internal/comm"
+	"mrts/internal/core"
+	"mrts/internal/ooc"
+)
+
+// Routing sweeps the four locators over two migration regimes — the
+// experiment behind the placement-aware routing claim: with objects settled
+// at their ring owners, a DirPlaced first hop lands on the owner directly
+// (forwarded-per-message ≈ 0), while the home-anchored policies pay the home
+// detour or a forwarding chain; under migration drift every locator pays
+// something, and the sweep shows what.
+//
+// The dirpolicies experiment is unchanged and still reproduces the paper's
+// lazy/eager/home comparison; this one adds the placed locator and gates the
+// forwarding and hop-count metrics in CI.
+func Routing(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "routing",
+		Title:   "first-hop routing: home-anchored policies vs directory placement",
+		Headers: []string{"locator", "regime", "time", "fwd/msg", "hops", "dir updates", "stale"},
+		Notes: []string{
+			"settled: objects sit at their ring owners; drift: a third migrate to random nodes between rounds",
+			"placed resolves first hops off the consistent-hash ring: fwd/msg ~ 0 when settled",
+		},
+	}
+	kinds := []cluster.RoutingKind{cluster.RouteHome, cluster.RouteLazy, cluster.RouteEager, cluster.RoutePlaced}
+	for _, kind := range kinds {
+		if opts.Dir != "" && string(kind) != opts.Dir {
+			continue
+		}
+		for _, regime := range []string{"settled", "drift"} {
+			m, err := routingRun(opts, kind, regime == "drift")
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(kind), regime, fmtDur(m.elapsed),
+				fmt.Sprintf("%.3f", m.fwdPerMsg), fmt.Sprintf("%.2f", m.hopsMean),
+				fmtInt(int(m.dirUpdates)), fmtInt(int(m.staleRetries)))
+			pfx := fmt.Sprintf("%s/%s/", kind, regime)
+			t.SetMetric(pfx+"time_sec", m.elapsed.Seconds())
+			t.SetMetric(pfx+"forwarded_per_msg", m.fwdPerMsg)
+			t.SetMetric(pfx+"hops_mean", m.hopsMean)
+		}
+	}
+	return t, nil
+}
+
+type routingMetrics struct {
+	elapsed      time.Duration
+	fwdPerMsg    float64
+	hopsMean     float64
+	dirUpdates   int64
+	staleRetries int64
+}
+
+// routingRun executes one (locator, regime) cell: objects born on node 0,
+// rebalanced to their ring owners, then a post storm from random nodes. The
+// drift regime migrates a third of the objects to random nodes between storm
+// rounds, so locators must recover from off-placement objects.
+func routingRun(opts Options, kind cluster.RoutingKind, drift bool) (routingMetrics, error) {
+	var m routingMetrics
+	// A two-node cluster cannot express a stale first hop: every object is
+	// either local to the poster or on the only other node, so the home
+	// anchor always answers correctly and all locators tie at zero. Three
+	// nodes is the smallest shape with a real detour (poster, home, owner
+	// pairwise distinct).
+	nodes := opts.PEs
+	if nodes < 3 {
+		nodes = 3
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes:     nodes,
+		MemBudget: 1 << 24,
+		Routing:   kind,
+		Network:   comm.LatencyModel{Latency: 100 * time.Microsecond},
+		Policy:    ooc.LRU,
+		Factory: func(typeID uint16) (core.Object, error) {
+			if typeID == 9 {
+				return &noopObj{}, nil
+			}
+			return nil, core.ErrUnknownType
+		},
+		Trace:      opts.Trace,
+		TraceLabel: fmt.Sprintf("routing/%s/", kind),
+	})
+	if err != nil {
+		return m, err
+	}
+	defer cl.Close()
+	rts := cl.Runtimes()
+	for _, rt := range rts {
+		rt.Register(1, func(c *core.Ctx, arg []byte) {})
+	}
+
+	// Every object is born on node 0 (maximal home skew), then settled at its
+	// ring owner — the placement a directory-driven application (meshgen's
+	// SPMD driver) establishes by construction.
+	const objects = 48
+	ptrs := make([]core.MobilePtr, 0, objects)
+	host := make([]core.NodeID, objects) // where each object currently lives
+	for i := 0; i < objects; i++ {
+		ptrs = append(ptrs, rts[0].CreateObject(&noopObj{}))
+	}
+	for i, p := range ptrs {
+		owner, _ := cl.Directory().OwnerOf(p)
+		host[i] = owner
+		if owner != 0 {
+			if err := rts[0].Migrate(p, owner); err != nil {
+				return m, err
+			}
+		}
+	}
+	cl.Wait()
+	time.Sleep(5 * time.Millisecond) // let migration notices land
+
+	posts := int(2000 * opts.Scale)
+	if posts < 200 {
+		posts = 200
+	}
+	before := cl.RouteStats()
+	rng := rand.New(rand.NewSource(opts.seedFor(13)))
+	start := time.Now()
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		if drift && round > 0 {
+			// Migration drift: a third of the objects move to random nodes,
+			// taking them off their ring placement.
+			for i := rng.Intn(3); i < len(ptrs); i += 3 {
+				dest := core.NodeID(rng.Intn(nodes))
+				if dest == host[i] {
+					continue
+				}
+				if err := cl.RT(int(host[i])).Migrate(ptrs[i], dest); err != nil {
+					return m, err
+				}
+				host[i] = dest
+			}
+			cl.Wait()
+			time.Sleep(5 * time.Millisecond)
+		}
+		for i := 0; i < posts/rounds; i++ {
+			rts[rng.Intn(nodes)].Post(ptrs[rng.Intn(len(ptrs))], 1, nil)
+		}
+		cl.Wait()
+	}
+	m.elapsed = time.Since(start)
+	after := cl.RouteStats()
+	m.fwdPerMsg = float64(after.Forwarded-before.Forwarded) / float64(posts)
+	m.hopsMean = after.HopsMean
+	m.dirUpdates = after.DirUpdates - before.DirUpdates
+	m.staleRetries = after.StaleRetries - before.StaleRetries
+	if after.Dropped != 0 {
+		return m, fmt.Errorf("bench: routing %s: %d messages dropped at the hop bound", kind, after.Dropped)
+	}
+	return m, nil
+}

@@ -71,6 +71,11 @@ func (c *Cluster) LeaveNode(i int) (int, error) {
 	c.nmu.Lock()
 	c.inactive[i] = true
 	c.nmu.Unlock()
+	// The ring epoch moved: off-placement objects must be re-announced to
+	// their new anchors, and a message parked under the old placement would
+	// hold its node's work counter forever, so Wait below would hang.
+	c.reAnchor()
+	c.reRouteParked()
 	c.Wait() // let the last installs land before the caller resumes posting
 	return moved, err
 }
@@ -105,8 +110,86 @@ func (c *Cluster) JoinNode(i int) (int, error) {
 			moved++
 		}
 	}
+	c.reAnchor()
+	c.reRouteParked() // see LeaveNode: the epoch bump moved placements
 	c.Wait()
 	return moved, nil
+}
+
+// reAnchor repairs placed-routing anchor state after a ring epoch bump. An
+// object that migrated off its placement is reachable only through the
+// override its old ring owner recorded; when the epoch moves that key to a
+// different owner, the override is orphaned and first hops would park at the
+// new owner forever. Each live node is the ground truth for the objects it
+// hosts, so it re-announces every off-placement object to the current ring
+// owner's locator. No-op for the home-anchored policies (their anchor, the
+// birth node, never moves).
+func (c *Cluster) reAnchor() {
+	c.nmu.RLock()
+	placed := make([]*PlacedLocator, len(c.placed))
+	copy(placed, c.placed)
+	c.nmu.RUnlock()
+	if len(placed) == 0 {
+		return
+	}
+	for j, rt := range c.Runtimes() {
+		if c.isInactive(j) {
+			continue
+		}
+		for _, ptr := range rt.LocalObjects() {
+			owner, _ := c.dir.OwnerOf(ptr)
+			if owner == core.NodeID(j) || owner < 0 {
+				continue
+			}
+			if l := placed[owner]; l != nil {
+				l.Note(ptr, core.NodeID(j))
+			}
+		}
+	}
+}
+
+// SettleAtOwners migrates every hosted object to its current ring owner —
+// the placement a directory-driven application establishes by construction,
+// and the state in which the placed locator's first hops are exact. Returns
+// the number of objects moved. The cluster must be quiescent.
+func (c *Cluster) SettleAtOwners() (int, error) {
+	moved := 0
+	for j, rt := range c.Runtimes() {
+		if c.isInactive(j) {
+			continue
+		}
+		for _, ptr := range rt.LocalObjects() {
+			dest, _ := c.dir.OwnerOf(ptr)
+			if dest < 0 || dest == core.NodeID(j) {
+				continue
+			}
+			if err := c.migrateSettled(rt, ptr, dest); err != nil {
+				return moved, err
+			}
+			moved++
+		}
+	}
+	c.Wait()
+	return moved, nil
+}
+
+// reRouteParked re-resolves parked messages on every live runtime after a
+// ring epoch bump. Drained nodes are included — they stay up as forwarding
+// shells and can hold parked messages too; crashed nodes are skipped (their
+// runtime is closed, and a crash does not move the ring).
+func (c *Cluster) reRouteParked() {
+	c.nmu.RLock()
+	rts := make([]*core.Runtime, 0, len(c.rts))
+	for i, rt := range c.rts {
+		if c.ckpts[i] != nil {
+			continue
+		}
+		rts = append(rts, rt)
+	}
+	c.nmu.RUnlock()
+	for _, rt := range rts {
+		rt.ReRouteParked()
+	}
 }
 
 // drainNode migrates every object node i holds to its ring owner.
@@ -242,7 +325,7 @@ func (c *Cluster) RestartNode(i int) (*core.Runtime, error) {
 		hook := c.cfg.OnSwapError
 		onSwapError = func(e core.SwapError) { hook(node, e) }
 	}
-	rt := core.NewRuntime(core.Config{
+	cc := core.Config{
 		Endpoint:      c.tr.Endpoint(comm.NodeID(i)),
 		Pool:          c.pools[i],
 		Factory:       c.cfg.Factory,
@@ -258,7 +341,9 @@ func (c *Cluster) RestartNode(i int) (*core.Runtime, error) {
 		CommDelay:     commDelay,
 		DiskDelay:     diskDelay,
 		Clock:         c.cfg.Clock,
-	})
+	}
+	c.applyRouting(&cc, i)
+	rt := core.NewRuntime(cc)
 	if err := rt.Restore(ck, "crash"); err != nil {
 		rt.Close()
 		return nil, fmt.Errorf("cluster: restore node %d: %w", i, err)

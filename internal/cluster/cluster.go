@@ -69,6 +69,12 @@ type Config struct {
 	Tier *TierSpec
 	// Scheduler selects the task scheduler flavor (default WorkStealing).
 	Scheduler SchedulerKind
+	// Routing selects the locator wired into every node: one of the paper's
+	// home-anchored directory policies (RouteLazy — the default and the
+	// paper's choice — RouteEager, RouteHome) or RoutePlaced, which resolves
+	// first hops off the cluster's consistent-hash placement ring so a
+	// settled object costs one hop regardless of its birth node.
+	Routing RoutingKind
 	// Factory constructs application objects on reload/migration.
 	Factory core.Factory
 	// IOWorkers per node (<= 0 means 2).
@@ -178,8 +184,9 @@ type Cluster struct {
 	inactive []bool          // node has left (drained) or crashed
 	ckpts    []storage.Store // crash checkpoints awaiting RestartNode
 
-	dir        *Directory   // consistent-hash object placement ring
-	rebalanced atomic.Int64 // objects moved by churn rebalancing
+	dir        *Directory       // consistent-hash object placement ring
+	placed     []*PlacedLocator // per-node placed locators (RoutePlaced only, else nil)
+	rebalanced atomic.Int64     // objects moved by churn rebalancing
 }
 
 // New builds and starts a cluster.
@@ -200,6 +207,14 @@ func New(cfg Config) (*Cluster, error) {
 	tiered := cfg.RemoteMemory && cfg.Tier != nil
 	clk := clock.Or(cfg.Clock)
 	c := &Cluster{cfg: cfg, tr: comm.NewInProcClock(endpoints, cfg.Network, clk), clk: clk, start: clk.Now()}
+	// The placement ring exists before any node: RoutePlaced nodes wrap it as
+	// their locator, and churn mutates this same instance, so every node's
+	// routing view moves with the membership by construction.
+	ids := make([]core.NodeID, cfg.Nodes)
+	for i := range ids {
+		ids[i] = core.NodeID(i)
+	}
+	c.dir = NewDirectory(ids, 0)
 	if cfg.RemoteMemory {
 		ep := c.tr.Endpoint(comm.NodeID(cfg.Nodes))
 		if tiered && cfg.Tier.Capacity > 0 {
@@ -320,7 +335,7 @@ func New(cfg Config) (*Cluster, error) {
 			hook := cfg.OnSwapError
 			onSwapError = func(e core.SwapError) { hook(node, e) }
 		}
-		rt := core.NewRuntime(core.Config{
+		cc := core.Config{
 			Endpoint:      c.tr.Endpoint(comm.NodeID(i)),
 			Pool:          pool,
 			Factory:       cfg.Factory,
@@ -336,20 +351,40 @@ func New(cfg Config) (*Cluster, error) {
 			CommDelay:     commDelay,
 			DiskDelay:     diskDelay,
 			Clock:         cfg.Clock,
-		})
+		}
+		c.applyRouting(&cc, i)
+		rt := core.NewRuntime(cc)
 		c.pools = append(c.pools, pool)
 		c.rts = append(c.rts, rt)
 		c.cols = append(c.cols, col)
 		c.tracers = append(c.tracers, tracer)
 	}
-	ids := make([]core.NodeID, cfg.Nodes)
-	for i := range ids {
-		ids[i] = core.NodeID(i)
-	}
-	c.dir = NewDirectory(ids, 0)
 	c.inactive = make([]bool, cfg.Nodes)
 	c.ckpts = make([]storage.Store, cfg.Nodes)
 	return c, nil
+}
+
+// applyRouting fills node i's routing configuration per cfg.Routing: the
+// placement-aware locator over the shared ring, or one of the home-anchored
+// policy locators. RestartNode reuses it so a relaunched node routes exactly
+// like its old incarnation.
+func (c *Cluster) applyRouting(cc *core.Config, i int) {
+	switch c.cfg.Routing {
+	case RoutePlaced:
+		l := NewPlacedLocator(c.dir, core.NodeID(i))
+		if c.placed == nil {
+			c.placed = make([]*PlacedLocator, c.cfg.Nodes)
+		}
+		c.placed[i] = l
+		cc.Locator = l
+	case RouteEager:
+		cc.Directory = core.DirEager
+	case RouteHome:
+		cc.Directory = core.DirHome
+	default: // "" and RouteLazy: the paper's default policy
+		cc.Directory = core.DirLazy
+	}
+	cc.NumNodes = c.cfg.Nodes
 }
 
 // nodeBaseStore builds node i's bottom-level store stack for a non-remote
@@ -523,6 +558,10 @@ func (c *Cluster) PublishMetrics(reg *obs.Registry) {
 	reg.Gauge("cluster.ring_nodes", func() float64 { return float64(c.dir.Size()) })
 	reg.Gauge("cluster.active_nodes", func() float64 { return float64(c.ActiveNodes()) })
 	reg.Gauge("cluster.rebalanced_objects", func() float64 { return float64(c.rebalanced.Load()) })
+	reg.Gauge("cluster.route.forwarded", func() float64 { return float64(c.RouteStats().Forwarded) })
+	reg.Gauge("cluster.route.dropped", func() float64 { return float64(c.RouteStats().Dropped) })
+	reg.Gauge("cluster.route.stale_retries", func() float64 { return float64(c.RouteStats().StaleRetries) })
+	reg.Gauge("cluster.route.hops_mean", func() float64 { return c.RouteStats().HopsMean })
 	if len(c.tiers) > 0 {
 		reg.Gauge("cluster.tier0_hit_pct", func() float64 { return c.TierStats().HitRatio() * 100 })
 		reg.Gauge("cluster.tier.fast_bytes", func() float64 { return float64(c.TierStats().FastBytes) })
@@ -571,6 +610,41 @@ func (c *Cluster) IOStats() swapio.Stats {
 	var out swapio.Stats
 	for _, rt := range c.Runtimes() {
 		out.Add(rt.IOStats())
+	}
+	return out
+}
+
+// RouteStats aggregates the routing counters across nodes: forwarding
+// traffic, directory updates, loud drops, epoch-staleness retries and the
+// cluster-wide mean hop count of delivered remote messages.
+type RouteStats struct {
+	Forwarded    int64
+	DirUpdates   int64
+	Dropped      int64
+	StaleRetries int64
+	HopsMean     float64
+}
+
+// RouteStats aggregates routing counters across nodes (hop means weighted by
+// each node's delivered-message count).
+func (c *Cluster) RouteStats() RouteStats {
+	var out RouteStats
+	var hopSum float64
+	var hopN int64
+	for _, rt := range c.Runtimes() {
+		out.Forwarded += rt.ForwardedCount()
+		out.DirUpdates += rt.DirUpdatesSent()
+		out.Dropped += rt.RouteDropped()
+		out.StaleRetries += rt.RouteStaleRetries()
+		var n int64
+		for _, b := range rt.RouteHopHistogram() {
+			n += b
+		}
+		hopSum += rt.RouteHopsMean() * float64(n)
+		hopN += n
+	}
+	if hopN > 0 {
+		out.HopsMean = hopSum / float64(hopN)
 	}
 	return out
 }

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+
+	"mrts/internal/core"
+)
+
+// TestRoutedSendsRaceChurn storms posts on a placed-routing cluster without
+// waiting for delivery before membership churn bumps the ring epoch: sends
+// resolved at epoch N must be delivered (or cleanly re-resolved and counted
+// as stale retries) after a leave and a rejoin move the directory to N+1 and
+// N+2. Every post lands exactly once, nothing dies at the forward-hop bound,
+// and the placement invariants hold at each boundary. Run under -race in the
+// CI matrix, this is the locking story for the Locator seam: epoch reads,
+// override repair, and parked re-routing all race real churn here.
+func TestRoutedSendsRaceChurn(t *testing.T) {
+	c, err := New(Config{
+		Nodes:     4,
+		MemBudget: 1 << 20,
+		Factory:   ballastFactory,
+		Routing:   RoutePlaced,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	registerInc(c.Runtimes())
+
+	var ptrs []core.MobilePtr
+	for i := 0; i < 32; i++ {
+		ptrs = append(ptrs, c.RT(i%4).CreateObject(&ballastObj{Data: make([]byte, 64)}))
+	}
+	// The placed contract: the application settles placement by the
+	// directory before routing against it.
+	if _, err := c.SettleAtOwners(); err != nil {
+		t.Fatalf("settle: %v", err)
+	}
+
+	// postBatch fires one post per object from a rotating sender and does
+	// NOT wait: the batch is in flight when the caller churns the ring.
+	batches := 0
+	postBatch := func() {
+		for i, p := range ptrs {
+			c.RT((i+batches)%4).Post(p, 1, nil)
+		}
+		batches++
+	}
+
+	epoch0 := c.Directory().Epoch()
+	postBatch() // resolved at epoch N, racing the leave below
+	moved, err := c.LeaveNode(2)
+	if err != nil {
+		t.Fatalf("LeaveNode: %v", err)
+	}
+	if bad := c.DirectoryInvariants(); len(bad) > 0 {
+		t.Fatalf("after leave: %v", bad)
+	}
+	t.Logf("leave drained %d objects, epoch %d -> %d", moved, epoch0, c.Directory().Epoch())
+
+	postBatch() // posts while the node is out, racing the rejoin below
+	back, err := c.JoinNode(2)
+	if err != nil {
+		t.Fatalf("JoinNode: %v", err)
+	}
+	if bad := c.DirectoryInvariants(); len(bad) > 0 {
+		t.Fatalf("after join: %v", bad)
+	}
+	t.Logf("join pulled %d objects back", back)
+
+	postBatch()
+	c.Wait()
+
+	got := readCounts(t, c, ptrs)
+	for _, p := range ptrs {
+		if got[p] != int64(batches) {
+			t.Errorf("object %v received %d of %d posts", p, got[p], batches)
+		}
+	}
+	rs := c.RouteStats()
+	if rs.Dropped != 0 {
+		t.Fatalf("%d messages died at the forward-hop bound", rs.Dropped)
+	}
+	if c.Directory().Epoch() == epoch0 {
+		t.Fatal("churn did not move the ring epoch; the race never happened")
+	}
+}

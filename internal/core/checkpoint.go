@@ -34,12 +34,9 @@ func (rt *Runtime) Checkpoint(st storage.Store, prefix string) error {
 	for p := range rt.objects {
 		ptrs = append(ptrs, p)
 	}
-	dir := make(map[MobilePtr]NodeID, len(rt.dir))
-	for p, n := range rt.dir {
-		dir[p] = n
-	}
 	seq := rt.seq
 	rt.mu.Unlock()
+	dir := rt.loc.Cached()
 
 	var manifest bytes.Buffer
 	var hdr [16]byte
@@ -223,6 +220,12 @@ func (rt *Runtime) Restore(st storage.Store, prefix string) error {
 		lo := &localObject{ptr: ptr, typeID: typeID, state: stOut, queue: queue}
 		rt.mu.Lock()
 		rt.objects[ptr] = lo
+		// Peers may have posted to this pointer while the restoring node was
+		// still coming up; those messages parked here and already hold the
+		// work counter, so adopt them into the queue (the checkpointed
+		// entries are new work and are accounted below).
+		parked := rt.parked[ptr]
+		delete(rt.parked, ptr)
 		rt.mu.Unlock()
 		id := oid(ptr)
 		if err := rt.mem.Register(id, int64(len(blob))); err != nil {
@@ -233,35 +236,39 @@ func (rt *Runtime) Restore(st storage.Store, prefix string) error {
 			rt.mem.Lock(id)
 		}
 		rt.work.Add(int64(len(queue)))
-		rt.mem.SetQueueLen(id, len(queue))
-		if len(queue) > 0 {
-			lo.mu.Lock()
-			rt.startLoadLocked(lo, swapio.Demand)
-			lo.mu.Unlock()
+		lo.mu.Lock()
+		for _, m := range parked {
+			lo.queue = append(lo.queue, queued{handler: m.handler, sentAt: m.sentAt, arg: m.arg})
 		}
+		rt.mem.SetQueueLen(id, len(lo.queue))
+		if len(lo.queue) > 0 {
+			rt.startLoadLocked(lo, swapio.Demand)
+		}
+		lo.mu.Unlock()
 	}
 
-	// Directory.
+	// Directory: replay the checkpointed location cache into the locator.
 	if _, err := io.ReadFull(r, b[0:4]); err != nil {
 		return err
 	}
 	nd := int(binary.LittleEndian.Uint32(b[0:4]))
-	rt.mu.Lock()
 	for i := 0; i < nd; i++ {
 		if _, err := io.ReadFull(r, b[0:12]); err != nil {
-			rt.mu.Unlock()
 			return err
 		}
-		rt.dir[getPtr(b[0:8])] = NodeID(int32(binary.LittleEndian.Uint32(b[8:12])))
+		rt.loc.Note(getPtr(b[0:8]), NodeID(int32(binary.LittleEndian.Uint32(b[8:12]))))
 	}
-	rt.mu.Unlock()
 
-	// Termination counters (see Checkpoint).
+	// Termination counters (see Checkpoint). Added, not stored: the new
+	// incarnation may already have live counts — peers that learned its
+	// address post as soon as it joins, racing Restore — and overwriting
+	// them would erase receives from the global Mattern balance, wedging
+	// termination detection cluster-wide.
 	var cb [16]byte
 	if _, err := io.ReadFull(r, cb[:]); err != nil {
 		return fmt.Errorf("core: restore: truncated counters: %w", err)
 	}
-	rt.sent.Store(int64(binary.LittleEndian.Uint64(cb[0:8])))
-	rt.recv.Store(int64(binary.LittleEndian.Uint64(cb[8:16])))
+	rt.sent.Add(int64(binary.LittleEndian.Uint64(cb[0:8])))
+	rt.recv.Add(int64(binary.LittleEndian.Uint64(cb[8:16])))
 	return nil
 }

@@ -7,7 +7,10 @@ import "sync/atomic"
 // alternatives after experimentation ("lazy updates provides good compromise
 // between accuracy and update overhead"); all three candidates are
 // implemented here so the trade-off can be measured (see the dirpolicies
-// bench experiment).
+// bench experiment). The policies are realized behind the Locator seam — see
+// NewPolicyLocator — and a fourth, placement-aware locator lives in
+// internal/cluster (NewPlacedLocator), which routes by the consistent-hash
+// directory instead of the home anchor.
 type DirectoryPolicy int
 
 const (
@@ -39,10 +42,33 @@ func (p DirectoryPolicy) String() string {
 // DirectoryPolicies lists all supported policies.
 func DirectoryPolicies() []DirectoryPolicy { return []DirectoryPolicy{DirLazy, DirEager, DirHome} }
 
-// dirStats counts routing events for the policy comparison.
+// hopBuckets is the route.hops histogram width: buckets for 1..4 hops plus a
+// final 5+ overflow bucket.
+const hopBuckets = 5
+
+// dirStats counts routing events for the policy comparison and the routing
+// observability surface.
 type dirStats struct {
-	forwarded  atomic.Int64 // messages received for objects not local here
-	dirUpdates atomic.Int64 // directory update messages sent
+	forwarded    atomic.Int64 // messages received for objects not local here
+	dirUpdates   atomic.Int64 // directory update messages sent
+	dropped      atomic.Int64 // messages dropped at the forward-hop bound
+	staleRetries atomic.Int64 // re-resolves after an epoch mismatch
+	hopSum       atomic.Int64 // total hops across delivered remote messages
+	hopCount     atomic.Int64 // delivered remote messages
+	hops         [hopBuckets]atomic.Int64
+}
+
+// observeHops records the hop count of one delivered remote message.
+func (s *dirStats) observeHops(hops int) {
+	s.hopSum.Add(int64(hops))
+	s.hopCount.Add(1)
+	b := hops
+	if b > hopBuckets {
+		b = hopBuckets
+	}
+	if b >= 1 {
+		s.hops[b-1].Add(1)
+	}
 }
 
 // ForwardedCount returns how many application messages this node received
@@ -52,41 +78,35 @@ func (rt *Runtime) ForwardedCount() int64 { return rt.dstats.forwarded.Load() }
 // DirUpdatesSent returns how many directory update messages this node sent.
 func (rt *Runtime) DirUpdatesSent() int64 { return rt.dstats.dirUpdates.Load() }
 
-// lookupLocked returns the node to try for ptr under the active policy.
-// Caller holds rt.mu.
-func (rt *Runtime) lookupLocked(ptr MobilePtr) NodeID {
-	if rt.dirPolicy == DirHome && ptr.Home != rt.node {
-		// Non-home nodes never cache: always route via home. The home
-		// node itself must consult its map (it is the forwarding anchor).
-		return ptr.Home
+// RouteDropped returns how many messages this node dropped at the
+// forward-hop bound. Nonzero means a routing cycle or an object lost to a
+// failed install — CheckInvariants surfaces it as a quiescent violation so
+// sim soaks fail loudly instead of silently losing messages.
+func (rt *Runtime) RouteDropped() int64 { return rt.dstats.dropped.Load() }
+
+// RouteStaleRetries returns how many received messages carried a resolution
+// epoch older than the locator's current one and were re-resolved here.
+func (rt *Runtime) RouteStaleRetries() int64 { return rt.dstats.staleRetries.Load() }
+
+// RouteHopsMean returns the mean hop count over messages delivered to this
+// node from remote senders (1.0 = every message took the direct hop).
+func (rt *Runtime) RouteHopsMean() float64 {
+	n := rt.dstats.hopCount.Load()
+	if n == 0 {
+		return 0
 	}
-	if n, ok := rt.dir[ptr]; ok {
-		return n
-	}
-	return ptr.Home
+	return float64(rt.dstats.hopSum.Load()) / float64(n)
 }
 
-// recordLocation notes a fresher location for ptr (no-op under DirHome,
-// which never caches).
-func (rt *Runtime) recordLocation(ptr MobilePtr, at NodeID) {
-	if rt.dirPolicy == DirHome && ptr.Home != rt.node {
-		return
+// RouteHopHistogram returns the delivered-message hop histogram: buckets for
+// 1, 2, 3, 4 and 5+ hops.
+func (rt *Runtime) RouteHopHistogram() [hopBuckets]int64 {
+	var out [hopBuckets]int64
+	for i := range out {
+		out[i] = rt.dstats.hops[i].Load()
 	}
-	rt.mu.Lock()
-	if _, local := rt.objects[ptr]; !local {
-		rt.dir[ptr] = at
-	}
-	rt.mu.Unlock()
+	return out
 }
 
-// broadcastLocation implements the eager policy's migration hook.
-func (rt *Runtime) broadcastLocation(ptr MobilePtr, at NodeID, numNodes int) {
-	upd := encodeDirUpdate(ptr, at)
-	for n := 0; n < numNodes; n++ {
-		if NodeID(n) == rt.node || NodeID(n) == at {
-			continue
-		}
-		rt.dstats.dirUpdates.Add(1)
-		_ = rt.ep.Send(NodeID(n), wireDirUpdate, upd)
-	}
-}
+// Locator returns the runtime's routing locator.
+func (rt *Runtime) Locator() Locator { return rt.loc }

@@ -94,6 +94,13 @@ func (rt *Runtime) CheckInvariants(quiescent bool) []string {
 	if p := rt.PendingMulticasts(); p != 0 {
 		fail("quiescent but %d multicast collections pending", p)
 	}
+	// Routing cycles and lost installs drop messages at the forward-hop
+	// bound; the drop is loud (counted + traced) and any occurrence is a
+	// routing defect a soak must surface, not absorb.
+	if d := rt.RouteDropped(); d != 0 {
+		fail("%d messages dropped at the %d-hop forward bound (routing cycle or lost install)",
+			d, maxForwardHops)
+	}
 	// Every loudly-lost object leaves a terminal tombstone. Destroyed
 	// objects are tombstones too, so the tombstone count is a lower bound,
 	// never less than the loss counter.

@@ -32,9 +32,7 @@ func (rt *Runtime) PostMulticast(ptrs []MobilePtr, deliverCount int, h HandlerID
 		rt.startMcast(ptrs, deliverCount, h, arg)
 		return
 	}
-	rt.mu.Lock()
-	target := rt.lookupLocked(ptrs[0])
-	rt.mu.Unlock()
+	target, _ := rt.loc.Locate(ptrs[0])
 	if target == rt.node {
 		// ptrs[0] is in flight to us; collect here anyway.
 		rt.startMcast(ptrs, deliverCount, h, arg)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"mrts/internal/obs"
 )
 
@@ -52,6 +54,19 @@ func (rt *Runtime) PublishMetrics(reg *obs.Registry, prefix string) {
 	reg.Gauge(prefix+"msg.recv", func() float64 { return float64(rt.RecvCount()) })
 	reg.Gauge(prefix+"dir.forwarded", func() float64 { return float64(rt.ForwardedCount()) })
 	reg.Gauge(prefix+"dir.updates_sent", func() float64 { return float64(rt.DirUpdatesSent()) })
+	// Routing surface: drops at the hop bound, epoch-staleness retries and
+	// the delivered-message hop histogram.
+	reg.Gauge(prefix+"route.dropped", func() float64 { return float64(rt.RouteDropped()) })
+	reg.Gauge(prefix+"route.stale_retries", func() float64 { return float64(rt.RouteStaleRetries()) })
+	reg.Gauge(prefix+"route.hops_mean", func() float64 { return rt.RouteHopsMean() })
+	for b := 1; b <= hopBuckets; b++ {
+		b := b
+		name := fmt.Sprintf("route.hops_%d", b)
+		if b == hopBuckets {
+			name = fmt.Sprintf("route.hops_%dplus", b)
+		}
+		reg.Gauge(prefix+name, func() float64 { return float64(rt.RouteHopHistogram()[b-1]) })
+	}
 	// Transport counters.
 	ep := rt.ep
 	reg.Gauge(prefix+"comm.msgs_sent", func() float64 { return float64(ep.Stats().MsgsSent) })

@@ -91,8 +91,8 @@ func (rt *Runtime) Migrate(ptr MobilePtr, dest NodeID) error {
 
 	rt.mu.Lock()
 	delete(rt.objects, ptr)
-	rt.dir[ptr] = dest
 	rt.mu.Unlock()
+	rt.loc.Note(ptr, dest)
 	rt.mem.Unregister(id)
 	// The blob leaves with the object — unconditionally, not just for
 	// stOut: an in-core object that was ever evicted here still has a
@@ -110,14 +110,15 @@ func (rt *Runtime) Migrate(ptr MobilePtr, dest NodeID) error {
 		rt.installLocal(in)
 		return err
 	}
-	// Tell the home node where the object went (it is the routing anchor
-	// for nodes with no directory entry).
-	if ptr.Home != rt.node && ptr.Home != dest {
-		rt.dstats.dirUpdates.Add(1)
-		_ = rt.ep.Send(ptr.Home, wireDirUpdate, encodeDirUpdate(ptr, dest))
-	}
-	if rt.dirPolicy == DirEager && rt.numNodes > 0 {
-		rt.broadcastLocation(ptr, dest, rt.numNodes)
+	// Proactively tell whichever nodes the locator anchors routing on (the
+	// home node for the policy locators — plus the whole cluster under
+	// eager — or the ring owner for the placed locator).
+	if targets := rt.loc.MigrateTargets(ptr, dest); len(targets) > 0 {
+		upd := encodeDirUpdate(ptr, dest)
+		for _, n := range targets {
+			rt.dstats.dirUpdates.Add(1)
+			_ = rt.ep.Send(n, wireDirUpdate, upd)
+		}
 	}
 	return nil
 }
@@ -151,10 +152,10 @@ func (rt *Runtime) installLocal(in *install) {
 	}
 	rt.mu.Lock()
 	rt.objects[in.ptr] = lo
-	delete(rt.dir, in.ptr)
 	parked := rt.parked[in.ptr]
 	delete(rt.parked, in.ptr)
 	rt.mu.Unlock()
+	rt.loc.Forget(in.ptr)
 
 	id := oid(in.ptr)
 	_ = rt.mem.Register(id, int64(obj.SizeHint()))
@@ -190,9 +191,7 @@ func (rt *Runtime) RequestMigration(ptr MobilePtr, dest NodeID) {
 	b := make([]byte, 12)
 	putPtr(b[0:8], ptr)
 	binary.LittleEndian.PutUint32(b[8:12], uint32(dest))
-	rt.mu.Lock()
-	target := rt.lookupLocked(ptr)
-	rt.mu.Unlock()
+	target, _ := rt.loc.Locate(ptr)
 	if target == rt.node {
 		return // in flight to us; nothing sensible to do
 	}
@@ -215,10 +214,7 @@ func (rt *Runtime) onWireMigrateReq(msg comm.Message) {
 		return
 	}
 	// Forward toward the current location.
-	rt.mu.Lock()
-	target := rt.lookupLocked(ptr)
-	rt.mu.Unlock()
-	if target != rt.node {
+	if target, _ := rt.loc.Locate(ptr); target != rt.node {
 		_ = rt.ep.Send(target, wireMigrateReq, msg.Payload)
 	}
 }

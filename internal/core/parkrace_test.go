@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mrts/internal/comm"
+	"mrts/internal/ooc"
+	"mrts/internal/sched"
+	"mrts/internal/storage"
+)
+
+// waitQuiescenceOrFail fails the test if the cluster does not reach global
+// termination: a message parked with no path to delivery holds the work
+// counter forever, which is exactly the wedge these tests guard against.
+func waitQuiescenceOrFail(t *testing.T, rts ...*Runtime) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { WaitQuiescence(rts...); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("quiescence never reached: a parked message is holding the work counter")
+	}
+}
+
+// TestPostBeforeCreateDelivers posts to a pointer the peer has not minted
+// yet — legal whenever a shared placement lets nodes predict each other's
+// pointers, and exactly what happens when one node starts a phase while a
+// peer is still creating its blocks. The message parks at the home node;
+// CreateObject must adopt it or termination never fires.
+func TestPostBeforeCreateDelivers(t *testing.T) {
+	c := newCluster(t, 2, 1<<20)
+	registerInc(c)
+	target := MobilePtr{Home: 1, Seq: 1}
+	c.rts[0].Post(target, hInc, nil)
+	time.Sleep(100 * time.Millisecond) // let the message arrive and park
+	if ptr := c.rts[1].CreateObject(&testObj{}); ptr != target {
+		t.Fatalf("minted %v, want %v", ptr, target)
+	}
+	waitQuiescenceOrFail(t, c.rts...)
+	got := make(chan int64, 1)
+	c.rts[1].Register(98, func(ctx *Ctx, arg []byte) { got <- ctx.Object().(*testObj).Count })
+	c.rts[1].Post(target, 98, nil)
+	if v := <-got; v != 1 {
+		t.Fatalf("Count = %d, want 1 (parked message lost)", v)
+	}
+}
+
+// TestPostBeforeRestoreDelivers is the rejoin version of the same race: a
+// peer posts to a checkpointed object while its node is back up but has not
+// restored yet. The message parks; Restore must adopt it into the restored
+// object's queue.
+func TestPostBeforeRestoreDelivers(t *testing.T) {
+	// A throwaway incarnation of node 1 creates the object and checkpoints.
+	ck := storage.NewMem()
+	tr := comm.NewInProc(2, comm.LatencyModel{})
+	pool := sched.NewWorkStealing(2)
+	rtOld := NewRuntime(Config{
+		Endpoint: tr.Endpoint(1),
+		Pool:     pool,
+		Factory:  testFactory,
+		Mem:      ooc.Config{Budget: 1 << 20},
+		Store:    storage.NewMem(),
+	})
+	target := rtOld.CreateObject(&testObj{Count: 7})
+	if err := rtOld.Checkpoint(ck, "ck"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtOld.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	tr.Close()
+
+	// The relaunched cluster: node 1 is up (joined, routing) but empty.
+	c := newCluster(t, 2, 1<<20)
+	registerInc(c)
+	c.rts[0].Post(target, hInc, nil)
+	time.Sleep(100 * time.Millisecond) // let the message arrive and park
+	if err := c.rts[1].Restore(ck, "ck"); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiescenceOrFail(t, c.rts...)
+	got := make(chan int64, 1)
+	c.rts[1].Register(98, func(ctx *Ctx, arg []byte) { got <- ctx.Object().(*testObj).Count })
+	c.rts[1].Post(target, 98, nil)
+	if v := <-got; v != 8 {
+		t.Fatalf("Count = %d, want 8 (checkpointed 7 + parked increment)", v)
+	}
+}

@@ -72,11 +72,17 @@ type Config struct {
 	// ahead of need when memory is available (<= 0 means 2).
 	PrefetchDepth int
 	// Directory selects the location-management policy (default DirLazy,
-	// the paper's choice).
+	// the paper's choice). Ignored when Locator is set.
 	Directory DirectoryPolicy
 	// NumNodes is the cluster size, needed by the eager directory policy
-	// to broadcast migrations. Zero disables broadcasting.
+	// to broadcast migrations. Zero disables broadcasting. Ignored when
+	// Locator is set.
 	NumNodes int
+	// Locator, when non-nil, replaces the home-anchored policy locator as
+	// the routing seam: first-hop resolution, the location cache, and the
+	// staleness-feedback fan-outs all go through it. cluster.New injects a
+	// directory-backed locator here for placement-aware routing.
+	Locator Locator
 	// Clock is the time source for message timestamps, handler accounting,
 	// termination probing and swap waits. Nil means the wall clock; the
 	// simulation harness injects a virtual clock. It is also the default
@@ -127,9 +133,13 @@ type Runtime struct {
 
 	mu      sync.Mutex
 	objects map[MobilePtr]*localObject
-	dir     map[MobilePtr]NodeID
 	parked  map[MobilePtr][]*appMsg
 	seq     uint32
+
+	// loc is the routing seam (first-hop resolution + location cache). It
+	// lives outside rt.mu: Locate/Note never touch the object table, and
+	// the locator never takes runtime locks.
+	loc Locator
 
 	hmu      sync.RWMutex
 	handlers map[HandlerID]Handler
@@ -150,9 +160,7 @@ type Runtime struct {
 	commDelay func(int) time.Duration
 	diskDelay func(int) time.Duration
 
-	dirPolicy DirectoryPolicy
-	numNodes  int
-	dstats    dirStats
+	dstats dirStats
 
 	closed atomic.Bool
 
@@ -188,12 +196,17 @@ func NewRuntime(cfg Config) *Runtime {
 			userRetryHook(key, attempt, err)
 		}
 	}
+	loc := cfg.Locator
+	if loc == nil {
+		loc = NewPolicyLocator(cfg.Directory, cfg.Endpoint.Node(), cfg.NumNodes)
+	}
 	rt := &Runtime{
 		node:    cfg.Endpoint.Node(),
 		ep:      cfg.Endpoint,
 		pool:    cfg.Pool,
 		factory: cfg.Factory,
 		mem:     mem,
+		loc:     loc,
 		io: swapio.New(cfg.Store, swapio.Config{
 			Workers:    cfg.IOWorkers,
 			QueueBound: cfg.QueueDepth,
@@ -206,15 +219,12 @@ func NewRuntime(cfg Config) *Runtime {
 		clk:       clk,
 		pfDepth:   cfg.PrefetchDepth,
 		objects:   make(map[MobilePtr]*localObject),
-		dir:       make(map[MobilePtr]NodeID),
 		parked:    make(map[MobilePtr][]*appMsg),
 		handlers:  make(map[HandlerID]Handler),
 		mcasts:    newMcastTable(),
 		term:      newTermState(),
 		commDelay: cfg.CommDelay,
 		diskDelay: cfg.DiskDelay,
-		dirPolicy: cfg.Directory,
-		numNodes:  cfg.NumNodes,
 	}
 	rt.onSwapError = cfg.OnSwapError
 	rt.ep.Register(wireApp, rt.onWireApp)
@@ -268,15 +278,34 @@ func storeKey(p MobilePtr) storage.Key {
 
 // CreateObject registers obj as a new mobile object homed on this node and
 // returns its mobile pointer.
+//
+// Peers that predict this node's pointer sequence (a shared placement does)
+// can post to the pointer before the object exists; those messages park here,
+// so creation must drain the parked set or they — and the work counter they
+// hold — would be stranded forever.
 func (rt *Runtime) CreateObject(obj Object) MobilePtr {
 	rt.mu.Lock()
 	rt.seq++
 	ptr := MobilePtr{Home: rt.node, Seq: rt.seq}
 	lo := &localObject{ptr: ptr, typeID: obj.TypeID(), obj: obj, state: stInCore}
 	rt.objects[ptr] = lo
+	parked := rt.parked[ptr]
+	delete(rt.parked, ptr)
 	rt.mu.Unlock()
 	if err := rt.mem.Register(oid(ptr), int64(obj.SizeHint())); err != nil {
 		panic(err) // impossible: seq is unique
+	}
+	if len(parked) > 0 {
+		lo.mu.Lock()
+		for _, m := range parked {
+			lo.queue = append(lo.queue, queued{handler: m.handler, sentAt: m.sentAt, arg: m.arg})
+		}
+		rt.mem.SetQueueLen(oid(ptr), len(lo.queue))
+		if !lo.scheduled {
+			lo.scheduled = true
+			rt.pool.Submit(func(sc *sched.Ctx) { rt.drain(lo, sc) })
+		}
+		lo.mu.Unlock()
 	}
 	rt.maybeEvictForSoft()
 	return ptr
@@ -302,23 +331,37 @@ func (rt *Runtime) route(m *appMsg) {
 		rt.enqueueLocal(lo, queued{handler: m.handler, sentAt: m.sentAt, arg: m.arg})
 		return
 	}
-	target := rt.lookupLocked(m.dst)
+	rt.mu.Unlock()
+	target, epoch := rt.loc.Locate(m.dst)
 	if target == rt.node {
-		// The directory says the object should be here but it is not:
-		// it is in flight to us (migration) or the directory is stale.
-		// Park the message; install/dirUpdate will re-route it.
+		// The locator says the object should be here but it is not: it is
+		// in flight to us (migration), not created yet, or the view is
+		// stale. Park the message; install/create/restore/dirUpdate/
+		// ReRouteParked will re-route it. The object table is re-checked
+		// under rt.mu so an install landing between the check above and the
+		// park cannot strand the message: every path that makes a pointer
+		// local drains the parked set under this same lock.
+		rt.mu.Lock()
+		if lo, ok := rt.objects[m.dst]; ok {
+			rt.mu.Unlock()
+			rt.enqueueLocal(lo, queued{handler: m.handler, sentAt: m.sentAt, arg: m.arg})
+			return
+		}
 		rt.parked[m.dst] = append(rt.parked[m.dst], m)
 		rt.mu.Unlock()
 		return
 	}
-	rt.mu.Unlock()
 	if len(m.route) >= maxForwardHops {
 		// The object is unreachable (lost to a failed install, or a
 		// directory cycle): drop the message instead of forwarding it
-		// forever. Termination then remains detectable.
+		// forever. Termination then remains detectable — and the loss is
+		// loud: counted, traced, and a quiescent invariant violation.
+		rt.dstats.dropped.Add(1)
+		rt.tracer.Emit(obs.KindRouteDrop, uint64(oid(m.dst)), int64(len(m.route)))
 		rt.work.Add(-1)
 		return
 	}
+	m.epoch = epoch
 	m.route = append(m.route, rt.node)
 	rt.sent.Add(1)
 	rt.work.Add(-1)
@@ -342,22 +385,27 @@ func (rt *Runtime) onWireApp(msg comm.Message) {
 	lo, ok := rt.objects[m.dst]
 	rt.mu.Unlock()
 	if ok {
-		if rt.dirPolicy == DirLazy && len(m.route) > 1 {
-			// The message was forwarded at least once: lazily update the
-			// stale nodes it was routed through. The final hop already
-			// knew the right location, so it is skipped.
-			for _, via := range m.route[:len(m.route)-1] {
-				if via != rt.node {
-					rt.dstats.dirUpdates.Add(1)
-					upd := encodeDirUpdate(m.dst, rt.node)
-					_ = rt.ep.Send(via, wireDirUpdate, upd)
-				}
+		// Delivered: repair whatever stale nodes the locator wants told
+		// (the lazy chain, the placed locator's overridden senders).
+		if targets := rt.loc.FeedbackTargets(m.route); len(targets) > 0 {
+			upd := encodeDirUpdate(m.dst, rt.node)
+			for _, via := range targets {
+				rt.dstats.dirUpdates.Add(1)
+				_ = rt.ep.Send(via, wireDirUpdate, upd)
 			}
 		}
+		rt.dstats.observeHops(len(m.route))
 		rt.enqueueLocal(lo, queued{handler: m.handler, sentAt: m.sentAt, arg: m.arg})
 		return
 	}
 	rt.dstats.forwarded.Add(1)
+	if m.epoch != 0 && m.epoch != rt.loc.Epoch() {
+		// The sender resolved against a directory epoch that has since
+		// moved on: this is a versioned-staleness retry, not a forwarding
+		// chain. route() below re-resolves at the current epoch.
+		rt.dstats.staleRetries.Add(1)
+		rt.tracer.Emit(obs.KindRouteStale, uint64(oid(m.dst)), int64(m.epoch))
+	}
 	rt.route(m)
 }
 
@@ -366,7 +414,12 @@ func (rt *Runtime) onWireDirUpdate(msg comm.Message) {
 	if err != nil {
 		return
 	}
-	rt.recordLocation(ptr, at)
+	rt.mu.Lock()
+	_, local := rt.objects[ptr]
+	rt.mu.Unlock()
+	if !local {
+		rt.loc.Note(ptr, at)
+	}
 	rt.mu.Lock()
 	parked := rt.parked[ptr]
 	delete(rt.parked, ptr)
@@ -374,6 +427,28 @@ func (rt *Runtime) onWireDirUpdate(msg comm.Message) {
 	for _, m := range parked {
 		rt.route(m)
 	}
+}
+
+// ReRouteParked re-resolves every parked message against the locator and
+// re-routes those whose first hop is no longer this node. Cluster churn
+// calls it after a membership epoch bump: a message parked here awaiting an
+// object whose placement moved to another node would otherwise wait forever
+// (parked messages hold the work counter, so termination would never fire).
+// Returns the number of messages re-routed.
+func (rt *Runtime) ReRouteParked() int {
+	rt.mu.Lock()
+	var ms []*appMsg
+	for ptr, list := range rt.parked {
+		if target, _ := rt.loc.Locate(ptr); target != rt.node {
+			ms = append(ms, list...)
+			delete(rt.parked, ptr)
+		}
+	}
+	rt.mu.Unlock()
+	for _, m := range ms {
+		rt.route(m)
+	}
+	return len(ms)
 }
 
 // enqueueLocal queues q for local object lo and makes sure progress happens:

@@ -16,7 +16,8 @@ const (
 type appMsg struct {
 	dst     MobilePtr
 	handler HandlerID
-	sentAt  int64 // unix nanos at original send, for comm-time accounting
+	sentAt  int64  // unix nanos at original send, for comm-time accounting
+	epoch   uint64 // locator epoch at last resolution (0 = unversioned)
 	route   []NodeID
 	arg     []byte
 }
@@ -34,15 +35,17 @@ func getPtr(b []byte) MobilePtr {
 }
 
 // encodeApp encodes an application message.
-// Layout: ptr(8) handler(4) sentAt(8) routeLen(2) route(4 each) argLen(4) arg.
+// Layout: ptr(8) handler(4) sentAt(8) epoch(8) routeLen(2) route(4 each)
+// argLen(4) arg.
 func encodeApp(m *appMsg) []byte {
-	n := 8 + 4 + 8 + 2 + 4*len(m.route) + 4 + len(m.arg)
+	n := 8 + 4 + 8 + 8 + 2 + 4*len(m.route) + 4 + len(m.arg)
 	b := make([]byte, n)
 	putPtr(b[0:8], m.dst)
 	binary.LittleEndian.PutUint32(b[8:12], uint32(m.handler))
 	binary.LittleEndian.PutUint64(b[12:20], uint64(m.sentAt))
-	binary.LittleEndian.PutUint16(b[20:22], uint16(len(m.route)))
-	off := 22
+	binary.LittleEndian.PutUint64(b[20:28], m.epoch)
+	binary.LittleEndian.PutUint16(b[28:30], uint16(len(m.route)))
+	off := 30
 	for _, r := range m.route {
 		binary.LittleEndian.PutUint32(b[off:off+4], uint32(r))
 		off += 4
@@ -54,16 +57,17 @@ func encodeApp(m *appMsg) []byte {
 }
 
 func decodeApp(b []byte) (*appMsg, error) {
-	if len(b) < 26 {
+	if len(b) < 34 {
 		return nil, fmt.Errorf("core: short app message (%d bytes)", len(b))
 	}
 	m := &appMsg{
 		dst:     getPtr(b[0:8]),
 		handler: HandlerID(binary.LittleEndian.Uint32(b[8:12])),
 		sentAt:  int64(binary.LittleEndian.Uint64(b[12:20])),
+		epoch:   binary.LittleEndian.Uint64(b[20:28]),
 	}
-	nr := int(binary.LittleEndian.Uint16(b[20:22]))
-	off := 22
+	nr := int(binary.LittleEndian.Uint16(b[28:30]))
+	off := 30
 	if len(b) < off+4*nr+4 {
 		return nil, fmt.Errorf("core: truncated app message route")
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"mrts/internal/cluster"
 	"mrts/internal/comm"
 	"mrts/internal/core"
 	"mrts/internal/meshgen"
@@ -40,7 +41,7 @@ type worker struct {
 	d  *meshgen.Dist
 }
 
-func startWorker(t *testing.T, seed string, want comm.NodeID) *worker {
+func startWorker(t *testing.T, seed string, want comm.NodeID, routing cluster.RoutingKind) *worker {
 	t.Helper()
 	// The seed refuses to reissue an ID while it still believes the old
 	// incarnation is up (leave/expiry processing races the rejoin), so a
@@ -64,14 +65,25 @@ func startWorker(t *testing.T, seed string, want comm.NodeID) *worker {
 	if err != nil {
 		t.Fatalf("start node: %v", err)
 	}
-	rt := core.NewRuntime(core.Config{
+	pl, err := meshgen.NewPlacement(distCfg(e2eNodes, int(tn.Node())))
+	if err != nil {
+		t.Fatalf("placement node %d: %v", tn.Node(), err)
+	}
+	cc := core.Config{
 		Endpoint: tn,
 		Pool:     sched.NewWorkStealing(2),
 		Factory:  meshgen.Factory,
 		Mem:      ooc.Config{Budget: e2eBudget},
 		Store:    storage.NewMem(),
-	})
-	d, err := meshgen.NewDist(rt, distCfg(e2eNodes, int(tn.Node())))
+	}
+	// Mirror cmd/meshnode's locator wiring: under placed routing, the
+	// placement ring doubles as the runtime's locator, keyed by the block
+	// names the placement hashed (not the canonical pointer keys).
+	if routing == cluster.RoutePlaced {
+		cc.Locator = cluster.NewPlacedLocatorKeyed(pl.Dir, core.NodeID(tn.Node()), pl.Key)
+	}
+	rt := core.NewRuntime(cc)
+	d, err := meshgen.NewDistFrom(rt, distCfg(e2eNodes, int(tn.Node())), pl)
 	if err != nil {
 		t.Fatalf("dist node %d: %v", tn.Node(), err)
 	}
@@ -150,14 +162,22 @@ func singleNodeBaseline(t *testing.T) []meshgen.BlockDump {
 // and restored — produces a mesh byte-identical to a single-node run, with
 // every block reported exactly once (zero objects lost).
 func TestKillRejoinMatchesSingleNode(t *testing.T) {
+	// Both routing modes the CI lane cares about: lazy is the paper's
+	// default, placed is what cmd/meshctl pins (and what the anchor-keyed
+	// locator wiring must survive across the kill/rejoin).
+	t.Run("lazy", func(t *testing.T) { killRejoin(t, cluster.RouteLazy) })
+	t.Run("placed", func(t *testing.T) { killRejoin(t, cluster.RoutePlaced) })
+}
+
+func killRejoin(t *testing.T, routing cluster.RoutingKind) {
 	base := singleNodeBaseline(t)
 	if len(base) != e2eBlocks*e2eBlocks {
 		t.Fatalf("baseline dumped %d blocks, want %d", len(base), e2eBlocks*e2eBlocks)
 	}
 
-	seed := startWorker(t, "", 0)
-	w1 := startWorker(t, seed.tn.Addr(), -1)
-	w2 := startWorker(t, seed.tn.Addr(), -1)
+	seed := startWorker(t, "", 0, routing)
+	w1 := startWorker(t, seed.tn.Addr(), -1, routing)
+	w2 := startWorker(t, seed.tn.Addr(), -1, routing)
 	ws := []*worker{seed, w1, w2}
 	for _, w := range ws {
 		if err := w.tn.WaitMembers(e2eNodes, 5*time.Second); err != nil {
@@ -187,7 +207,7 @@ func TestKillRejoinMatchesSingleNode(t *testing.T) {
 	w2.tn.Close()
 
 	// Rejoin under the same node ID at a fresh address and restore.
-	w2b := startWorker(t, seed.tn.Addr(), 2)
+	w2b := startWorker(t, seed.tn.Addr(), 2, routing)
 	if w2b.tn.Node() != 2 {
 		t.Fatalf("rejoin assigned node %d, want 2", w2b.tn.Node())
 	}

@@ -82,6 +82,76 @@ func (b BlockDump) String() string {
 	return fmt.Sprintf("%d %d %d %s", b.J, b.I, b.Elements, b.Hash)
 }
 
+// Placement is the deterministic block→node mapping every process of a run
+// computes identically: the consistent-hash directory over the node set plus
+// the predicted MobilePtr table derived from it. It exists as a standalone
+// value so a worker can build it before its runtime — the directory doubles
+// as the runtime's placement-aware locator (cluster.NewPlacedLocatorKeyed
+// with Placement.Key), and since blocks are created at their ring owners,
+// that locator resolves every first hop to the correct node with zero
+// forwarding.
+type Placement struct {
+	// Dir is the placement ring (identical in every process of the run).
+	Dir *cluster.Directory
+	// Ptrs is the global pointer table, indexed j*Blocks+i.
+	Ptrs []core.MobilePtr
+	// Owners is the owner per block, same indexing.
+	Owners []core.NodeID
+	// Order is the canonical creation order (indexes into Ptrs).
+	Order []int
+
+	keys map[core.MobilePtr]string // ptr -> the "block-i-j" key that placed it
+}
+
+// Key is the placement-key function for the run's locator
+// (cluster.NewPlacedLocatorKeyed): blocks were placed on the ring by their
+// "block-i-j" names, so first-hop resolution must ask the ring by those same
+// names — the canonical PtrKey of a block pointer hashes elsewhere entirely.
+// Pointers outside the block table (none exist in this workload) fall back
+// to the canonical key.
+func (pl *Placement) Key(ptr core.MobilePtr) string {
+	if k, ok := pl.keys[ptr]; ok {
+		return k
+	}
+	return cluster.PtrKey(ptr)
+}
+
+// NewPlacement computes the shared placement table for a run configuration.
+// It predicts every block's MobilePtr: owner from the directory, Seq from
+// the owner's creation order (CreateObject assigns 1, 2, ... on a fresh
+// runtime). The canonical order is top-right first — j then i descending —
+// so each block's right/top neighbors are already placed when it is.
+func NewPlacement(cfg DistConfig) (*Placement, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	ids := make([]core.NodeID, cfg.Nodes)
+	for i := range ids {
+		ids[i] = core.NodeID(i)
+	}
+	pl := &Placement{Dir: cluster.NewDirectory(ids, cfg.VNodes)}
+
+	nb := cfg.Blocks
+	pl.Ptrs = make([]core.MobilePtr, nb*nb)
+	pl.Owners = make([]core.NodeID, nb*nb)
+	pl.Order = make([]int, 0, nb*nb)
+	pl.keys = make(map[core.MobilePtr]string, nb*nb)
+	seq := make([]uint32, cfg.Nodes)
+	for j := nb - 1; j >= 0; j-- {
+		for i := nb - 1; i >= 0; i-- {
+			idx := j*nb + i
+			key := fmt.Sprintf("block-%d-%d", i, j)
+			owner, _ := pl.Dir.Owner(key)
+			seq[owner]++
+			pl.Ptrs[idx] = core.MobilePtr{Home: owner, Seq: seq[owner]}
+			pl.Owners[idx] = owner
+			pl.Order = append(pl.Order, idx)
+			pl.keys[pl.Ptrs[idx]] = key
+		}
+	}
+	return pl, nil
+}
+
 // Dist drives one node of a distributed OUPDR run.
 type Dist struct {
 	rt  *core.Runtime
@@ -100,36 +170,26 @@ type Dist struct {
 // rt. It does not create objects: call CreateBlocks on a fresh start, or
 // Restore when relaunching from a checkpoint.
 func NewDist(rt *core.Runtime, cfg DistConfig) (*Dist, error) {
+	pl, err := NewPlacement(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewDistFrom(rt, cfg, pl)
+}
+
+// NewDistFrom registers the OUPDR handlers on rt against a placement the
+// caller already computed — the path workers take when the placement also
+// feeds the runtime's locator, so both views come from one directory.
+func NewDistFrom(rt *core.Runtime, cfg DistConfig, pl *Placement) (*Dist, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	d := &Dist{rt: rt, cfg: cfg, sh: &oupdrShared{}}
-
-	ids := make([]core.NodeID, cfg.Nodes)
-	for i := range ids {
-		ids[i] = core.NodeID(i)
-	}
-	dir := cluster.NewDirectory(ids, cfg.VNodes)
-
-	// Predict every block's MobilePtr: owner from the directory, Seq from
-	// the owner's creation order (CreateObject assigns 1, 2, ... on a fresh
-	// runtime). The canonical order is top-right first — j then i descending
-	// — so each block's right/top neighbors are already placed when it is.
 	nb := cfg.Blocks
-	d.ptrs = make([]core.MobilePtr, nb*nb)
-	d.owners = make([]core.NodeID, nb*nb)
-	d.order = make([]int, 0, nb*nb)
-	seq := make([]uint32, cfg.Nodes)
-	for j := nb - 1; j >= 0; j-- {
-		for i := nb - 1; i >= 0; i-- {
-			idx := j*nb + i
-			owner, _ := dir.Owner(fmt.Sprintf("block-%d-%d", i, j))
-			seq[owner]++
-			d.ptrs[idx] = core.MobilePtr{Home: owner, Seq: seq[owner]}
-			d.owners[idx] = owner
-			d.order = append(d.order, idx)
-		}
+	if len(pl.Ptrs) != nb*nb {
+		return nil, fmt.Errorf("meshgen: placement is for %d blocks, config wants %d", len(pl.Ptrs), nb*nb)
 	}
+	d := &Dist{rt: rt, cfg: cfg, sh: &oupdrShared{},
+		ptrs: pl.Ptrs, owners: pl.Owners, order: pl.Order}
 
 	rt.Register(hBlockMesh, func(c *core.Ctx, arg []byte) {
 		oupdrMeshHandler(c, c.Object().(*blockObj), d.sh)

@@ -95,6 +95,14 @@ const (
 	// a membership change (ID: the object's packed mobile pointer, Arg:
 	// the destination node).
 	KindDirRebalance
+	// KindRouteStale marks a received message whose carried resolution
+	// epoch was older than the locator's current one (ID: the object's
+	// packed mobile pointer, Arg: the stale epoch).
+	KindRouteStale
+	// KindRouteDrop marks a message dropped at the forward-hop bound —
+	// always a routing defect, surfaced by CheckInvariants too (ID: the
+	// object's packed mobile pointer, Arg: the hop count at the drop).
+	KindRouteDrop
 	numKinds
 )
 
@@ -145,6 +153,10 @@ func (k Kind) String() string {
 		return "node.leave"
 	case KindDirRebalance:
 		return "dir.rebalance"
+	case KindRouteStale:
+		return "route.stale"
+	case KindRouteDrop:
+		return "route.drop"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -157,7 +169,7 @@ func (k Kind) Track() string {
 	case KindSwapEvict, KindSwapLoad, KindSwapRetry, KindSwapStoreFail, KindSwapLost,
 		KindSwapWait, KindSwapCancel, KindSwapStall:
 		return "swap"
-	case KindCommSend, KindCommDeliver:
+	case KindCommSend, KindCommDeliver, KindRouteStale, KindRouteDrop:
 		return "comm"
 	case KindSchedRun, KindSchedSteal:
 		return "sched"

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+
+	"mrts/internal/core"
+)
+
+// RoutedChurnStorm is the routing-invariants scenario: an increment storm on
+// a cluster whose first hops resolve off the epoch-versioned consistent-hash
+// ring (the placed locator), racing the three things that make a resolution
+// stale — migration drift off the ring placement, a graceful leave that
+// re-homes a node's keys, and the rejoin that takes them back. Every
+// increment must land exactly once, no message may die at the forward-hop
+// bound (the loud-drop counter is audited both here and in the harness's
+// quiescent CheckInvariants pass), and the placement invariants must hold at
+// every epoch boundary.
+type RoutedChurnStorm struct{}
+
+// Name implements Scenario.
+func (RoutedChurnStorm) Name() string { return "routed-churn-storm" }
+
+// Fault implements Scenario.
+func (RoutedChurnStorm) Fault() FaultKind { return FaultRoutedChurn }
+
+// Run implements Scenario.
+func (RoutedChurnStorm) Run(env *Env) error {
+	board := &counterBoard{counts: make(map[core.MobilePtr]int64)}
+	registerHandlers(env, board)
+	ptrs := buildObjects(env)
+	churn := env.Plan.ChurnNode
+	posts := env.Plan.Nodes * env.Plan.Objects * env.Plan.Messages
+	third := posts / 3
+	env.Note("routed storm of %d posts under placed routing; node %d leaves and rejoins", posts, churn)
+
+	// Settle every object at its ring owner first — the placement contract a
+	// directory-driven application establishes by construction (meshgen
+	// creates blocks at their owners). Until then the ring answers nothing
+	// about these birth placements, so this must precede the first post.
+	settled, err := env.Cluster.SettleAtOwners()
+	if err != nil {
+		return fmt.Errorf("settle: %w", err)
+	}
+	env.Record("settled", int64(settled))
+
+	expected := postStorm(env, ptrs, third)
+
+	// Migration drift: pull seed-drawn objects off their ring placement while
+	// the storm is still in flight, so placed resolutions go stale and the
+	// override/feedback repair path carries the load. Fire-and-forget like
+	// MigrationShuffle: a busy object staying put changes no count.
+	for i := 0; i < len(ptrs); i++ {
+		p := ptrs[env.Rng.Intn(len(ptrs))]
+		dest := core.NodeID(env.Rng.Intn(env.Plan.Nodes))
+		env.Cluster.RT(int(p.Home)).RequestMigration(p, dest)
+	}
+	for p, n := range postStorm(env, ptrs, third) {
+		expected[p] += n
+	}
+	env.WaitTermination()
+
+	// A leave and a rejoin bump the membership epoch twice: every cached
+	// resolution taken before is now stale and must re-resolve against the
+	// new ring rather than trusting the old chain.
+	if _, err := env.Cluster.LeaveNode(churn); err != nil {
+		return fmt.Errorf("leave node %d: %w", churn, err)
+	}
+	if err := auditPlacement(env, "after leave"); err != nil {
+		return err
+	}
+	if _, err := env.Cluster.JoinNode(churn); err != nil {
+		return fmt.Errorf("rejoin node %d: %w", churn, err)
+	}
+	if err := auditPlacement(env, "after join"); err != nil {
+		return err
+	}
+
+	for p, n := range postStorm(env, ptrs, posts-2*third) {
+		expected[p] += n
+	}
+	env.WaitTermination()
+
+	// The loud-drop contract, asserted where the failure names the scenario:
+	// a routing cycle or a lost install surfaces as a counted drop, never as
+	// a silently missing increment.
+	if d := env.Cluster.RouteStats().Dropped; d != 0 {
+		return fmt.Errorf("%d messages dropped at the forward-hop bound", d)
+	}
+
+	got := reportPhase(env, board, ptrs)
+	return verifyCounts(env, ptrs, got, expected)
+}

@@ -53,6 +53,11 @@ const (
 	// teardown, restart) — and the directory invariants must hold through
 	// every membership epoch.
 	FaultNodeCrash
+	// FaultRoutedChurn is FaultNodeCrash on a cluster routed by the placed
+	// locator: first hops resolve off the epoch-versioned ring, so the
+	// scenario races stale-epoch re-resolution and override repair against
+	// migration drift and membership churn.
+	FaultRoutedChurn
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +73,8 @@ func (k FaultKind) String() string {
 		return "tier-transient"
 	case FaultNodeCrash:
 		return "node-crash"
+	case FaultRoutedChurn:
+		return "routed-churn"
 	default:
 		return "invalid"
 	}
@@ -134,7 +141,7 @@ func expandPlan(seed int64, kind FaultKind) Plan {
 		} else {
 			p.TierCapacity = int64(2_000 + rng.Intn(10_000))
 		}
-	case FaultNodeCrash:
+	case FaultNodeCrash, FaultRoutedChurn:
 		p.ChurnNode = rng.Intn(p.Nodes)
 	}
 	return p
@@ -171,6 +178,8 @@ func (p Plan) clusterConfig(clk Clock, factory core.Factory) cluster.Config {
 		}
 	}
 	switch p.Fault {
+	case FaultRoutedChurn:
+		cfg.Routing = cluster.RoutePlaced
 	case FaultTransient:
 		cfg.Fault = &storage.FaultConfig{
 			Seed:          p.Seed,

@@ -19,7 +19,7 @@ var (
 
 // scenarioForSeed distributes the seed space across the scenarios.
 func scenarioForSeed(seed int64) Scenario {
-	switch seed % 7 {
+	switch seed % 8 {
 	case 0:
 		return CounterStorm{}
 	case 1:
@@ -32,8 +32,10 @@ func scenarioForSeed(seed int64) Scenario {
 		return TieredFaultStorm{}
 	case 5:
 		return NodeChurnStorm{}
-	default:
+	case 6:
 		return NodeCrashStorm{}
+	default:
+		return RoutedChurnStorm{}
 	}
 }
 
@@ -88,7 +90,7 @@ func TestSoak(t *testing.T) {
 // exported traces to match byte for byte — the property that makes
 // -sim.seed replays trustworthy.
 func TestSeedReplayByteEqual(t *testing.T) {
-	for seed := int64(1); seed <= 7; seed++ {
+	for seed := int64(1); seed <= 8; seed++ {
 		first := runSeed(t, seed)
 		second := runSeed(t, seed)
 		if !bytes.Equal(first.TraceBytes(), second.TraceBytes()) {
