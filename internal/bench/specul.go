@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+
+	"mrts/internal/cluster"
+	"mrts/internal/meshgen"
+	"mrts/internal/ooc"
+)
+
+// Specul sweeps the conflict probability of speculative refinement (S-UPDR)
+// against the bulk-synchronous OUPDR baseline on the same out-of-core
+// cluster shape. Bulk-sync OUPDR pays a full barrier between the mesh and
+// interface phases; S-UPDR refines optimistically and resolves interface
+// conflicts by snapshot rollback, so at low conflict probability it should
+// win, and as the probability rises toward the worst case the rollback
+// retries eat the lead. Every speculative cell must still produce the
+// byte-identical mesh (canonical sorted-triangle digest) — a hash mismatch
+// fails the experiment outright rather than showing up as a soft metric.
+//
+// Gated metrics: bulk/speed_oupdr and p*/speed_supdr (relative lower bound,
+// like every speed metric) and p*/conflict_rate (conflicts per interior
+// interface, relative upper bound plus absolute slack — the p00 cell's
+// healthy baseline is exactly zero). The speedup column is informational:
+// wall-clock ratios are too machine-dependent to gate directly, the speed
+// floors on both methods bound the same regression.
+func Specul(opts Options) (*Table, error) {
+	size := opts.size(60000)
+	const blocks = 3
+	cfg := meshgen.UPDRConfig{Blocks: blocks, TargetElements: size}
+	// First-epoch announcement count of the blocks×blocks grid: each of the
+	// 2·b·(b-1) interior interfaces is announced once from each side. The
+	// deterministic unit conflict_rate is normalized by — retries push the
+	// rate above prob, which is the sweep's point.
+	interfaces := float64(4 * blocks * (blocks - 1))
+
+	t := &Table{
+		ID:      "specul",
+		Title:   "speculative refinement (S-UPDR) vs bulk-synchronous OUPDR",
+		Headers: []string{"method", "prob", "time", "speed", "speedup", "loads", "conflicts", "rollbacks", "rate"},
+		Notes: []string{
+			"speedup is S-UPDR over bulk-sync OUPDR wall clock on the identical cluster; rate is conflicts per interior interface",
+			"loads counts cold swap reloads: S-UPDR folds the digest into commit and ships interfaces at first refinement, so it skips the bulk-sync dump pass entirely",
+			"every cell's mesh digest must equal the bulk-sync digest: speculation may reorder work, never change it",
+		},
+	}
+
+	newCluster := func(label string) (*cluster.Cluster, func(), error) {
+		// Two thirds of the mesh fits in memory: speculation snapshots and
+		// conflict multicasts ride the same swap path the rest of the
+		// harness measures, not an all-in-core fast path.
+		return oocCluster(opts.PEs, size*2/3, ooc.LRU, cluster.WorkStealing, 1,
+			opts.Trace, "specul/"+label+"/")
+	}
+
+	cl, cleanup, err := newCluster("bulk")
+	if err != nil {
+		return nil, err
+	}
+	bulk, err := meshgen.RunOUPDR(cl, cfg)
+	bulkLoads := cl.MemStats().Loads
+	cleanup()
+	if err != nil {
+		return nil, fmt.Errorf("bench: specul bulk-sync baseline: %w", err)
+	}
+	if bulk.MeshHash == "" {
+		return nil, fmt.Errorf("bench: specul bulk-sync baseline produced no mesh digest")
+	}
+	t.AddRow("OUPDR", "-", fmtDur(bulk.Elapsed), fmt.Sprintf("%.0f", bulk.Speed()),
+		"1.00x", fmtInt(int(bulkLoads)), "-", "-", "-")
+	t.SetMetric("bulk/speed_oupdr", bulk.Speed())
+	t.SetMetric("bulk/time_mesh_sec", bulk.Elapsed.Seconds())
+	t.SetMetric("bulk/swap_loads", float64(bulkLoads))
+
+	for _, prob := range []float64{0, 0.1, 0.5} {
+		label := fmt.Sprintf("p%02d", int(prob*100+0.5))
+		cl, cleanup, err := newCluster(label)
+		if err != nil {
+			return nil, err
+		}
+		res, err := meshgen.RunSUPDR(cl, meshgen.SUPDRConfig{
+			UPDRConfig:   cfg,
+			ConflictProb: prob,
+			Seed:         opts.seedFor(31),
+		})
+		loads := cl.MemStats().Loads
+		cleanup()
+		if err != nil {
+			return nil, fmt.Errorf("bench: specul prob %.1f: %w", prob, err)
+		}
+		if res.MeshHash != bulk.MeshHash {
+			return nil, fmt.Errorf("bench: specul prob %.1f: mesh digest %s != bulk-sync %s (speculation corrupted the mesh)",
+				prob, res.MeshHash, bulk.MeshHash)
+		}
+		if !res.Conforming {
+			return nil, fmt.Errorf("bench: specul prob %.1f: committed interfaces do not conform", prob)
+		}
+		rate := float64(res.Conflicts) / interfaces
+		speedup := float64(bulk.Elapsed) / float64(res.Elapsed)
+		t.AddRow("S-UPDR", fmt.Sprintf("%.1f", prob), fmtDur(res.Elapsed),
+			fmt.Sprintf("%.0f", res.Speed()), fmt.Sprintf("%.2fx", speedup),
+			fmtInt(int(loads)), fmtInt(int(res.Conflicts)), fmtInt(int(res.Rollbacks)),
+			fmt.Sprintf("%.2f", rate))
+		pfx := label + "/"
+		t.SetMetric(pfx+"speed_supdr", res.Speed())
+		t.SetMetric(pfx+"conflict_rate", rate)
+		t.SetMetric(pfx+"rollbacks", float64(res.Rollbacks))
+		t.SetMetric(pfx+"speedup_vs_bulk", speedup)
+		t.SetMetric(pfx+"swap_loads", float64(loads))
+	}
+	return t, nil
+}

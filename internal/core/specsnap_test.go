@@ -1,0 +1,271 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// The object-granular speculation snapshots behind S-UPDR: SnapshotObject
+// captures an object's serialized state, RollbackObject restores it,
+// CommitObject discards it. The tests here cover the lifecycle edges the
+// speculative refinement protocol depends on — rollback from inside a
+// running handler, snapshots traveling with migration, surviving eviction,
+// and being discarded (never leaked) when the object is destroyed while a
+// multicast is still collecting it.
+
+const (
+	hSnapMut      HandlerID = 40 // mutate Count, no snapshot involvement
+	hSnapTake     HandlerID = 41 // snapshot, then mutate
+	hSnapRollback HandlerID = 42 // roll back to the snapshot
+	hSnapReport   HandlerID = 43 // report Count on a channel
+)
+
+func registerSnapHandlers(c *cluster, report chan int64) {
+	for _, rt := range c.rts {
+		rt.Register(hSnapMut, func(ctx *Ctx, arg []byte) {
+			ctx.Object().(*testObj).Count += 100
+		})
+		rt.Register(hSnapTake, func(ctx *Ctx, arg []byte) {
+			if err := ctx.Runtime().SnapshotObject(ctx.Self); err != nil {
+				panic(err)
+			}
+			ctx.Object().(*testObj).Count += 1000
+		})
+		rt.Register(hSnapRollback, func(ctx *Ctx, arg []byte) {
+			if err := ctx.Runtime().RollbackObject(ctx.Self); err != nil {
+				panic(err)
+			}
+		})
+		rt.Register(hSnapReport, func(ctx *Ctx, arg []byte) {
+			report <- ctx.Object().(*testObj).Count
+		})
+	}
+}
+
+func TestSnapshotRollbackRestoresHandlerState(t *testing.T) {
+	c := newCluster(t, 1, 1<<20)
+	report := make(chan int64, 1)
+	registerSnapHandlers(c, report)
+	rt := c.rts[0]
+	p := rt.CreateObject(&testObj{Count: 7})
+
+	rt.Post(p, hSnapTake, nil) // snapshot at 7, then Count = 1007
+	rt.Post(p, hSnapMut, nil)  // 1107: speculative damage on top
+	rt.Post(p, hSnapRollback, nil)
+	rt.Post(p, hSnapReport, nil)
+	WaitQuiescence(rt)
+	if got := <-report; got != 7 {
+		t.Fatalf("after rollback Count = %d, want the pre-snapshot 7", got)
+	}
+	if rt.SnapshotCount() != 0 {
+		t.Fatalf("rollback must consume the snapshot; %d still held", rt.SnapshotCount())
+	}
+	// A second rollback has nothing to restore.
+	if err := rt.RollbackObject(p); err != ErrNoSnapshot {
+		t.Fatalf("double rollback: got %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestSnapshotCommitDiscards(t *testing.T) {
+	c := newCluster(t, 1, 1<<20)
+	report := make(chan int64, 1)
+	registerSnapHandlers(c, report)
+	rt := c.rts[0]
+	p := rt.CreateObject(&testObj{Count: 1})
+	rt.Post(p, hSnapTake, nil)
+	WaitQuiescence(rt)
+
+	if !rt.Snapshotted(p) {
+		t.Fatal("snapshot not recorded")
+	}
+	if !rt.CommitObject(p) {
+		t.Fatal("CommitObject found no snapshot to discard")
+	}
+	if rt.Snapshotted(p) || rt.SnapshotCount() != 0 {
+		t.Fatal("commit must discard the snapshot")
+	}
+	if err := rt.RollbackObject(p); err != ErrNoSnapshot {
+		t.Fatalf("rollback after commit: got %v, want ErrNoSnapshot", err)
+	}
+	st := rt.SpeculStats()
+	if st.Snapshots != 1 || st.Commits != 1 || st.Rollbacks != 0 {
+		t.Fatalf("stats %+v, want 1 snapshot / 1 commit / 0 rollbacks", st)
+	}
+}
+
+func TestSnapshotReplacedByNewerSnapshot(t *testing.T) {
+	c := newCluster(t, 1, 1<<20)
+	report := make(chan int64, 1)
+	registerSnapHandlers(c, report)
+	rt := c.rts[0]
+	p := rt.CreateObject(&testObj{Count: 0})
+	rt.Post(p, hSnapTake, nil) // snapshot at 0, Count = 1000
+	rt.Post(p, hSnapTake, nil) // snapshot at 1000, Count = 2000
+	rt.Post(p, hSnapRollback, nil)
+	rt.Post(p, hSnapReport, nil)
+	WaitQuiescence(rt)
+	if got := <-report; got != 1000 {
+		t.Fatalf("rollback restored Count = %d, want the newer snapshot's 1000", got)
+	}
+}
+
+func TestSnapshotTravelsWithMigration(t *testing.T) {
+	c := newCluster(t, 2, 1<<20)
+	report := make(chan int64, 1)
+	registerSnapHandlers(c, report)
+	rt0, rt1 := c.rts[0], c.rts[1]
+	p := rt0.CreateObject(&testObj{Count: 3})
+	rt0.Post(p, hSnapTake, nil) // snapshot at 3, Count = 1003
+	WaitQuiescence(rt0, rt1)
+
+	if err := rt0.Migrate(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	WaitQuiescence(rt0, rt1)
+	if rt0.Snapshotted(p) {
+		t.Fatal("source node still holds the snapshot after migration")
+	}
+	if !rt1.Snapshotted(p) {
+		t.Fatal("snapshot did not travel with the migrating object")
+	}
+	// Roll back on the destination: the pre-speculation state must emerge.
+	rt1.Post(p, hSnapRollback, nil)
+	rt1.Post(p, hSnapReport, nil)
+	WaitQuiescence(rt0, rt1)
+	if got := <-report; got != 3 {
+		t.Fatalf("post-migration rollback Count = %d, want 3", got)
+	}
+}
+
+func TestSnapshotSurvivesEviction(t *testing.T) {
+	// Budget fits roughly two ballasted objects: creating more evicts the
+	// snapshotted one. The snapshot lives outside the residency layer, so
+	// eviction and reload must not disturb it.
+	c := newCluster(t, 1, 2500)
+	report := make(chan int64, 1)
+	registerSnapHandlers(c, report)
+	rt := c.rts[0]
+	p := rt.CreateObject(&testObj{Count: 5, Ballast: make([]byte, 800)})
+	rt.Post(p, hSnapTake, nil)
+	WaitQuiescence(rt)
+	for i := 0; i < 6; i++ {
+		rt.CreateObject(&testObj{Ballast: make([]byte, 800)})
+	}
+	WaitQuiescence(rt)
+	if !rt.Snapshotted(p) {
+		t.Fatal("snapshot vanished under memory pressure")
+	}
+	// The rollback handler forces the object back in core and restores it.
+	rt.Post(p, hSnapRollback, nil)
+	rt.Post(p, hSnapReport, nil)
+	WaitQuiescence(rt)
+	if got := <-report; got != 5 {
+		t.Fatalf("rollback after eviction Count = %d, want 5", got)
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	c := newCluster(t, 2, 1<<20)
+	report := make(chan int64, 1)
+	registerSnapHandlers(c, report)
+	rt0, rt1 := c.rts[0], c.rts[1]
+	remote := rt1.CreateObject(&testObj{})
+	if err := rt0.SnapshotObject(remote); err != ErrNotLocal {
+		t.Fatalf("snapshot of a remote object: got %v, want ErrNotLocal", err)
+	}
+	if err := rt0.RollbackObject(remote); err != ErrNoSnapshot {
+		t.Fatalf("rollback with no snapshot: got %v, want ErrNoSnapshot", err)
+	}
+	p := rt0.CreateObject(&testObj{})
+	if rt0.CommitObject(p) {
+		t.Fatal("CommitObject reported success with no snapshot taken")
+	}
+}
+
+func TestQuiescentInvariantFlagsUnresolvedSnapshot(t *testing.T) {
+	c := newCluster(t, 1, 1<<20)
+	rt := c.rts[0]
+	p := rt.CreateObject(&testObj{Count: 1})
+	if err := rt.SnapshotObject(p); err != nil {
+		t.Fatal(err)
+	}
+	WaitQuiescence(rt)
+	var hit bool
+	for _, msg := range rt.CheckInvariants(true) {
+		if strings.Contains(msg, "speculation snapshot") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("quiescent invariant sweep missed an object left snapshotted but neither committed nor rolled back")
+	}
+	rt.CommitObject(p)
+	for _, msg := range rt.CheckInvariants(true) {
+		if strings.Contains(msg, "speculation snapshot") {
+			t.Fatalf("sweep still complains after commit: %s", msg)
+		}
+	}
+}
+
+func TestMcastObjectLostCancelsPendingCollection(t *testing.T) {
+	c := newCluster(t, 1, 1<<20)
+	registerInc(c)
+	rt := c.rts[0]
+	a := rt.CreateObject(&testObj{})
+	// A pointer that was never created: the collection can never complete,
+	// exactly like a member lost in flight.
+	ghost := MobilePtr{Home: 0, Seq: 1 << 30}
+	rt.startMcast([]MobilePtr{a, ghost}, 1, hInc, nil)
+	if rt.PendingMulticasts() != 1 {
+		t.Fatalf("PendingMulticasts = %d, want 1", rt.PendingMulticasts())
+	}
+	// The loss notification must cancel the collection: unpin the members
+	// already gathered and release the work unit, or termination wedges.
+	rt.mcasts.objectLost(rt, ghost)
+	if rt.PendingMulticasts() != 0 {
+		t.Fatalf("PendingMulticasts = %d after loss, want 0", rt.PendingMulticasts())
+	}
+	WaitQuiescence(rt) // hangs here if the cancel leaked the work unit
+	report := make(chan int64, 1)
+	rt.Register(hSnapReport, func(ctx *Ctx, arg []byte) { report <- ctx.Object().(*testObj).Count })
+	rt.Post(a, hSnapReport, nil)
+	WaitQuiescence(rt)
+	if got := <-report; got != 0 {
+		t.Fatalf("cancelled multicast still delivered: Count = %d, want 0", got)
+	}
+}
+
+func TestDestroyCancelsMcastAndDiscardsSnapshot(t *testing.T) {
+	// The rollback-racing-loss edge: an object is snapshotted (a pending
+	// speculation) and simultaneously a member of a collecting multicast
+	// when it is destroyed. Both attachments must be severed: the snapshot
+	// discarded, the collection cancelled, termination clean.
+	c := newCluster(t, 1, 1<<20)
+	registerInc(c)
+	rt := c.rts[0]
+	b := rt.CreateObject(&testObj{Count: 9})
+	if err := rt.SnapshotObject(b); err != nil {
+		t.Fatal(err)
+	}
+	ghost := MobilePtr{Home: 0, Seq: 1 << 30}
+	rt.startMcast([]MobilePtr{b, ghost}, 1, hInc, nil) // b pinned, waiting on ghost
+	if err := rt.DestroyObject(b); err != nil {
+		t.Fatal(err)
+	}
+	if rt.SnapshotCount() != 0 {
+		t.Fatal("destroy leaked the speculation snapshot")
+	}
+	if rt.PendingMulticasts() != 0 {
+		t.Fatal("destroy left the multicast collecting a tombstone")
+	}
+	if err := rt.RollbackObject(b); err == nil {
+		t.Fatal("rollback of a destroyed object reported success")
+	}
+	if st := rt.SpeculStats(); st.Discards != 1 {
+		t.Fatalf("SpeculStats.Discards = %d, want 1", st.Discards)
+	}
+	WaitQuiescence(rt)
+	if msgs := rt.CheckInvariants(true); len(msgs) != 0 {
+		t.Fatalf("invariants violated after destroy: %v", msgs)
+	}
+}

@@ -41,6 +41,15 @@ type Result struct {
 	Report     trace.Report // comp/comm/disk breakdown (OOC builds)
 	Mem        ooc.Stats    // OOC layer statistics (OOC builds)
 	Conforming bool         // interface conformity verified
+
+	// MeshHash is the canonical digest of the whole refined mesh (per-block
+	// sorted-triangle hashes combined in (J,I) order); set by the runs that
+	// execute a dump phase (RunOUPDR, RunSUPDR). Equal hashes mean
+	// byte-identical meshes.
+	MeshHash string
+	// Speculation accounting (S-UPDR only; zero elsewhere).
+	Conflicts int64 // conflict detections (one per conflicting announce)
+	Rollbacks int64 // speculative refinements rolled back and retried
 }
 
 // Speed returns the paper's per-PE performance metric S/(T·N).

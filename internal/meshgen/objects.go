@@ -20,6 +20,7 @@ const (
 	typeQueue     uint16 = 3 // ONUPDR refinement queue
 	typeSubdomain uint16 = 4 // OPCDM subdomain
 	typeBlock3    uint16 = 5 // OUPDR-3D cube block
+	typeSpecBlock uint16 = 6 // S-UPDR speculative block
 )
 
 // Factory constructs meshgen mobile objects by type, for the MRTS runtime.
@@ -35,6 +36,8 @@ func Factory(typeID uint16) (core.Object, error) {
 		return &subdomainObj{}, nil
 	case typeBlock3:
 		return &block3Obj{}, nil
+	case typeSpecBlock:
+		return &specBlockObj{}, nil
 	default:
 		return nil, core.ErrUnknownType
 	}

@@ -2,8 +2,12 @@ package meshgen
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -148,6 +152,9 @@ type oupdrShared struct {
 	elements atomic.Int64
 	verts    atomic.Int64
 	mismatch atomic.Int64
+
+	dumpMu sync.Mutex
+	dump   []BlockDump // per-block canonical hashes (dump phase)
 }
 
 // registerOUPDR installs the OUPDR handlers on every node of the cluster.
@@ -160,6 +167,21 @@ func registerOUPDR(cl *cluster.Cluster, sh *oupdrShared) {
 		rt.Register(hBlockIface, func(c *core.Ctx, arg []byte) {
 			o := c.Object().(*blockObj)
 			oupdrIfaceHandler(c, o, arg, sh)
+		})
+		rt.Register(hBlockDump, func(c *core.Ctx, arg []byte) {
+			if len(arg) < 4 {
+				return
+			}
+			o := c.Object().(*blockObj)
+			nb := int(binary.LittleEndian.Uint32(arg))
+			sh.dumpMu.Lock()
+			sh.dump = append(sh.dump, BlockDump{
+				I:        int(math.Round(o.Rect.Min.X * float64(nb))),
+				J:        int(math.Round(o.Rect.Min.Y * float64(nb))),
+				Elements: o.Elements,
+				Hash:     hex.EncodeToString(hashMesh(o.MeshData)),
+			})
+			sh.dumpMu.Unlock()
 		})
 	}
 }
@@ -301,8 +323,20 @@ func RunOUPDR(cl *cluster.Cluster, cfg UPDRConfig) (Result, error) {
 	if n := sh.elements.Load(); n == 0 {
 		return Result{}, fmt.Errorf("meshgen: OUPDR produced no elements")
 	}
+	// Dump phase: collect every block's canonical mesh hash and combine
+	// them into the run-wide digest the mesh-equality properties compare.
+	nbArg := make([]byte, 4)
+	binary.LittleEndian.PutUint32(nbArg, uint32(nb))
+	for _, p := range ptrs {
+		cl.RT(int(p.Home)).Post(p, hBlockDump, nbArg)
+	}
+	cl.Wait()
+	sh.dumpMu.Lock()
+	meshHash := combineMeshHash(sh.dump)
+	sh.dumpMu.Unlock()
 	return Result{
 		Method:     "OUPDR",
+		MeshHash:   meshHash,
 		Elements:   int(sh.elements.Load()),
 		Vertices:   int(sh.verts.Load()),
 		Subdomains: nb * nb,

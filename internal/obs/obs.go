@@ -103,6 +103,15 @@ const (
 	// always a routing defect, surfaced by CheckInvariants too (ID: the
 	// object's packed mobile pointer, Arg: the hop count at the drop).
 	KindRouteDrop
+	// KindSpeculConflict marks a detected speculation conflict: a
+	// neighbor's concurrent cavity update intersected this object's
+	// speculative cavity (ID: the loser's packed mobile pointer, Arg: the
+	// speculation epoch).
+	KindSpeculConflict
+	// KindSpeculRollback marks a speculative refinement rolled back to its
+	// pre-speculation snapshot after losing a conflict (ID: the object's
+	// packed mobile pointer, Arg: the speculation epoch rolled back).
+	KindSpeculRollback
 	numKinds
 )
 
@@ -157,6 +166,10 @@ func (k Kind) String() string {
 		return "route.stale"
 	case KindRouteDrop:
 		return "route.drop"
+	case KindSpeculConflict:
+		return "specul.conflict"
+	case KindSpeculRollback:
+		return "specul.rollback"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -179,6 +192,8 @@ func (k Kind) Track() string {
 		return "cluster"
 	case KindHandler:
 		return "app"
+	case KindSpeculConflict, KindSpeculRollback:
+		return "specul"
 	default:
 		return "mcast"
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"mrts/internal/core"
+	"mrts/internal/meshgen"
 )
 
 // simObj is the harness's mobile object: a counter plus ballast that makes
@@ -59,10 +60,12 @@ func (o *simObj) DecodeFrom(r io.Reader) error {
 }
 
 func simFactory(typeID uint16) (core.Object, error) {
-	if typeID != simTypeID {
-		return nil, core.ErrUnknownType
+	if typeID == simTypeID {
+		return &simObj{}, nil
 	}
-	return &simObj{}, nil
+	// The speculation storm runs meshgen's S-UPDR workload on the simulated
+	// cluster; its blocks must decode after eviction and migration too.
+	return meshgen.Factory(typeID)
 }
 
 // Handler IDs used by the scenarios.

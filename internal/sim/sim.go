@@ -58,6 +58,11 @@ const (
 	// scenario races stale-epoch re-resolution and override repair against
 	// migration drift and membership churn.
 	FaultRoutedChurn
+	// FaultSpecul races speculative refinement (S-UPDR snapshots, conflict
+	// multicasts, rollback/retry) against transient storage faults and a
+	// mid-run graceful churn of one node. The budget is sized for mesh
+	// blocks rather than ballast counters, and a churn victim is drawn.
+	FaultSpecul
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +80,8 @@ func (k FaultKind) String() string {
 		return "node-crash"
 	case FaultRoutedChurn:
 		return "routed-churn"
+	case FaultSpecul:
+		return "specul"
 	default:
 		return "invalid"
 	}
@@ -143,6 +150,13 @@ func expandPlan(seed int64, kind FaultKind) Plan {
 		}
 	case FaultNodeCrash, FaultRoutedChurn:
 		p.ChurnNode = rng.Intn(p.Nodes)
+	case FaultSpecul:
+		p.FailFirst = 1 + rng.Intn(2)
+		p.ChurnNode = rng.Intn(p.Nodes)
+		// Mesh blocks dwarf the counter objects' ballast: keep the budget
+		// tight enough that speculative blocks still swap mid-protocol,
+		// but large enough to hold a couple of refined blocks per node.
+		p.MemBudget = int64(60_000 + rng.Intn(60_000))
 	}
 	return p
 }
@@ -180,7 +194,7 @@ func (p Plan) clusterConfig(clk Clock, factory core.Factory) cluster.Config {
 	switch p.Fault {
 	case FaultRoutedChurn:
 		cfg.Routing = cluster.RoutePlaced
-	case FaultTransient:
+	case FaultTransient, FaultSpecul:
 		cfg.Fault = &storage.FaultConfig{
 			Seed:          p.Seed,
 			FailFirstGets: p.FailFirst,

@@ -19,7 +19,7 @@ var (
 
 // scenarioForSeed distributes the seed space across the scenarios.
 func scenarioForSeed(seed int64) Scenario {
-	switch seed % 8 {
+	switch seed % 9 {
 	case 0:
 		return CounterStorm{}
 	case 1:
@@ -34,8 +34,10 @@ func scenarioForSeed(seed int64) Scenario {
 		return NodeChurnStorm{}
 	case 6:
 		return NodeCrashStorm{}
-	default:
+	case 7:
 		return RoutedChurnStorm{}
+	default:
+		return SpeculStorm{}
 	}
 }
 
@@ -90,7 +92,7 @@ func TestSoak(t *testing.T) {
 // exported traces to match byte for byte — the property that makes
 // -sim.seed replays trustworthy.
 func TestSeedReplayByteEqual(t *testing.T) {
-	for seed := int64(1); seed <= 8; seed++ {
+	for seed := int64(1); seed <= 9; seed++ {
 		first := runSeed(t, seed)
 		second := runSeed(t, seed)
 		if !bytes.Equal(first.TraceBytes(), second.TraceBytes()) {

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+
+	"mrts/internal/meshgen"
+)
+
+// SpeculStorm runs the speculative refinement protocol (S-UPDR) on the
+// simulated cluster: optimistic execution with epoch-stamped conflict
+// detection, snapshot rollback and deterministic-priority retry — racing the
+// plan's transient storage faults (speculative blocks swap mid-protocol and
+// their loads fail transiently), the migrations the conflict multicasts
+// issue to collect winner and loser on one node, and a graceful node churn
+// between two full speculation rounds.
+//
+// The scenario checks the speculation invariants the harness cannot express
+// generically:
+//   - no committed cavity overlaps: the committed mesh has exactly the
+//     in-core reference's element count and conforming interfaces — a block
+//     that committed over a neighbor's conflicting cavity would break both;
+//   - every rollback is followed by a retry or a loss: termination fired
+//     with every block committed and (via core.CheckInvariants' quiescent
+//     sweep, run by the harness audit) not one speculation snapshot left;
+//   - termination is safe with speculation in flight: cl.Wait inside
+//     RunSUPDR returns only once the protocol — announces, acks, conflict
+//     multicasts, retries — has fully drained.
+type SpeculStorm struct{}
+
+// Name implements Scenario.
+func (SpeculStorm) Name() string { return "specul-storm" }
+
+// Fault implements Scenario.
+func (SpeculStorm) Fault() FaultKind { return FaultSpecul }
+
+// Run implements Scenario.
+func (SpeculStorm) Run(env *Env) error {
+	const blocks = 3
+	target := 2000 + env.Rng.Intn(2000)
+	prob := 0.2 + 0.1*float64(env.Rng.Intn(7)) // 0.2..0.8
+	cfg := meshgen.UPDRConfig{Blocks: blocks, TargetElements: target}
+	env.Note("speculative refinement of %d blocks to ~%d elements at conflict prob %.1f; node %d churns between rounds",
+		blocks*blocks, target, prob, env.Plan.ChurnNode)
+
+	// The in-core bulk-synchronous reference the speculative runs must
+	// reproduce exactly (meshBlock is deterministic per block).
+	want, err := meshgen.RunUPDR(cfg)
+	if err != nil {
+		return fmt.Errorf("in-core reference: %w", err)
+	}
+
+	round := func(tag string, seed int64) error {
+		res, err := meshgen.RunSUPDR(env.Cluster, meshgen.SUPDRConfig{
+			UPDRConfig:   cfg,
+			ConflictProb: prob,
+			Seed:         seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", tag, err)
+		}
+		if res.Elements != want.Elements {
+			return fmt.Errorf("%s: speculative mesh has %d elements, in-core reference %d (a cavity committed over a conflict, or a rollback lost work)",
+				tag, res.Elements, want.Elements)
+		}
+		if !res.Conforming {
+			return fmt.Errorf("%s: committed interfaces do not conform", tag)
+		}
+		// Every rollback must have been followed by a successful retry:
+		// the totals above prove every block committed exactly once, and
+		// no node may still hold a pre-speculation snapshot.
+		for i, rt := range env.Cluster.Runtimes() {
+			if n := rt.SnapshotCount(); n != 0 {
+				return fmt.Errorf("%s: node %d holds %d speculation snapshots after termination", tag, i, n)
+			}
+		}
+		env.Record("elements."+tag, int64(res.Elements))
+		return nil
+	}
+
+	if err := round("pre-churn", env.Plan.Seed); err != nil {
+		return err
+	}
+
+	// Graceful churn between the rounds: the departing node drains its
+	// committed blocks (and any counters) to the remaining members, the
+	// second speculation round runs on the reduced cluster's survivors
+	// plus the rejoined node.
+	churn := env.Plan.ChurnNode
+	if _, err := env.Cluster.LeaveNode(churn); err != nil {
+		return fmt.Errorf("leave node %d: %w", churn, err)
+	}
+	if err := auditPlacement(env, "after leave"); err != nil {
+		return err
+	}
+	if _, err := env.Cluster.JoinNode(churn); err != nil {
+		return fmt.Errorf("rejoin node %d: %w", churn, err)
+	}
+	if err := auditPlacement(env, "after rejoin"); err != nil {
+		return err
+	}
+
+	// Second round with a shifted conflict seed: fresh blocks, a fresh
+	// conflict structure, on the post-churn membership.
+	return round("post-churn", env.Plan.Seed+1_000_003)
+}
