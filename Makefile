@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick bench-pipeline bench-tiers bench-compress bench-routing bench-specul trace bench-json bench-baseline lint sim-soak e2e-multiproc examples clean
+.PHONY: all build vet test race bench bench-quick bench-pipeline bench-tiers bench-compress bench-routing bench-specul bench-meshio trace bench-json bench-baseline lint sim-soak e2e-multiproc export examples clean
 
 all: build vet test
 
@@ -54,6 +54,12 @@ bench-routing:
 bench-specul:
 	$(GO) run ./cmd/mrtsbench -exp specul -scale $(SCALE) -pes 2
 
+# The meshstore data path: synthetic chunk write/read MB/s plus the OUPDR
+# streaming-export and 2-node-restore round trip
+# (override: make bench-meshio SCALE=1 for the full-size mesh).
+bench-meshio:
+	$(GO) run ./cmd/mrtsbench -exp meshio -scale $(SCALE)
+
 # Capture a Perfetto-loadable event trace of one experiment
 # (override: make trace EXP=fig8 SCALE=0.25).
 EXP ?= tab4
@@ -69,7 +75,7 @@ bench-json:
 # Regenerate the CI benchmark-regression baseline (same config as the
 # bench-smoke job in .github/workflows/ci.yml; commit the result).
 bench-baseline:
-	$(GO) run ./cmd/mrtsbench -exp tab1,tab4,fig8,faults,pipeline,tiers,alloc,compress,routing,specul -scale 0.05 -pes 2 -json ci/bench-baseline.json
+	$(GO) run ./cmd/mrtsbench -exp tab1,tab4,fig8,faults,pipeline,tiers,alloc,compress,routing,specul,meshio -scale 0.05 -pes 2 -json ci/bench-baseline.json
 
 # 100-seed deterministic-simulation soak (the nightly CI job runs the same
 # sweep under -race). Failing seeds are listed in the test output and in
@@ -98,16 +104,32 @@ lint:
 	if [ -n "$$out" ]; then echo "raw net.Dial/net.Listen outside internal/comm (use comm endpoints):"; echo "$$out"; exit 1; fi
 	@out="$$(grep -rnE '(Send|Post|PostMulticast|RequestMigration|Migrate)\([^)]*\.Home' --include='*.go' internal cmd examples | grep -v '^internal/core/' || true)"; \
 	if [ -n "$$out" ]; then echo "routing decision on ptr.Home outside internal/core (go through the Locator seam):"; echo "$$out"; exit 1; fi
+	@out="$$(grep -rn '\.mshc' --include='*.go' --exclude='*_test.go' internal cmd examples | grep -v '^internal/meshstore/' || true)"; \
+	if [ -n "$$out" ]; then echo "mesh chunk files touched outside internal/meshstore (go through Writer/Store/IsChunkName):"; echo "$$out"; exit 1; fi
 
 # The multi-process e2e lane CI runs: a 3-process loopback OUPDR cluster
 # that loses one worker after the first phase barrier and relaunches it
 # from its checkpoint, checked block for block against a single-process
-# baseline of the same problem.
+# baseline of the same problem — then the export/restore drill: a 3-node
+# run exports (with one node SIGKILLed mid-export and relaunched), the
+# store verifies offline, and a 2-node restore reproduces the baseline.
 e2e-multiproc:
 	$(GO) build -o bin/meshnode ./cmd/meshnode
 	$(GO) build -o bin/meshctl ./cmd/meshctl
 	bin/meshctl -meshnode bin/meshnode -nodes 1 -blocks 6 -elements 20000 -phases 3 -dir e2e-run/baseline -out baseline.txt
 	bin/meshctl -meshnode bin/meshnode -nodes 3 -blocks 6 -elements 20000 -phases 3 -kill 2 -kill-after 0 -dir e2e-run/cluster -baseline baseline.txt
+	bin/meshctl export -meshnode bin/meshnode -nodes 3 -blocks 6 -elements 20000 -phases 2 -kill-export 2 -store e2e-run/store -dir e2e-run/export -baseline baseline.txt
+	bin/meshctl verify -store e2e-run/store -deep
+	bin/meshctl restore -store e2e-run/store -nodes 2 -baseline baseline.txt
+
+# Streaming mesh export end to end: a 3-process cluster meshes, frames every
+# block into an on-disk chunk store, and the store verifies offline
+# (inspect it with: go run ./cmd/meshserve -store export-run/store).
+export:
+	$(GO) build -o bin/meshnode ./cmd/meshnode
+	$(GO) build -o bin/meshctl ./cmd/meshctl
+	bin/meshctl export -meshnode bin/meshnode -nodes 3 -blocks 6 -elements 20000 -phases 2 -store export-run/store -dir export-run/work
+	bin/meshctl verify -store export-run/store -deep
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,17 +1,36 @@
-// Command meshctl launches and drives a multi-process OUPDR cluster: it
-// spawns one cmd/meshnode process per node (the first is the membership
-// seed), steps them through the phase barriers over their stdin/stdout
-// protocol, optionally SIGKILLs one worker between phases and relaunches it
-// from its checkpoint under the same node ID, and finally merges the
-// per-node block dumps into one mesh report — verifying every block is
-// reported exactly once.
+// Command meshctl launches and drives a multi-process OUPDR cluster, and
+// operates on the chunked mesh stores such runs export.
+//
+// Run mode (the default, bare flags) spawns one cmd/meshnode process per node
+// (the first is the membership seed), steps them through the phase barriers
+// over their stdin/stdout protocol, optionally SIGKILLs one worker between
+// phases and relaunches it from its checkpoint under the same node ID, and
+// finally merges the per-node block dumps into one mesh report — verifying
+// every block is reported exactly once:
 //
 //	meshctl -meshnode bin/meshnode -nodes 1 -out baseline.txt
 //	meshctl -meshnode bin/meshnode -nodes 3 -kill 2 -kill-after 0 -baseline baseline.txt
 //
-// The second invocation exits nonzero unless the cluster's mesh — through a
-// kill and rejoin — is identical to the baseline file. Per-node stderr goes
-// to node<id>.log under -dir.
+// Subcommands operate on the meshstore format:
+//
+//	meshctl export  -meshnode bin/meshnode -nodes 3 -store dir [-kill-export 2]
+//	meshctl verify  -store dir [-deep]
+//	meshctl restore -store dir -nodes 2 [-baseline baseline.txt]
+//
+// export runs the cluster to completion and has every node stream its blocks
+// into one chunk per node under -store, then merges the per-node manifests
+// into MANIFEST.json and verifies the store offline. The block report (-out)
+// is rendered from the manifest index — block payloads never pass through
+// the launcher, unlike the in-memory dump merge of run mode. -kill-export
+// SIGKILLs a worker right after it starts exporting and relaunches it from
+// its checkpoint; the fresh incarnation truncates the partial chunk and
+// re-exports.
+//
+// restore proves rank independence: it rebuilds the mesh from a store onto
+// -nodes in-process runtimes — however many nodes wrote it — and compares
+// the restored mesh's canonical hash against the manifest's.
+//
+// Per-node stderr goes to node<id>.log under -dir.
 package main
 
 import (
@@ -24,125 +43,461 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
+
+	"mrts/internal/comm"
+	"mrts/internal/core"
+	"mrts/internal/meshgen"
+	"mrts/internal/meshstore"
+	"mrts/internal/ooc"
+	"mrts/internal/sched"
+	"mrts/internal/storage"
 )
 
 func main() {
-	var (
-		meshnode  = flag.String("meshnode", "meshnode", "path to the meshnode binary")
-		nodes     = flag.Int("nodes", 3, "cluster size")
-		blocks    = flag.Int("blocks", 6, "decomposition grid dimension")
-		elements  = flag.Int("elements", 50000, "target total element count")
-		quality   = flag.Float64("quality", 0, "radius-edge quality bound")
-		phases    = flag.Int("phases", 3, "barrier-separated kick-off phases")
-		budget    = flag.Int64("budget", 0, "per-node memory budget in bytes")
-		dir       = flag.String("dir", "", "working directory for logs/spools/checkpoints (default: temp)")
-		kill      = flag.Int("kill", -1, "worker node to SIGKILL and relaunch mid-run (-1: none; 0, the seed, is not killable)")
-		killAfter = flag.Int("kill-after", 0, "phase barrier after which to kill")
-		out       = flag.String("out", "", "write the merged block dump to this file")
-		baseline  = flag.String("baseline", "", "compare the merged dump against this file; exit 1 on any difference")
-		routing   = flag.String("routing", "placed", "routing locator passed to every node: placed, lazy, eager or home")
-		trace     = flag.Bool("trace", false, "have each node write a Chrome trace under -dir")
-		timeout   = flag.Duration("timeout", 2*time.Minute, "per-step timeout")
-	)
-	flag.Parse()
-	if *kill == 0 || *kill >= *nodes {
-		fatalf("-kill must name a worker node in [1,%d)", *nodes)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "export":
+			exportMain(os.Args[2:])
+			return
+		case "verify":
+			verifyMain(os.Args[2:])
+			return
+		case "restore":
+			restoreMain(os.Args[2:])
+			return
+		}
 	}
-	if *kill > 0 && (*killAfter < 0 || *killAfter >= *phases-1) {
-		fatalf("-kill-after must leave a phase to run after the rejoin (have %d phases)", *phases)
-	}
+	runMain(os.Args[1:])
+}
 
-	work := *dir
+// clusterOpts are the flags shared by every mode that launches meshnode
+// processes.
+type clusterOpts struct {
+	meshnode string
+	nodes    int
+	blocks   int
+	elements int
+	quality  float64
+	phases   int
+	budget   int64
+	dir      string
+	routing  string
+	trace    bool
+	timeout  time.Duration
+}
+
+func registerClusterOpts(fs *flag.FlagSet) *clusterOpts {
+	o := &clusterOpts{}
+	fs.StringVar(&o.meshnode, "meshnode", "meshnode", "path to the meshnode binary")
+	fs.IntVar(&o.nodes, "nodes", 3, "cluster size")
+	fs.IntVar(&o.blocks, "blocks", 6, "decomposition grid dimension")
+	fs.IntVar(&o.elements, "elements", 50000, "target total element count")
+	fs.Float64Var(&o.quality, "quality", 0, "radius-edge quality bound")
+	fs.IntVar(&o.phases, "phases", 3, "barrier-separated kick-off phases")
+	fs.Int64Var(&o.budget, "budget", 0, "per-node memory budget in bytes")
+	fs.StringVar(&o.dir, "dir", "", "working directory for logs/spools/checkpoints (default: temp)")
+	fs.StringVar(&o.routing, "routing", "placed", "routing locator passed to every node: placed, lazy, eager or home")
+	fs.BoolVar(&o.trace, "trace", false, "have each node write a Chrome trace under -dir")
+	fs.DurationVar(&o.timeout, "timeout", 2*time.Minute, "per-step timeout")
+	return o
+}
+
+// start creates the working directory and launches the full cluster: the
+// seed first, then the workers against its address. The returned cleanup
+// removes a temporary working directory.
+func (o *clusterOpts) start(extra ...string) (*control, func()) {
+	work := o.dir
+	cleanup := func() {}
 	if work == "" {
 		var err error
 		work, err = os.MkdirTemp("", "meshctl-")
 		if err != nil {
 			fatalf("workdir: %v", err)
 		}
-		defer os.RemoveAll(work)
+		cleanup = func() { os.RemoveAll(work) }
 	} else if err := os.MkdirAll(work, 0o755); err != nil {
 		fatalf("workdir: %v", err)
 	}
 
 	ctl := &control{
-		meshnode: *meshnode, work: work, nodes: *nodes, timeout: *timeout,
-		common: []string{
-			"-nodes", fmt.Sprint(*nodes),
-			"-blocks", fmt.Sprint(*blocks),
-			"-elements", fmt.Sprint(*elements),
-			"-quality", fmt.Sprint(*quality),
-			"-phases", fmt.Sprint(*phases),
-			"-budget", fmt.Sprint(*budget),
-			"-routing", *routing,
+		meshnode: o.meshnode, work: work, nodes: o.nodes, timeout: o.timeout,
+		common: append([]string{
+			"-nodes", fmt.Sprint(o.nodes),
+			"-blocks", fmt.Sprint(o.blocks),
+			"-elements", fmt.Sprint(o.elements),
+			"-quality", fmt.Sprint(o.quality),
+			"-phases", fmt.Sprint(o.phases),
+			"-budget", fmt.Sprint(o.budget),
+			"-routing", o.routing,
 			"-heartbeat", "100ms",
 			"-expire", "1s",
-		},
-		trace: *trace,
-		procs: make([]*proc, *nodes),
+		}, extra...),
+		trace: o.trace,
+		procs: make([]*proc, o.nodes),
 	}
-	defer ctl.killAll()
 
-	// Launch the seed first, then the workers against its address.
 	seed, err := ctl.launch(0, false)
 	if err != nil {
+		ctl.killAll()
+		cleanup()
 		fatalf("launch seed: %v", err)
 	}
 	ctl.procs[0] = seed
 	ctl.seedAddr = seed.addr
-	for i := 1; i < *nodes; i++ {
+	for i := 1; i < o.nodes; i++ {
 		p, err := ctl.launch(i, false)
 		if err != nil {
+			ctl.killAll()
+			cleanup()
 			fatalf("launch node %d: %v", i, err)
 		}
 		ctl.procs[i] = p
 	}
+	return ctl, cleanup
+}
 
-	for k := 0; k < *phases; k++ {
-		if err := ctl.phase(k); err != nil {
+// runPhases drives every phase barrier, optionally killing and relaunching
+// worker `kill` after barrier killAfter.
+func (c *control) runPhases(phases, kill, killAfter int) {
+	for k := 0; k < phases; k++ {
+		if err := c.phase(k); err != nil {
 			fatalf("phase %d: %v", k, err)
 		}
-		logf("phase %d complete on all %d nodes", k, *nodes)
-		if *kill > 0 && k == *killAfter {
-			victim := ctl.procs[*kill]
-			logf("killing node %d (pid %d)", *kill, victim.cmd.Process.Pid)
+		logf("phase %d complete on all %d nodes", k, c.nodes)
+		if kill > 0 && k == killAfter {
+			victim := c.procs[kill]
+			logf("killing node %d (pid %d)", kill, victim.cmd.Process.Pid)
 			victim.cmd.Process.Kill()
 			victim.cmd.Wait()
-			p, err := ctl.launch(*kill, true)
+			p, err := c.launch(kill, true)
 			if err != nil {
-				fatalf("relaunch node %d: %v", *kill, err)
+				fatalf("relaunch node %d: %v", kill, err)
 			}
-			ctl.procs[*kill] = p
-			logf("node %d rejoined at %s and restored from checkpoint", *kill, p.addr)
+			c.procs[kill] = p
+			logf("node %d rejoined at %s and restored from checkpoint", kill, p.addr)
 		}
 	}
+}
 
-	dump, err := ctl.dump()
+func runMain(args []string) {
+	fs := flag.NewFlagSet("meshctl", flag.ExitOnError)
+	o := registerClusterOpts(fs)
+	var (
+		kill      = fs.Int("kill", -1, "worker node to SIGKILL and relaunch mid-run (-1: none; 0, the seed, is not killable)")
+		killAfter = fs.Int("kill-after", 0, "phase barrier after which to kill")
+		out       = fs.String("out", "", "write the merged block dump to this file")
+		baseline  = fs.String("baseline", "", "compare the merged dump against this file; exit 1 on any difference")
+	)
+	fs.Parse(args)
+	if *kill == 0 || *kill >= o.nodes {
+		fatalf("-kill must name a worker node in [1,%d)", o.nodes)
+	}
+	if *kill > 0 && (*killAfter < 0 || *killAfter >= o.phases-1) {
+		fatalf("-kill-after must leave a phase to run after the rejoin (have %d phases)", o.phases)
+	}
+
+	ctl, cleanup := o.start()
+	defer cleanup()
+	defer ctl.killAll()
+
+	ctl.runPhases(o.phases, *kill, *killAfter)
+
+	dump, err := ctl.dump(o.blocks * o.blocks)
 	if err != nil {
 		fatalf("dump: %v", err)
 	}
-	report := strings.Join(dump, "\n") + "\n"
-	if *out != "" {
-		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
-			fatalf("out: %v", err)
+	if err := ctl.quitAll(); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+	finishReport(dump, *out, *baseline)
+}
+
+// exportMain runs the cluster to completion and streams the mesh into a
+// chunked store, one chunk per node, then merges and verifies offline.
+func exportMain(args []string) {
+	fs := flag.NewFlagSet("meshctl export", flag.ExitOnError)
+	o := registerClusterOpts(fs)
+	var (
+		store      = fs.String("store", "", "mesh store directory (required)")
+		killExport = fs.Int("kill-export", -1, "worker to SIGKILL right after it starts exporting, then relaunch and re-export (-1: none)")
+		compress   = fs.Bool("compress", true, "flate-compress chunk frames")
+		out        = fs.String("out", "", "write the manifest-derived block report to this file")
+		baseline   = fs.String("baseline", "", "compare the block report against this file; exit 1 on any difference")
+	)
+	fs.Parse(args)
+	if *store == "" {
+		fatalf("export: -store is required")
+	}
+	if *killExport == 0 || *killExport >= o.nodes {
+		fatalf("export: -kill-export must name a worker node in [1,%d)", o.nodes)
+	}
+	// Workers inherit this process's working directory; make the store path
+	// absolute so launcher and workers agree on it regardless.
+	abs, err := filepath.Abs(*store)
+	if err != nil {
+		fatalf("export: %v", err)
+	}
+	*store = abs
+
+	ctl, cleanup := o.start("-compress=" + fmt.Sprint(*compress))
+	defer cleanup()
+	defer ctl.killAll()
+
+	ctl.runPhases(o.phases, -1, 0)
+
+	if *killExport > 0 {
+		// Crash drill: tell the victim to export and SIGKILL it immediately —
+		// depending on the race it dies before, during, or after appending
+		// frames, possibly mid-frame. The export barrier is still pending on
+		// the other nodes, so nothing else is disturbed; the relaunched
+		// incarnation restores from its phase checkpoint and its fresh writer
+		// truncates whatever the dead one left in the chunk.
+		victim := ctl.procs[*killExport]
+		fmt.Fprintf(victim.stdin, "export %s\n", *store)
+		logf("killing node %d (pid %d) mid-export", *killExport, victim.cmd.Process.Pid)
+		victim.cmd.Process.Kill()
+		victim.cmd.Wait()
+		p, err := ctl.launch(*killExport, true)
+		if err != nil {
+			fatalf("relaunch node %d: %v", *killExport, err)
 		}
-		logf("wrote %d blocks to %s", len(dump), *out)
+		ctl.procs[*killExport] = p
+		logf("node %d rejoined at %s and restored from checkpoint", *killExport, p.addr)
 	}
 
+	for _, p := range ctl.procs {
+		if _, err := fmt.Fprintf(p.stdin, "export %s\n", *store); err != nil {
+			fatalf("export node %d: %v", p.id, err)
+		}
+	}
+	for _, p := range ctl.procs {
+		line, err := ctl.expect(p, "exported ")
+		if err != nil {
+			fatalf("export node %d: %v", p.id, err)
+		}
+		logf("node %d: %s", p.id, line)
+	}
 	if err := ctl.quitAll(); err != nil {
 		fatalf("shutdown: %v", err)
 	}
 
-	if *baseline != "" {
-		want, err := os.ReadFile(*baseline)
+	man, err := meshstore.MergeManifests(*store)
+	if err != nil {
+		fatalf("merge: %v", err)
+	}
+	if man.Partial {
+		fatalf("merged store does not cover the %dx%d grid", o.blocks, o.blocks)
+	}
+	rep, err := meshstore.Verify(*store)
+	if err != nil {
+		fatalf("verify: %v", err)
+	}
+	if !rep.OK() {
+		for _, p := range rep.Problems {
+			fmt.Fprintf(os.Stderr, "meshctl: verify: %s\n", p)
+		}
+		fatalf("store failed verification with %d problems", len(rep.Problems))
+	}
+	logf("exported %d blocks (%d bytes on disk) to %s", rep.Blocks, rep.Bytes, *store)
+	logf("MeshHash %s", man.MeshHash)
+	finishReport(manifestReport(man), *out, *baseline)
+}
+
+// verifyMain checks a store offline: chunk walk, payload digests, index
+// cross-check, combined hash. -deep additionally decodes every block payload
+// and recomputes its canonical mesh digest — no cluster involved.
+func verifyMain(args []string) {
+	fs := flag.NewFlagSet("meshctl verify", flag.ExitOnError)
+	var (
+		store = fs.String("store", "", "mesh store directory (required)")
+		deep  = fs.Bool("deep", false, "decode every block payload and recompute its canonical mesh digest")
+	)
+	fs.Parse(args)
+	if *store == "" {
+		fatalf("verify: -store is required")
+	}
+	rep, err := meshstore.Verify(*store)
+	if err != nil {
+		fatalf("verify: %v", err)
+	}
+	problems := rep.Problems
+	if *deep {
+		problems = append(problems, deepVerify(*store)...)
+	}
+	logf("store %s: format %d, %d blocks, %d bytes, partial=%v",
+		*store, rep.Format, rep.Blocks, rep.Bytes, rep.Partial)
+	if rep.MeshHash != "" {
+		logf("MeshHash %s", rep.MeshHash)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "meshctl: verify: %s\n", p)
+		}
+		fatalf("store failed verification with %d problems", len(problems))
+	}
+	logf("store verified clean")
+}
+
+// deepVerify re-derives every block's canonical digest from its decoded
+// payload and compares it against the manifest index.
+func deepVerify(dir string) []string {
+	st, err := meshstore.Open(dir)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	defer st.Close()
+	nb := st.Manifest().Meta.Blocks
+	if nb <= 0 {
+		return []string{"deep verify needs a merged manifest (meta unknown)"}
+	}
+	var problems []string
+	for _, rec := range st.Manifest().Records() {
+		payload, _, err := st.Payload(rec.Key)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("block %s: %v", rec.Key, err))
+			continue
+		}
+		dump, err := meshgen.DecodeExportedBlock(payload, nb)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("block %s: decode: %v", rec.Key, err))
+			continue
+		}
+		if dump.I != rec.I || dump.J != rec.J || dump.Elements != rec.Elements || dump.Hash != rec.Hash {
+			problems = append(problems, fmt.Sprintf("block %s: payload decodes to %v, index says %v",
+				rec.Key, dump, meshgen.BlockDump{I: rec.I, J: rec.J, Elements: rec.Elements, Hash: rec.Hash}))
+		}
+	}
+	return problems
+}
+
+// restoreMain rebuilds the mesh from a store onto -nodes in-process
+// runtimes — the store may have been written by any number of nodes — and
+// compares the restored mesh's canonical hash against the manifest's.
+func restoreMain(args []string) {
+	fs := flag.NewFlagSet("meshctl restore", flag.ExitOnError)
+	var (
+		store    = fs.String("store", "", "mesh store directory (required)")
+		nodes    = fs.Int("nodes", 2, "number of nodes to restore onto")
+		workers  = fs.Int("workers", 2, "task pool workers per node")
+		budget   = fs.Int64("budget", 0, "per-node memory budget in bytes (0 = elements*30)")
+		out      = fs.String("out", "", "write the restored block report to this file")
+		baseline = fs.String("baseline", "", "compare the restored report against this file; exit 1 on any difference")
+	)
+	fs.Parse(args)
+	if *store == "" {
+		fatalf("restore: -store is required")
+	}
+	if *nodes <= 0 {
+		fatalf("restore: -nodes must be positive")
+	}
+	st, err := meshstore.Open(*store)
+	if err != nil {
+		fatalf("restore: %v", err)
+	}
+	defer st.Close()
+	if st.Partial() {
+		fatalf("restore: store %s is partial; restore needs full grid coverage", *store)
+	}
+	meta := st.Manifest().Meta
+
+	b := *budget
+	if b <= 0 {
+		b = int64(meta.TargetElements) * 30
+	}
+	tr := comm.NewInProc(*nodes, comm.LatencyModel{})
+	ds := make([]*meshgen.Dist, *nodes)
+	rts := make([]*core.Runtime, *nodes)
+	for i := 0; i < *nodes; i++ {
+		rts[i] = core.NewRuntime(core.Config{
+			Endpoint: tr.Endpoint(comm.NodeID(i)),
+			Pool:     sched.NewWorkStealing(*workers),
+			Factory:  meshgen.Factory,
+			Mem:      ooc.Config{Budget: b},
+			Store:    storage.NewMem(),
+			NumNodes: *nodes,
+		})
+		defer rts[i].Close()
+		ds[i], err = meshgen.NewDist(rts[i], meshgen.DistConfig{
+			Blocks:         meta.Blocks,
+			TargetElements: meta.TargetElements,
+			QualityBound:   meta.QualityBound,
+			Nodes:          *nodes,
+			Node:           i,
+		})
+		if err != nil {
+			fatalf("restore: %v", err)
+		}
+		if err := ds[i].RestoreFromStore(st); err != nil {
+			fatalf("restore node %d: %v", i, err)
+		}
+	}
+	logf("restored %d blocks onto %d nodes from %s", st.Manifest().Blocks(), *nodes, *store)
+
+	// The dump barrier is global: every node must run it concurrently.
+	dumps := make([][]meshgen.BlockDump, *nodes)
+	var wg sync.WaitGroup
+	for i := range ds {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dumps[i] = ds[i].Dump()
+		}()
+	}
+	wg.Wait()
+	var all []meshgen.BlockDump
+	for _, part := range dumps {
+		all = append(all, part...)
+	}
+	if len(all) != meta.Blocks*meta.Blocks {
+		fatalf("restore: dumped %d blocks, grid holds %d", len(all), meta.Blocks*meta.Blocks)
+	}
+	if got := meshgen.MeshHashOf(all); got != st.MeshHash() {
+		fatalf("restored MeshHash %s != store %s", got, st.MeshHash())
+	}
+	logf("restored MeshHash matches store: %s", st.MeshHash())
+
+	lines := make([]string, len(all))
+	for i, bd := range all {
+		lines[i] = bd.String()
+	}
+	sort.Strings(lines)
+	finishReport(lines, *out, *baseline)
+}
+
+// manifestReport renders the canonical block report from the manifest index
+// alone — the streaming replacement for run mode's in-memory dump merge.
+func manifestReport(man *meshstore.Manifest) []string {
+	recs := man.Records()
+	lines := make([]string, len(recs))
+	for i, r := range recs {
+		lines[i] = meshgen.BlockDump{I: r.I, J: r.J, Elements: r.Elements, Hash: r.Hash}.String()
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// finishReport writes the block report and/or compares it to a baseline.
+func finishReport(lines []string, out, baseline string) {
+	report := strings.Join(lines, "\n") + "\n"
+	if out != "" {
+		if err := os.WriteFile(out, []byte(report), 0o644); err != nil {
+			fatalf("out: %v", err)
+		}
+		logf("wrote %d blocks to %s", len(lines), out)
+	}
+	if baseline != "" {
+		want, err := os.ReadFile(baseline)
 		if err != nil {
 			fatalf("baseline: %v", err)
 		}
 		if string(want) != report {
-			diff(strings.Split(strings.TrimRight(string(want), "\n"), "\n"), dump)
-			fatalf("mesh differs from baseline %s", *baseline)
+			diff(strings.Split(strings.TrimRight(string(want), "\n"), "\n"), lines)
+			fatalf("mesh differs from baseline %s", baseline)
 		}
-		logf("mesh identical to baseline %s (%d blocks)", *baseline, len(dump))
+		logf("mesh identical to baseline %s (%d blocks)", baseline, len(lines))
 	}
 }
 
@@ -273,8 +628,9 @@ func (c *control) phase(k int) error {
 }
 
 // dump collects every node's block reports and merges them, verifying each
-// block appears exactly once across the cluster.
-func (c *control) dump() ([]string, error) {
+// block appears exactly once across the cluster and that no node reports
+// more than the grid holds — the merge never grows past expect lines.
+func (c *control) dump(expect int) ([]string, error) {
 	for _, p := range c.procs {
 		if _, err := fmt.Fprintln(p.stdin, "dump"); err != nil {
 			return nil, fmt.Errorf("node %d: %w", p.id, err)
@@ -301,6 +657,9 @@ func (c *control) dump() ([]string, error) {
 			rec, found := strings.CutPrefix(line, "block ")
 			if !found {
 				return nil, fmt.Errorf("node %d: unexpected output %q", p.id, line)
+			}
+			if len(all) >= expect {
+				return nil, fmt.Errorf("node %d: more than %d block lines; refusing to buffer past the grid size", p.id, expect)
 			}
 			f := strings.Fields(rec)
 			if len(f) != 4 {

@@ -4,9 +4,11 @@
 // consistent-hash directory, creates or restores its share of the blocks, and
 // then executes phase barriers driven over stdin by cmd/meshctl:
 //
-//	phase K   post phase K, run it to global termination, checkpoint -> "done K"
-//	dump      report every local block as "block <j> <i> <elements> <hash>" -> "dumped"
-//	quit      leave the cluster and exit
+//	phase K     post phase K, run it to global termination, checkpoint -> "done K"
+//	dump        report every local block as "block <j> <i> <elements> <hash>" -> "dumped"
+//	export DIR  frame every local block into DIR as meshstore chunk + manifest
+//	            (all nodes must export together) -> "exported <blocks> <bytes>"
+//	quit        leave the cluster and exit
 //
 // The stdout protocol starts with "ready <id> <addr>" once membership is
 // complete. Diagnostics go to stderr. A relaunched worker passes -restore
@@ -19,12 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mrts/internal/cluster"
 	"mrts/internal/comm"
 	"mrts/internal/core"
 	"mrts/internal/meshgen"
+	"mrts/internal/meshstore"
 	"mrts/internal/obs"
 	"mrts/internal/ooc"
 	"mrts/internal/sched"
@@ -46,6 +50,7 @@ func main() {
 		ckpt     = flag.String("ckpt", "", "checkpoint directory (empty: checkpoints kept in memory)")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file on quit")
 		restore  = flag.Bool("restore", false, "restore from the checkpoint in -ckpt instead of creating blocks")
+		compress = flag.Bool("compress", true, "flate-compress exported chunk frames")
 		workers  = flag.Int("workers", 2, "task pool workers")
 		routing  = flag.String("routing", "placed", "routing locator: placed, lazy, eager or home")
 		hb       = flag.Duration("heartbeat", 0, "heartbeat interval (0 = default)")
@@ -190,6 +195,30 @@ func main() {
 				fmt.Fprintf(out, "block %s\n", bd)
 			}
 			fmt.Fprintln(out, "dumped")
+			out.Flush()
+		case strings.HasPrefix(line, "export "):
+			// Every node of the run must receive the export command: the
+			// export barrier is global, like a phase. The writer truncates any
+			// chunk a killed incarnation left behind, so a relaunched worker
+			// re-exports cleanly over its predecessor's partial file.
+			w, err := meshstore.NewWriter(meshstore.WriterConfig{
+				Dir:      strings.TrimSpace(strings.TrimPrefix(line, "export ")),
+				Writer:   int(tn.Node()),
+				Meta:     d.StoreMeta(),
+				Compress: *compress,
+				Tracer:   tracer,
+			})
+			if err != nil {
+				fatalf("export: %v", err)
+			}
+			if err := d.Export(w); err != nil {
+				fatalf("export: %v", err)
+			}
+			if _, err := w.Finalize(); err != nil {
+				fatalf("export: %v", err)
+			}
+			logf(tn, "exported %d blocks (%d bytes)", w.Blocks(), w.Bytes())
+			fmt.Fprintf(out, "exported %d %d\n", w.Blocks(), w.Bytes())
 			out.Flush()
 		default:
 			if _, err := fmt.Sscanf(line, "phase %d", &k); err != nil {

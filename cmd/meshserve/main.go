@@ -1,0 +1,132 @@
+// Command meshserve serves a meshstore directory over HTTP, so a mesh — or
+// the readable prefix of one still being generated — can be inspected and
+// fetched without the cluster that wrote it:
+//
+//	meshserve -store dir -listen 127.0.0.1:8844
+//
+//	GET /manifest          the store index as JSON (merged manifest, or one
+//	                       assembled by scanning the chunks when the run is
+//	                       still in progress — always marked partial then)
+//	GET /chunk/<name>      one raw chunk file; supports Range requests
+//	GET /block/<key>       one block's decoded payload, digest-verified on
+//	                       the way out
+//
+// Every response carries X-Meshstore-Format; block responses add
+// X-Meshstore-SHA256 (hex digest of the body), X-Meshstore-Hash (the
+// block's canonical mesh digest) and X-Meshstore-Elements, so a client can
+// verify integrity without trusting the transport. The store is re-opened
+// per request: a server pointed at a live export directory serves whatever
+// whole frames exist at that moment — the streaming-read half of the
+// format's crash-tolerance rule.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mrts/internal/meshstore"
+)
+
+func main() {
+	var (
+		store  = flag.String("store", "", "mesh store directory (required)")
+		listen = flag.String("listen", "127.0.0.1:8844", "address to serve on")
+	)
+	flag.Parse()
+	if *store == "" {
+		fatalf("-store is required")
+	}
+	if _, err := os.Stat(*store); err != nil {
+		fatalf("store: %v", err)
+	}
+	logf("serving %s on http://%s", *store, *listen)
+	if err := http.ListenAndServe(*listen, newHandler(*store)); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// newHandler builds the HTTP handler for one store directory.
+func newHandler(dir string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/manifest", func(w http.ResponseWriter, r *http.Request) {
+		st, err := meshstore.Open(dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer st.Close()
+		man := st.Manifest()
+		w.Header().Set("Content-Type", "application/json")
+		setFormatHeaders(w, man)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(man)
+	})
+	mux.HandleFunc("/chunk/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/chunk/")
+		// IsChunkName is the only sanctioned request-path -> file mapping:
+		// anything that is not a well-formed chunk name (traversal attempts
+		// included) never reaches the filesystem.
+		if !meshstore.IsChunkName(name) {
+			http.NotFound(w, r)
+			return
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		defer f.Close()
+		fi, err := f.Stat()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Meshstore-Format", fmt.Sprint(meshstore.FormatVersion))
+		http.ServeContent(w, r, name, fi.ModTime(), f)
+	})
+	mux.HandleFunc("/block/", func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/block/")
+		st, err := meshstore.Open(dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer st.Close()
+		payload, rec, err := st.Payload(key)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		setFormatHeaders(w, st.Manifest())
+		w.Header().Set("X-Meshstore-SHA256", rec.PayloadSHA)
+		w.Header().Set("X-Meshstore-Hash", rec.Hash)
+		w.Header().Set("X-Meshstore-Elements", fmt.Sprint(rec.Elements))
+		w.Write(payload)
+	})
+	return mux
+}
+
+func setFormatHeaders(w http.ResponseWriter, man *meshstore.Manifest) {
+	w.Header().Set("X-Meshstore-Format", fmt.Sprint(man.Format))
+	w.Header().Set("X-Meshstore-Partial", fmt.Sprint(man.Partial))
+	if man.MeshHash != "" {
+		w.Header().Set("X-Meshstore-Mesh-Hash", man.MeshHash)
+	}
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "meshserve: "+format+"\n", args...)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "meshserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mrts/internal/meshstore"
+)
+
+func testPayload(seed byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i%7)
+	}
+	return b
+}
+
+// writeStore builds a 2x2 store with one writer. When finalize is false the
+// writer is left open — the shape of a run still exporting — and only the
+// first `blocks` grid cells are appended.
+func writeStore(t *testing.T, dir string, blocks int, finalize bool) {
+	t.Helper()
+	w, err := meshstore.NewWriter(meshstore.WriterConfig{
+		Dir:      dir,
+		Writer:   0,
+		Meta:     meshstore.Meta{Blocks: 2, TargetElements: 100},
+		Compress: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for j := 0; j < 2 && n < blocks; j++ {
+		for i := 0; i < 2 && n < blocks; i++ {
+			p := testPayload(byte(n), 900)
+			sum := sha256.Sum256(p)
+			err := w.Append(meshstore.BlockKey(i, j), i, j, int32(10+n),
+				hex.EncodeToString(sum[:]), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	if !finalize {
+		return // live run: chunk on disk, no manifest yet
+	}
+	if _, err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := meshstore.MergeManifests(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestServeCompleteStore(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 4, true)
+	srv := httptest.NewServer(newHandler(dir))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/manifest")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest: status %d", resp.StatusCode)
+	}
+	var man meshstore.Manifest
+	if err := json.Unmarshal(body, &man); err != nil {
+		t.Fatalf("manifest decode: %v", err)
+	}
+	if man.Partial || man.Blocks() != 4 || man.MeshHash == "" {
+		t.Fatalf("manifest: partial=%v blocks=%d hash=%q", man.Partial, man.Blocks(), man.MeshHash)
+	}
+	if got := resp.Header.Get("X-Meshstore-Mesh-Hash"); got != man.MeshHash {
+		t.Fatalf("mesh hash header %q != manifest %q", got, man.MeshHash)
+	}
+	if got := resp.Header.Get("X-Meshstore-Partial"); got != "false" {
+		t.Fatalf("partial header %q", got)
+	}
+
+	// Block fetch: body is the decoded payload; the digest header must match
+	// the body so a client can verify integrity end to end.
+	resp, body = get(t, srv, "/block/"+meshstore.BlockKey(1, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("block: status %d", resp.StatusCode)
+	}
+	if want := testPayload(1, 900); string(body) != string(want) {
+		t.Fatal("block body differs from the appended payload")
+	}
+	sum := sha256.Sum256(body)
+	if got := resp.Header.Get("X-Meshstore-SHA256"); got != hex.EncodeToString(sum[:]) {
+		t.Fatalf("integrity header %q does not digest the body", got)
+	}
+	if got := resp.Header.Get("X-Meshstore-Elements"); got != "11" {
+		t.Fatalf("elements header %q, want 11", got)
+	}
+
+	resp, _ = get(t, srv, "/block/no-such-block")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing block: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeChunkRange(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 4, true)
+	srv := httptest.NewServer(newHandler(dir))
+	defer srv.Close()
+
+	req, err := http.NewRequest("GET", srv.URL+"/chunk/chunk-000.mshc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Range", "bytes=0-3")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range request: status %d, want 206", resp.StatusCode)
+	}
+	if string(body) != "MSC1" {
+		t.Fatalf("first four chunk bytes %q, want the frame magic", body)
+	}
+
+	// Only well-formed chunk names map to files; nothing else reaches the
+	// filesystem.
+	for _, path := range []string{
+		"/chunk/MANIFEST.json",
+		"/chunk/chunk-0.mshc",       // non-canonical digits
+		"/chunk/..%2fMANIFEST.json", // traversal
+	} {
+		resp, _ := get(t, srv, path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServePartialMidRun is the acceptance property: a store still being
+// written — chunk growing, no manifest anywhere — serves its intact prefix,
+// clearly marked partial.
+func TestServePartialMidRun(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 2, false) // 2 of 4 blocks, writer never finalized
+	srv := httptest.NewServer(newHandler(dir))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/manifest")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Meshstore-Partial"); got != "true" {
+		t.Fatalf("partial header %q, want true", got)
+	}
+	var man meshstore.Manifest
+	if err := json.Unmarshal(body, &man); err != nil {
+		t.Fatal(err)
+	}
+	if !man.Partial || man.Blocks() != 2 {
+		t.Fatalf("mid-run manifest: partial=%v blocks=%d, want partial with 2 blocks", man.Partial, man.Blocks())
+	}
+
+	resp, body = get(t, srv, "/block/"+meshstore.BlockKey(0, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mid-run block fetch: status %d", resp.StatusCode)
+	}
+	if want := testPayload(0, 900); string(body) != string(want) {
+		t.Fatal("mid-run block body differs from the appended payload")
+	}
+	resp, _ = get(t, srv, "/block/"+meshstore.BlockKey(0, 1))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unwritten block: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -68,7 +68,7 @@ func Experiments() []string {
 		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
 		"policies", "dirpolicies", "routing", "remotemem", "tiers", "faults",
-		"pipeline", "alloc", "compress", "specul",
+		"pipeline", "alloc", "compress", "specul", "meshio",
 	}
 }
 
@@ -124,6 +124,8 @@ func Run(id string, opts Options) (*Table, error) {
 		return Compress(opts)
 	case "specul":
 		return Specul(opts)
+	case "meshio":
+		return MeshIO(opts)
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, Experiments())
 	}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"mrts/internal/cluster"
+	"mrts/internal/comm"
+	"mrts/internal/core"
+	"mrts/internal/meshgen"
+	"mrts/internal/meshstore"
+	"mrts/internal/ooc"
+	"mrts/internal/sched"
+	"mrts/internal/storage"
+)
+
+// MeshIO measures the mesh checkpoint/serve format's data path. The
+// synthetic stage streams a fixed grid of seeded payloads through one chunk
+// writer and reads every block back through the store index: write and read
+// MB/s, plus the exact framed byte count on disk — the payloads and their
+// order are fixed, so bytes_moved is deterministic and the CI gate bounds it
+// tightly (a lost compression win or a double-write trips it regardless of
+// machine speed). The integration stage runs OUPDR with streaming export on
+// an out-of-core cluster and restores the sealed store onto a two-node
+// cluster, verifying the canonical MeshHash end to end.
+func MeshIO(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "meshio",
+		Title:   "meshstore chunk write/read throughput and export/restore round trip",
+		Headers: []string{"stage", "blocks", "payload MB", "time", "MB/s"},
+		Notes: []string{
+			"synthetic payloads and append order are fixed so bytes_moved is deterministic across machines",
+			"restore rebuilds the exported mesh on a 2-node cluster and must reproduce the MeshHash",
+		},
+	}
+	if err := meshIOSynthetic(t); err != nil {
+		return nil, err
+	}
+	if err := meshIOExportRestore(t, opts); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// meshIOSynthetic streams a fixed 12x12 grid of 48 KiB payloads through the
+// chunk writer and reads them all back.
+func meshIOSynthetic(t *Table) error {
+	const (
+		grid        = 12
+		payloadSize = 48 << 10
+	)
+	dir, err := os.MkdirTemp("", "mrts-meshio-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Mid-entropy payloads (6 bits per byte): flate shrinks them, but not to
+	// nothing, so both the compressed and the raw framing paths are realistic.
+	// The seed is fixed — the byte stream, and with it every frame length,
+	// must not drift between baseline and gated run.
+	rng := rand.New(rand.NewSource(42))
+	payloads := make([][]byte, grid*grid)
+	for i := range payloads {
+		p := make([]byte, payloadSize)
+		for j := range p {
+			p[j] = byte(rng.Intn(64))
+		}
+		payloads[i] = p
+	}
+	rawMB := float64(grid*grid*payloadSize) / (1 << 20)
+
+	w, err := meshstore.NewWriter(meshstore.WriterConfig{
+		Dir:      dir,
+		Writer:   0,
+		Meta:     meshstore.Meta{Blocks: grid, TargetElements: grid * grid},
+		Compress: true,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for j := 0; j < grid; j++ {
+		for i := 0; i < grid; i++ {
+			p := payloads[j*grid+i]
+			sum := sha256.Sum256(p)
+			err := w.Append(meshstore.BlockKey(i, j), i, j, 1, hex.EncodeToString(sum[:]), p)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := w.Finalize(); err != nil {
+		return err
+	}
+	writeTime := time.Since(start)
+	if _, err := meshstore.MergeManifests(dir); err != nil {
+		return err
+	}
+
+	st, err := meshstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	start = time.Now()
+	var readBytes int
+	for j := 0; j < grid; j++ {
+		for i := 0; i < grid; i++ {
+			p, _, err := st.Payload(meshstore.BlockKey(i, j))
+			if err != nil {
+				return err
+			}
+			readBytes += len(p)
+		}
+	}
+	readTime := time.Since(start)
+	if readBytes != grid*grid*payloadSize {
+		return fmt.Errorf("bench: read back %d payload bytes, want %d", readBytes, grid*grid*payloadSize)
+	}
+
+	writeMBps := rawMB / writeTime.Seconds()
+	readMBps := rawMB / readTime.Seconds()
+	t.AddRow("synthetic write", fmtInt(grid*grid), fmt.Sprintf("%.1f", rawMB), fmtDur(writeTime), fmt.Sprintf("%.0f", writeMBps))
+	t.AddRow("synthetic read", fmtInt(grid*grid), fmt.Sprintf("%.1f", rawMB), fmtDur(readTime), fmt.Sprintf("%.0f", readMBps))
+	t.SetMetric("synth/speed_write_mbps", writeMBps)
+	t.SetMetric("synth/speed_read_mbps", readMBps)
+	t.SetMetric("synth/time_write_sec", writeTime.Seconds())
+	t.SetMetric("synth/time_read_sec", readTime.Seconds())
+	t.SetMetric("synth/bytes_moved", float64(w.Bytes()))
+	return nil
+}
+
+// meshIOExportRestore runs OUPDR with streaming export on an out-of-core
+// cluster and restores the sealed store onto a fresh 2-node cluster.
+func meshIOExportRestore(t *Table, opts Options) error {
+	size := opts.size(30000)
+	dir, err := os.MkdirTemp("", "mrts-meshio-exp-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	cl, cleanup, err := oocCluster(opts.PEs, size/3, ooc.LRU, cluster.WorkStealing, 1, opts.Trace, "meshio/")
+	if err != nil {
+		return err
+	}
+	const blocks = 6
+	w, err := meshstore.NewWriter(meshstore.WriterConfig{
+		Dir:      dir,
+		Writer:   0,
+		Meta:     meshstore.Meta{Blocks: blocks, TargetElements: size},
+		Compress: true,
+	})
+	if err != nil {
+		cleanup()
+		return err
+	}
+	start := time.Now()
+	res, err := meshgen.RunOUPDR(cl, meshgen.UPDRConfig{Blocks: blocks, TargetElements: size, Export: w})
+	cleanup()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Finalize(); err != nil {
+		return err
+	}
+	exportTime := time.Since(start)
+	man, err := meshstore.MergeManifests(dir)
+	if err != nil {
+		return err
+	}
+	if man.Partial || man.MeshHash != res.MeshHash {
+		return fmt.Errorf("bench: exported store partial=%v hash %s, run hash %s", man.Partial, man.MeshHash, res.MeshHash)
+	}
+	expMB := float64(w.Bytes()) / (1 << 20)
+
+	start = time.Now()
+	got, err := meshIORestore(2, dir)
+	if err != nil {
+		return err
+	}
+	restoreTime := time.Since(start)
+	if got != res.MeshHash {
+		return fmt.Errorf("bench: restored MeshHash %s != exported %s", got, res.MeshHash)
+	}
+
+	t.AddRow("oupdr export (run+stream)", fmtInt(blocks*blocks), fmt.Sprintf("%.1f", expMB), fmtDur(exportTime), "")
+	t.AddRow("restore onto 2 nodes", fmtInt(blocks*blocks), fmt.Sprintf("%.1f", expMB), fmtDur(restoreTime),
+		fmt.Sprintf("%.0f", expMB/restoreTime.Seconds()))
+	t.SetMetric(fmt.Sprintf("sz%d/time_export_run_sec", size), exportTime.Seconds())
+	t.SetMetric(fmt.Sprintf("sz%d/time_restore_sec", size), restoreTime.Seconds())
+	return nil
+}
+
+// meshIORestore rebuilds the store onto m in-proc nodes and returns the
+// restored mesh's canonical hash.
+func meshIORestore(m int, dir string) (string, error) {
+	st, err := meshstore.Open(dir)
+	if err != nil {
+		return "", err
+	}
+	defer st.Close()
+	meta := st.Manifest().Meta
+
+	tr := comm.NewInProc(m, comm.LatencyModel{})
+	defer tr.Close()
+	rts := make([]*core.Runtime, m)
+	defer func() {
+		for _, rt := range rts {
+			if rt != nil {
+				rt.Close()
+			}
+		}
+	}()
+	ds := make([]*meshgen.Dist, m)
+	for i := 0; i < m; i++ {
+		rts[i] = core.NewRuntime(core.Config{
+			Endpoint: tr.Endpoint(comm.NodeID(i)),
+			Pool:     sched.NewWorkStealing(2),
+			Factory:  meshgen.Factory,
+			Mem:      ooc.Config{Budget: int64(meta.TargetElements) * 30},
+			Store:    storage.NewMem(),
+			NumNodes: m,
+		})
+		d, err := meshgen.NewDist(rts[i], meshgen.DistConfig{
+			Blocks:         meta.Blocks,
+			TargetElements: meta.TargetElements,
+			QualityBound:   meta.QualityBound,
+			Nodes:          m,
+			Node:           i,
+		})
+		if err != nil {
+			return "", err
+		}
+		if err := d.RestoreFromStore(st); err != nil {
+			return "", err
+		}
+		ds[i] = d
+	}
+	dumps := make([][]meshgen.BlockDump, m)
+	done := make(chan struct{}, m)
+	for i, d := range ds {
+		i, d := i, d
+		go func() {
+			dumps[i] = d.Dump()
+			done <- struct{}{}
+		}()
+	}
+	for range ds {
+		<-done
+	}
+	var all []meshgen.BlockDump
+	for _, part := range dumps {
+		all = append(all, part...)
+	}
+	if len(all) != meta.Blocks*meta.Blocks {
+		return "", fmt.Errorf("bench: restore dumped %d blocks, want %d", len(all), meta.Blocks*meta.Blocks)
+	}
+	return meshgen.MeshHashOf(all), nil
+}

@@ -12,9 +12,11 @@ import (
 	"sync"
 	"time"
 
+	"mrts/internal/bufpool"
 	"mrts/internal/cluster"
 	"mrts/internal/core"
 	"mrts/internal/mesh"
+	"mrts/internal/meshstore"
 	"mrts/internal/storage"
 	"mrts/internal/workload"
 )
@@ -30,6 +32,10 @@ import (
 // hBlockDump asks a block to report (i, j, elements, mesh hash) for the
 // cross-run equality check.
 const hBlockDump core.HandlerID = 103
+
+// hBlockExport asks a block to frame its full encoded state into the
+// node's meshstore chunk writer.
+const hBlockExport core.HandlerID = 104
 
 // DistConfig parameterizes one node's share of a distributed OUPDR run. All
 // processes of a run must use identical Blocks/TargetElements/QualityBound/
@@ -140,7 +146,7 @@ func NewPlacement(cfg DistConfig) (*Placement, error) {
 	for j := nb - 1; j >= 0; j-- {
 		for i := nb - 1; i >= 0; i-- {
 			idx := j*nb + i
-			key := fmt.Sprintf("block-%d-%d", i, j)
+			key := meshstore.BlockKey(i, j)
 			owner, _ := pl.Dir.Owner(key)
 			seq[owner]++
 			pl.Ptrs[idx] = core.MobilePtr{Home: owner, Seq: seq[owner]}
@@ -162,8 +168,10 @@ type Dist struct {
 	owners []core.NodeID    // owner per block, same indexing
 	order  []int            // canonical creation order (indexes into ptrs)
 
-	mu   sync.Mutex
-	dump []BlockDump
+	mu     sync.Mutex
+	dump   []BlockDump
+	expW   *meshstore.Writer
+	expErr error
 }
 
 // NewDist computes the placement table and registers the OUPDR handlers on
@@ -208,7 +216,38 @@ func NewDistFrom(rt *core.Runtime, cfg DistConfig, pl *Placement) (*Dist, error)
 		d.dump = append(d.dump, rec)
 		d.mu.Unlock()
 	})
+	rt.Register(hBlockExport, func(c *core.Ctx, arg []byte) {
+		o := c.Object().(*blockObj)
+		i := int(math.Round(o.Rect.Min.X * float64(nb)))
+		j := int(math.Round(o.Rect.Min.Y * float64(nb)))
+		d.mu.Lock()
+		w := d.expW
+		d.mu.Unlock()
+		if w == nil {
+			return
+		}
+		if err := exportBlock(w, i, j, o); err != nil {
+			d.mu.Lock()
+			if d.expErr == nil {
+				d.expErr = err
+			}
+			d.mu.Unlock()
+		}
+	})
 	return d, nil
+}
+
+// exportBlock frames one block into a store chunk: the canonical mesh
+// digest for offline verification, and the block's full encoded state as
+// the payload a rank-independent restore re-creates it from.
+func exportBlock(w *meshstore.Writer, i, j int, o *blockObj) error {
+	bw := bufpool.GetWriter(o.SizeHint())
+	defer bufpool.PutWriter(bw)
+	if err := o.EncodeTo(bw); err != nil {
+		return err
+	}
+	return w.Append(meshstore.BlockKey(i, j), i, j, o.Elements,
+		hex.EncodeToString(hashMesh(o.MeshData)), bw.Bytes())
 }
 
 // hashMesh digests a block's refined mesh by geometry, not by encoding:
@@ -375,3 +414,95 @@ func (d *Dist) Checkpoint(st storage.Store, prefix string) error {
 func (d *Dist) Restore(st storage.Store, prefix string) error {
 	return d.rt.Restore(st, prefix)
 }
+
+// StoreMeta is the manifest meta for this run's generation parameters —
+// what a rank-independent restore needs, and nothing about the node count.
+func (d *Dist) StoreMeta() meshstore.Meta {
+	return meshstore.Meta{
+		Blocks:         d.cfg.Blocks,
+		TargetElements: d.cfg.TargetElements,
+		QualityBound:   d.cfg.QualityBound,
+	}
+}
+
+// Export frames every local block into w and waits for global termination
+// (every process of the run must call Export together, like Dump). The
+// writer is left open; callers Finalize and merge manifests afterwards.
+func (d *Dist) Export(w *meshstore.Writer) error {
+	d.mu.Lock()
+	d.expW, d.expErr = w, nil
+	d.mu.Unlock()
+	for _, ptr := range d.rt.LocalObjects() {
+		d.rt.Post(ptr, hBlockExport, nil)
+	}
+	d.rt.WaitTermination(d.cfg.Nodes)
+	d.mu.Lock()
+	err := d.expErr
+	d.expW = nil
+	d.mu.Unlock()
+	if err == nil {
+		err = w.Err()
+	}
+	return err
+}
+
+// RestoreFromStore rebuilds this node's share of a mesh from a store,
+// independent of how many nodes wrote it. Each locally-owned block is
+// fetched by its grid key — which chunk holds it is irrelevant — decoded,
+// and re-created in the canonical order so the minted pointer matches THIS
+// run's placement prediction. The stored neighbor pointers belonged to the
+// writing run's placement and are rewritten to the new table; that rewrite
+// is the entire rank-independence rule. The runtime must be fresh.
+func (d *Dist) RestoreFromStore(st *meshstore.Store) error {
+	nb := d.cfg.Blocks
+	for _, idx := range d.order {
+		if d.owners[idx] != core.NodeID(d.cfg.Node) {
+			continue
+		}
+		i, j := idx%nb, idx/nb
+		payload, rec, err := st.Payload(meshstore.BlockKey(i, j))
+		if err != nil {
+			return fmt.Errorf("meshgen: restore block (%d,%d): %w", i, j, err)
+		}
+		o := &blockObj{}
+		if err := o.DecodeFrom(bytes.NewReader(payload)); err != nil {
+			return fmt.Errorf("meshgen: restore block (%d,%d): decode: %w", i, j, err)
+		}
+		if o.Elements != rec.Elements {
+			return fmt.Errorf("meshgen: restore block (%d,%d): payload has %d elements, index says %d",
+				i, j, o.Elements, rec.Elements)
+		}
+		o.Right, o.Top = core.Nil, core.Nil
+		if i+1 < nb {
+			o.Right = d.ptrs[j*nb+i+1]
+		}
+		if j+1 < nb {
+			o.Top = d.ptrs[(j+1)*nb+i]
+		}
+		got := d.rt.CreateObject(o)
+		if got != d.ptrs[idx] {
+			return fmt.Errorf("meshgen: restored block (%d,%d) minted %v, placement predicted %v",
+				i, j, got, d.ptrs[idx])
+		}
+		meshstore.EmitRestore(d.rt.Tracer(), i, j, len(payload))
+	}
+	return nil
+}
+
+// DecodeExportedBlock decodes a stored block payload offline and
+// recomputes its canonical digest — the deep half of `meshctl verify`,
+// needing no cluster.
+func DecodeExportedBlock(payload []byte, blocks int) (BlockDump, error) {
+	o := &blockObj{}
+	if err := o.DecodeFrom(bytes.NewReader(payload)); err != nil {
+		return BlockDump{}, err
+	}
+	i := int(math.Round(o.Rect.Min.X * float64(blocks)))
+	j := int(math.Round(o.Rect.Min.Y * float64(blocks)))
+	return BlockDump{I: i, J: j, Elements: o.Elements,
+		Hash: hex.EncodeToString(hashMesh(o.MeshData))}, nil
+}
+
+// MeshHashOf folds block dumps into the run-wide canonical MeshHash using
+// the meshstore combined-digest rule.
+func MeshHashOf(dump []BlockDump) string { return combineMeshHash(dump) }

@@ -1,0 +1,247 @@
+package meshgen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mrts/internal/meshstore"
+)
+
+// exportWriter opens a store writer for one run into a fresh temp dir and
+// returns both. The meta mirrors what the run's driver would publish.
+func exportWriter(t *testing.T, cfg UPDRConfig, compress bool) (string, *meshstore.Writer) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := meshstore.NewWriter(meshstore.WriterConfig{
+		Dir:    dir,
+		Writer: 0,
+		Meta: meshstore.Meta{
+			Blocks:         cfg.Blocks,
+			TargetElements: cfg.TargetElements,
+			QualityBound:   cfg.QualityBound,
+		},
+		Compress: compress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return dir, w
+}
+
+// finishExport finalizes the writer, merges manifests and deep-verifies the
+// store, returning the sealed merged manifest.
+func finishExport(t *testing.T, dir string, w *meshstore.Writer) *meshstore.Manifest {
+	t.Helper()
+	if _, err := w.Finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	man, err := meshstore.MergeManifests(dir)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	rep, err := meshstore.Verify(dir)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("verify problems: %v", rep.Problems)
+	}
+	return man
+}
+
+// TestOUPDRStreamingExport: a bulk-sync run with an export writer attached
+// frames every block at its dump point; the merged manifest must be complete
+// and carry the exact run-wide MeshHash the run itself reported — the
+// offline store is a faithful stand-in for the live cluster.
+func TestOUPDRStreamingExport(t *testing.T) {
+	cfg := specTestConfig
+	dir, w := exportWriter(t, cfg, true)
+	cfg.Export = w
+	res, err := RunOUPDR(specTestCluster(t, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := cfg.Blocks
+	if got := w.Blocks(); got != nb*nb {
+		t.Fatalf("writer saw %d blocks, want %d", got, nb*nb)
+	}
+	man := finishExport(t, dir, w)
+	if man.Partial {
+		t.Fatal("complete export sealed as partial")
+	}
+	if man.MeshHash != res.MeshHash {
+		t.Fatalf("manifest MeshHash %s != run %s", man.MeshHash, res.MeshHash)
+	}
+
+	// The store must answer block fetches offline, and the offline deep
+	// decode must reproduce each block's canonical digest.
+	st, err := meshstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	payload, rec, err := st.Payload(meshstore.BlockKey(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := DecodeExportedBlock(payload, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Hash != rec.Hash || dump.Elements != rec.Elements || dump.I != 0 || dump.J != 0 {
+		t.Fatalf("offline decode %+v disagrees with manifest record %+v", dump, rec)
+	}
+}
+
+// TestSUPDRStreamingExport: the speculative run exports at commit points —
+// including blocks that rolled back and retried, and blocks whose retry was
+// throttled to bulk pacing. Whatever the path to commitment, each block is
+// framed exactly once (the manifest's duplicate-key check would reject the
+// store otherwise) and the store hash equals the run hash.
+func TestSUPDRStreamingExport(t *testing.T) {
+	cfg := SUPDRConfig{
+		UPDRConfig:     specTestConfig,
+		ConflictProb:   0.8,
+		Seed:           7,
+		ThrottleRate:   0.5,
+		ThrottleWindow: 8,
+	}
+	dir, w := exportWriter(t, cfg.UPDRConfig, true)
+	cfg.Export = w
+	res, err := RunSUPDR(specTestCluster(t, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rollbacks == 0 {
+		t.Fatal("prob 0.8 run produced no rollbacks; commit-after-retry path not exercised")
+	}
+	nb := cfg.Blocks
+	if got := w.Blocks(); got != nb*nb {
+		t.Fatalf("writer saw %d blocks, want %d (each commit must frame exactly once)", got, nb*nb)
+	}
+	man := finishExport(t, dir, w)
+	if man.MeshHash != res.MeshHash {
+		t.Fatalf("manifest MeshHash %s != run %s", man.MeshHash, res.MeshHash)
+	}
+	if want := specBulkSyncReference(t); man.MeshHash != want.MeshHash {
+		t.Fatalf("exported speculative mesh differs from bulk-sync reference")
+	}
+}
+
+// TestSUPDRExportPartialMidRunSemantics: frames appended before a crash are
+// a readable prefix. Simulated by abandoning the writer (Close without
+// Finalize — the SIGKILL path) and opening the directory manifest-less.
+func TestSUPDRExportPartialMidRunSemantics(t *testing.T) {
+	cfg := SUPDRConfig{UPDRConfig: specTestConfig, ConflictProb: 0, Seed: 1}
+	dir, w := exportWriter(t, cfg.UPDRConfig, true)
+	cfg.Export = w
+	if _, err := RunSUPDR(specTestCluster(t, 2), cfg); err != nil {
+		t.Fatal(err)
+	}
+	w.Close() // crash: no manifest written
+
+	if m, _ := filepath.Glob(filepath.Join(dir, "manifest-*.json")); len(m) != 0 {
+		t.Fatalf("abandoned writer left manifests: %v", m)
+	}
+	st, err := meshstore.Open(dir)
+	if err != nil {
+		t.Fatalf("manifest-less open: %v", err)
+	}
+	defer st.Close()
+	if !st.Partial() {
+		t.Fatal("manifest-less store must report itself partial")
+	}
+	nb := cfg.Blocks
+	if got := len(st.Manifest().Records()); got != nb*nb {
+		t.Fatalf("recovered %d frames from chunk scan, want %d", got, nb*nb)
+	}
+	if _, _, err := st.Payload(meshstore.BlockKey(1, 1)); err != nil {
+		t.Fatalf("partial store payload: %v", err)
+	}
+}
+
+// TestSpeculThrottleFallsBack is the satellite regression test for adaptive
+// speculation throttling: under a sustained conflict storm with throttling
+// enabled, some retries must be demoted to bulk-sync pacing (Throttled > 0),
+// and the demotion must change nothing about the mesh — same canonical hash
+// as the bulk-sync reference, conforming interfaces, no leaked snapshots.
+func TestSpeculThrottleFallsBack(t *testing.T) {
+	want := specBulkSyncReference(t)
+	cl := specTestCluster(t, 2)
+	res, err := RunSUPDR(cl, SUPDRConfig{
+		UPDRConfig:     specTestConfig,
+		ConflictProb:   1.0, // every announced pair conflicts: window saturates
+		Seed:           3,
+		ThrottleRate:   0.5,
+		ThrottleWindow: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throttled == 0 {
+		t.Fatal("conflict storm with ThrottleRate 0.5 never throttled")
+	}
+	if res.Rollbacks == 0 {
+		t.Fatal("conflict storm produced no rollbacks")
+	}
+	if res.MeshHash != want.MeshHash {
+		t.Fatalf("throttled mesh hash %s != bulk-sync %s", res.MeshHash, want.MeshHash)
+	}
+	if res.Elements != want.Elements {
+		t.Fatalf("throttled run meshed %d elements, bulk-sync %d", res.Elements, want.Elements)
+	}
+	if !res.Conforming {
+		t.Fatal("interfaces no longer conform under throttling")
+	}
+	for _, rt := range cl.Runtimes() {
+		if n := rt.SnapshotCount(); n != 0 {
+			t.Errorf("node holds %d unresolved speculation snapshots", n)
+		}
+		for _, msg := range rt.CheckInvariants(true) {
+			t.Errorf("invariant violated: %s", msg)
+		}
+	}
+}
+
+// TestSpeculThrottleDisabledByDefault pins back-compat: ThrottleRate zero
+// (the default) must never demote a retry, whatever the conflict rate.
+func TestSpeculThrottleDisabledByDefault(t *testing.T) {
+	res, err := RunSUPDR(specTestCluster(t, 2), SUPDRConfig{
+		UPDRConfig:   specTestConfig,
+		ConflictProb: 1.0,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throttled != 0 {
+		t.Fatalf("ThrottleRate 0 demoted %d retries, want none", res.Throttled)
+	}
+}
+
+// TestSpeculThrottleDeterministic: same seed and throttle config, same mesh —
+// the throttle decision rides on the deterministic conflict draw, so a replay
+// must reproduce the identical outcome.
+func TestSpeculThrottleDeterministic(t *testing.T) {
+	run := func() Result {
+		res, err := RunSUPDR(specTestCluster(t, 2), SUPDRConfig{
+			UPDRConfig:     specTestConfig,
+			ConflictProb:   0.9,
+			Seed:           11,
+			ThrottleRate:   0.4,
+			ThrottleWindow: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeshHash != b.MeshHash {
+		t.Fatal("same seed under throttling produced different meshes")
+	}
+	if a.Elements != b.Elements {
+		t.Fatalf("same seed produced %d vs %d elements", a.Elements, b.Elements)
+	}
+}

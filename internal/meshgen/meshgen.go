@@ -50,6 +50,7 @@ type Result struct {
 	// Speculation accounting (S-UPDR only; zero elsewhere).
 	Conflicts int64 // conflict detections (one per conflicting announce)
 	Rollbacks int64 // speculative refinements rolled back and retried
+	Throttled int64 // retries demoted to bulk-sync pacing by throttling
 }
 
 // Speed returns the paper's per-PE performance metric S/(T·N).

@@ -14,6 +14,7 @@ import (
 	"mrts/internal/cluster"
 	"mrts/internal/core"
 	"mrts/internal/geom"
+	"mrts/internal/meshstore"
 	"mrts/internal/workload"
 )
 
@@ -155,6 +156,20 @@ type oupdrShared struct {
 
 	dumpMu sync.Mutex
 	dump   []BlockDump // per-block canonical hashes (dump phase)
+
+	// Streaming export (optional): blocks are framed into the store as the
+	// dump pass visits them — the bulk-sync method's irrevocable point.
+	export *meshstore.Writer
+	expMu  sync.Mutex
+	expErr error
+}
+
+func (sh *oupdrShared) exportFail(err error) {
+	sh.expMu.Lock()
+	if sh.expErr == nil {
+		sh.expErr = err
+	}
+	sh.expMu.Unlock()
 }
 
 // registerOUPDR installs the OUPDR handlers on every node of the cluster.
@@ -174,14 +189,21 @@ func registerOUPDR(cl *cluster.Cluster, sh *oupdrShared) {
 			}
 			o := c.Object().(*blockObj)
 			nb := int(binary.LittleEndian.Uint32(arg))
+			i := int(math.Round(o.Rect.Min.X * float64(nb)))
+			j := int(math.Round(o.Rect.Min.Y * float64(nb)))
 			sh.dumpMu.Lock()
 			sh.dump = append(sh.dump, BlockDump{
-				I:        int(math.Round(o.Rect.Min.X * float64(nb))),
-				J:        int(math.Round(o.Rect.Min.Y * float64(nb))),
+				I:        i,
+				J:        j,
 				Elements: o.Elements,
 				Hash:     hex.EncodeToString(hashMesh(o.MeshData)),
 			})
 			sh.dumpMu.Unlock()
+			if sh.export != nil {
+				if err := exportBlock(sh.export, i, j, o); err != nil {
+					sh.exportFail(err)
+				}
+			}
 		})
 	}
 }
@@ -277,7 +299,7 @@ func RunOUPDR(cl *cluster.Cluster, cfg UPDRConfig) (Result, error) {
 		return Result{}, err
 	}
 	start := time.Now()
-	sh := &oupdrShared{}
+	sh := &oupdrShared{export: cfg.Export}
 	registerOUPDR(cl, sh)
 
 	h := workload.UniformSizeFor(cfg.TargetElements, 1.0)
@@ -334,6 +356,17 @@ func RunOUPDR(cl *cluster.Cluster, cfg UPDRConfig) (Result, error) {
 	sh.dumpMu.Lock()
 	meshHash := combineMeshHash(sh.dump)
 	sh.dumpMu.Unlock()
+	if cfg.Export != nil {
+		sh.expMu.Lock()
+		expErr := sh.expErr
+		sh.expMu.Unlock()
+		if expErr == nil {
+			expErr = cfg.Export.Err()
+		}
+		if expErr != nil {
+			return Result{}, fmt.Errorf("meshgen: export: %w", expErr)
+		}
+	}
 	return Result{
 		Method:     "OUPDR",
 		MeshHash:   meshHash,

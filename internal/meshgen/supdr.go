@@ -2,12 +2,10 @@ package meshgen
 
 import (
 	"bytes"
-	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +13,7 @@ import (
 	"mrts/internal/cluster"
 	"mrts/internal/core"
 	"mrts/internal/geom"
+	"mrts/internal/meshstore"
 	"mrts/internal/obs"
 	"mrts/internal/workload"
 )
@@ -88,6 +87,10 @@ const (
 	specAckNone uint32 = 0 // no conflict seen by the receiver
 	specAckLose uint32 = 1 // receiver won a conflict: announcer must roll back
 )
+
+// specKickBulk is the kick-argument flag byte (appended after the epoch)
+// that demotes a retry to bulk-sync pacing under adaptive throttling.
+const specKickBulk byte = 1
 
 // specBlockObj is the S-UPDR mobile object. Every field — including the
 // full speculation state machine — is serialized, so a speculative block
@@ -261,9 +264,72 @@ type supdrShared struct {
 	announces atomic.Int64
 	conflicts atomic.Int64
 	rollbacks atomic.Int64
+	throttled atomic.Int64
 
 	dumpMu sync.Mutex
 	dump   []BlockDump
+
+	// Adaptive throttling: a sliding window over announce outcomes. When
+	// the windowed conflict rate exceeds throttleRate, conflict losers
+	// retry in bulk-sync pacing instead of re-speculating (rate <= 0
+	// disables throttling entirely).
+	throttleRate float64
+	winMu        sync.Mutex
+	win          []bool
+	winIdx       int
+	winFilled    int
+	winConfl     int
+
+	// Streaming export: when set, every block is framed into the store at
+	// its commit point — the mesh becomes readable on disk while the run
+	// is still going.
+	export *meshstore.Writer
+	expMu  sync.Mutex
+	expErr error
+}
+
+// noteAnnounce feeds one announce outcome into the sliding window.
+func (sh *supdrShared) noteAnnounce(conflicted bool) {
+	if sh.throttleRate <= 0 {
+		return
+	}
+	sh.winMu.Lock()
+	defer sh.winMu.Unlock()
+	if sh.winFilled == len(sh.win) {
+		if sh.win[sh.winIdx] {
+			sh.winConfl--
+		}
+	} else {
+		sh.winFilled++
+	}
+	sh.win[sh.winIdx] = conflicted
+	if conflicted {
+		sh.winConfl++
+	}
+	sh.winIdx = (sh.winIdx + 1) % len(sh.win)
+}
+
+// throttleEngaged reports whether the windowed conflict rate exceeds the
+// threshold. The window must be full first, so a single early conflict on
+// a quiet run cannot trip it.
+func (sh *supdrShared) throttleEngaged() bool {
+	if sh.throttleRate <= 0 {
+		return false
+	}
+	sh.winMu.Lock()
+	defer sh.winMu.Unlock()
+	if sh.winFilled < len(sh.win) {
+		return false
+	}
+	return float64(sh.winConfl)/float64(sh.winFilled) > sh.throttleRate
+}
+
+func (sh *supdrShared) exportFail(err error) {
+	sh.expMu.Lock()
+	if sh.expErr == nil {
+		sh.expErr = err
+	}
+	sh.expMu.Unlock()
 }
 
 // registerSUPDR installs the S-UPDR handlers on every node of the cluster.
@@ -318,6 +384,30 @@ func specMeshHandler(c *core.Ctx, o *specBlockObj, arg []byte, sh *supdrShared) 
 			}
 		}
 	}
+	if len(arg) == 5 && arg[4] == specKickBulk {
+		// Throttled retry: bulk-sync pacing. No snapshot, no announce round —
+		// refine and commit in one step, exactly like a barrier-paced block.
+		// A committed cavity can no longer move, so any later same-epoch
+		// announce against this block resolves against committed state; and
+		// since meshBlock is pure, the mesh is the one every pacing produces.
+		o.Epoch = e
+		o.LosePending = false
+		o.AcksPending = 0
+		bm, err := meshBlock(o.Rect, o.H, o.Beta)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := bm.mesh.EncodeTo(&buf); err != nil {
+			return
+		}
+		o.MeshData = buf.Bytes()
+		o.Elements = int32(bm.mesh.NumTriangles())
+		o.Verts = int32(bm.mesh.NumVertices())
+		specCommit(c, o, sh)
+		return
+	}
+
 	o.Epoch = e
 	// Snapshot the pre-refinement state; a conflict loser rolls back to
 	// exactly this point and retries at the next epoch. Taken after the
@@ -416,7 +506,9 @@ func specAnnounceHandler(c *core.Ctx, o *specBlockObj, arg []byte, sh *supdrShar
 	}
 	// Conflicts exist only between same-epoch cavity updates; an idle
 	// receiver has no cavity to conflict with.
-	if o.Epoch == e && o.Phase != specIdle && conflictDraw(o.Seed, lo, hi, e) < o.Prob {
+	conflicted := o.Epoch == e && o.Phase != specIdle && conflictDraw(o.Seed, lo, hi, e) < o.Prob
+	sh.noteAnnounce(conflicted)
+	if conflicted {
 		sh.conflicts.Add(1)
 		rt := c.Runtime()
 		switch {
@@ -490,7 +582,16 @@ func specLoseHandler(c *core.Ctx, o *specBlockObj, arg []byte, sh *supdrShared) 
 	// o now holds the pre-refinement state again (idle, epoch e, neighbors
 	// intact, no mesh). Retry one epoch up: a fresh snapshot, a fresh round
 	// of announces, and no possible conflict with anything committed at e.
-	c.Post(c.Self, hSpecMesh, encodeSpecEpoch(e+1))
+	// Under adaptive throttling a hot conflict window demotes the retry to
+	// bulk-sync pacing instead — refine-and-commit with no speculation, so
+	// a conflict storm stops feeding itself.
+	kick := encodeSpecEpoch(e + 1)
+	if sh.throttleEngaged() {
+		sh.throttled.Add(1)
+		rt.Tracer().Emit(obs.KindSpeculThrottle, packSpecPtr(c.Self), int64(e+1))
+		kick = append(kick, specKickBulk)
+	}
+	c.Post(c.Self, hSpecMesh, kick)
 }
 
 // specCommit finalizes a speculation: the snapshot is discarded, totals are
@@ -509,14 +610,42 @@ func specCommit(c *core.Ctx, o *specBlockObj, sh *supdrShared) {
 	// separate dump pass after its barrier and pays one cold reload per
 	// block for the identical digest.
 	nb := int(o.Nb)
+	i, j := int(o.ID)%nb, int(o.ID)/nb
 	sh.dumpMu.Lock()
 	sh.dump = append(sh.dump, BlockDump{
-		I:        int(o.ID) % nb,
-		J:        int(o.ID) / nb,
+		I:        i,
+		J:        j,
 		Elements: o.Elements,
 		Hash:     hex.EncodeToString(hashMesh(o.MeshData)),
 	})
 	sh.dumpMu.Unlock()
+	// Streaming export rides the same irrevocability: once committed, this
+	// block's bytes can never change, so they are appended to the chunk
+	// right now, mid-run — a reader polling the store sees the mesh grow.
+	if sh.export != nil {
+		if err := exportSpecBlock(sh.export, i, j, o); err != nil {
+			sh.exportFail(err)
+		}
+	}
+}
+
+// exportSpecBlock frames a committed speculative block in the canonical
+// blockObj payload encoding, so a store restores the same way no matter
+// which generator wrote it. The speculation protocol state is dropped — a
+// committed block's durable identity is its geometry and mesh — and the
+// neighbor pointers are rewritten against the restoring run's placement
+// anyway.
+func exportSpecBlock(w *meshstore.Writer, i, j int, o *specBlockObj) error {
+	return exportBlock(w, i, j, &blockObj{
+		Rect:     o.Rect,
+		H:        o.H,
+		Beta:     o.Beta,
+		Right:    o.Right,
+		Top:      o.Top,
+		MeshData: o.MeshData,
+		Elements: o.Elements,
+		Verts:    o.Verts,
+	})
 }
 
 // specIfaceHandler verifies a committed neighbor's interface points against
@@ -554,18 +683,11 @@ func specIfaceHandler(o *specBlockObj, arg []byte, sh *supdrShared) {
 // format, hashed once more. Two runs produce the same digest iff every
 // block's refined mesh is byte-identical.
 func combineMeshHash(dump []BlockDump) string {
-	sorted := append([]BlockDump(nil), dump...)
-	sort.Slice(sorted, func(a, b int) bool {
-		if sorted[a].J != sorted[b].J {
-			return sorted[a].J < sorted[b].J
-		}
-		return sorted[a].I < sorted[b].I
-	})
-	h := sha256.New()
-	for _, d := range sorted {
-		fmt.Fprintln(h, d.String())
+	recs := make([]meshstore.HashRecord, len(dump))
+	for i, d := range dump {
+		recs[i] = meshstore.HashRecord{I: d.I, J: d.J, Elements: d.Elements, Hash: d.Hash}
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return meshstore.CombineHash(recs)
 }
 
 // SUPDRConfig configures a speculative refinement run.
@@ -579,6 +701,18 @@ type SUPDRConfig struct {
 	// Seed drives the conflict draw: same seed and config, same conflicts,
 	// same rollback structure.
 	Seed int64
+	// ThrottleRate enables adaptive speculation throttling when positive:
+	// once the conflict rate over the sliding announce window exceeds it,
+	// conflict losers retry under bulk-sync pacing instead of
+	// re-speculating. Zero (the default) never throttles.
+	ThrottleRate float64
+	// ThrottleWindow is the sliding window length in announces (0 = 32).
+	ThrottleWindow int
+	// Export, when non-nil, streams every block into the store at its
+	// commit point: the chunk grows while generation is still running, and
+	// a partial mesh is readable mid-run. The writer is left open for the
+	// caller to Finalize.
+	Export *meshstore.Writer
 }
 
 // RunSUPDR executes the speculative uniform method on an MRTS cluster: one
@@ -592,8 +726,19 @@ func RunSUPDR(cl *cluster.Cluster, cfg SUPDRConfig) (Result, error) {
 	if cfg.ConflictProb < 0 || cfg.ConflictProb > 1 {
 		return Result{}, fmt.Errorf("meshgen: ConflictProb %v outside [0,1]", cfg.ConflictProb)
 	}
+	if cfg.ThrottleRate < 0 || cfg.ThrottleRate > 1 {
+		return Result{}, fmt.Errorf("meshgen: ThrottleRate %v outside [0,1]", cfg.ThrottleRate)
+	}
 	start := time.Now()
-	sh := &supdrShared{}
+	win := cfg.ThrottleWindow
+	if win <= 0 {
+		win = 32
+	}
+	sh := &supdrShared{
+		throttleRate: cfg.ThrottleRate,
+		win:          make([]bool, win),
+		export:       cfg.Export,
+	}
 	registerSUPDR(cl, sh)
 
 	h := workload.UniformSizeFor(cfg.TargetElements, 1.0)
@@ -638,6 +783,17 @@ func RunSUPDR(cl *cluster.Cluster, cfg SUPDRConfig) (Result, error) {
 	if n := sh.elements.Load(); n == 0 {
 		return Result{}, fmt.Errorf("meshgen: S-UPDR produced no elements")
 	}
+	if cfg.Export != nil {
+		sh.expMu.Lock()
+		expErr := sh.expErr
+		sh.expMu.Unlock()
+		if expErr == nil {
+			expErr = cfg.Export.Err()
+		}
+		if expErr != nil {
+			return Result{}, fmt.Errorf("meshgen: streaming export: %w", expErr)
+		}
+	}
 	// No dump phase: every block hashed itself at commit time while its
 	// mesh was still in core, so the canonical digest (same scheme as
 	// RunOUPDR's) is already collected.
@@ -658,5 +814,6 @@ func RunSUPDR(cl *cluster.Cluster, cfg SUPDRConfig) (Result, error) {
 		MeshHash:   meshHash,
 		Conflicts:  sh.conflicts.Load(),
 		Rollbacks:  sh.rollbacks.Load(),
+		Throttled:  sh.throttled.Load(),
 	}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"mrts/internal/delaunay"
 	"mrts/internal/geom"
 	"mrts/internal/mesh"
+	"mrts/internal/meshstore"
 	"mrts/internal/workload"
 )
 
@@ -29,6 +30,10 @@ type UPDRConfig struct {
 	// (the in-core behavior whose footprint the out-of-core build shrinks).
 	// Element counts are collected either way.
 	KeepMeshes bool
+	// Export, when non-nil, frames every block into the meshstore chunk as
+	// the dump pass visits it (RunOUPDR only). The writer is left open for
+	// the caller to Finalize.
+	Export *meshstore.Writer
 }
 
 func (c *UPDRConfig) defaults() error {

@@ -1,0 +1,239 @@
+// Package meshstore implements the versioned, chunked, rank-independent
+// on-disk mesh format (the DMPlex-style parallel checkpoint/serve format).
+//
+// A store is a directory. Each writer (one per node) appends framed block
+// records to its own chunk file, chunk-<writer>.mshc, so an N-node run
+// writes N chunks fully in parallel with no coordination beyond the
+// directory name. Frames are self-describing and self-verifying: every
+// frame carries the block key, grid coordinates, the block's canonical
+// mesh digest, and a SHA-256 of the raw payload, so any reader can check
+// integrity without the cluster that wrote it. A manifest
+// (manifest-<writer>.json per writer, MANIFEST.json once merged) indexes
+// the frames and carries the run-wide combined MeshHash.
+//
+// Two properties shape the format:
+//
+//   - Rank independence: nothing in a chunk or manifest binds a block to
+//     the node that wrote it. A mesh written by N nodes restores onto M
+//     nodes by repartitioning block keys through a fresh consistent-hash
+//     placement — the chunk a block came from is irrelevant.
+//   - Streaming append: frames are written at irrevocable commit points
+//     while generation is still running, and readers tolerate a truncated
+//     trailing frame (a crash mid-append, or a read racing the writer), so
+//     a partial mesh is readable mid-run.
+package meshstore
+
+import (
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// FormatVersion is bumped on any incompatible change to the frame or
+// manifest layout. Readers reject versions they don't know.
+const FormatVersion = 1
+
+const (
+	// frameMagic opens every frame: "MSC1".
+	frameMagic = "MSC1"
+	// frameFixedLen is the fixed-size frame header before the variable
+	// key, hash, and payload sections.
+	frameFixedLen = 60
+
+	codecRaw   = 0
+	codecFlate = 1
+
+	// maxPayloadBytes bounds both rawLen and encLen on decode so a corrupt
+	// or hostile frame header cannot drive an unbounded allocation.
+	maxPayloadBytes = 1 << 28
+	// compressMin is the smallest payload worth running through flate.
+	compressMin = 512
+	// maxManifestBytes bounds the manifest JSON decode (the merge path's
+	// one variable-size external input).
+	maxManifestBytes = 64 << 20
+)
+
+// frameHeader is the decoded fixed+variable header of one frame.
+//
+// On-disk layout (little-endian):
+//
+//	off  len
+//	  0    4  magic "MSC1"
+//	  4    1  codec (0 raw, 1 flate)
+//	  5    1  key length K
+//	  6    1  canonical-hash length H
+//	  7    1  reserved (0)
+//	  8    4  u32 block i
+//	 12    4  u32 block j
+//	 16    4  u32 elements
+//	 20    4  u32 rawLen   (payload size before compression)
+//	 24    4  u32 encLen   (payload size on disk; == rawLen when raw)
+//	 28   32  SHA-256 of the raw payload
+//	 60    K  block key
+//	 60+K  H  canonical mesh digest (hex, or a tagged fallback string)
+//	 ...      encLen payload bytes
+type frameHeader struct {
+	Codec    byte
+	Key      string
+	Hash     string
+	I, J     int
+	Elements int32
+	RawLen   int
+	EncLen   int
+	Sum      [32]byte
+}
+
+// varLen is the frame length after the fixed header, excluding the payload.
+func (h *frameHeader) varLen() int { return len(h.Key) + len(h.Hash) }
+
+// frameLen is the total on-disk frame length.
+func (h *frameHeader) frameLen() int64 {
+	return int64(frameFixedLen + h.varLen() + h.EncLen)
+}
+
+// parseFixed decodes and bounds-checks the fixed header section.
+func parseFixed(b []byte) (frameHeader, int, int, error) {
+	var h frameHeader
+	if len(b) < frameFixedLen {
+		return h, 0, 0, fmt.Errorf("meshstore: short frame header")
+	}
+	if string(b[0:4]) != frameMagic {
+		return h, 0, 0, fmt.Errorf("meshstore: bad frame magic %q", b[0:4])
+	}
+	h.Codec = b[4]
+	if h.Codec != codecRaw && h.Codec != codecFlate {
+		return h, 0, 0, fmt.Errorf("meshstore: unknown codec %d", h.Codec)
+	}
+	keyLen, hashLen := int(b[5]), int(b[6])
+	h.I = int(binary.LittleEndian.Uint32(b[8:]))
+	h.J = int(binary.LittleEndian.Uint32(b[12:]))
+	h.Elements = int32(binary.LittleEndian.Uint32(b[16:]))
+	h.RawLen = int(binary.LittleEndian.Uint32(b[20:]))
+	h.EncLen = int(binary.LittleEndian.Uint32(b[24:]))
+	copy(h.Sum[:], b[28:60])
+	if h.RawLen > maxPayloadBytes || h.EncLen > maxPayloadBytes {
+		return h, 0, 0, fmt.Errorf("meshstore: frame payload %d/%d exceeds bound %d", h.RawLen, h.EncLen, maxPayloadBytes)
+	}
+	if h.Codec == codecRaw && h.EncLen != h.RawLen {
+		return h, 0, 0, fmt.Errorf("meshstore: raw frame encLen %d != rawLen %d", h.EncLen, h.RawLen)
+	}
+	return h, keyLen, hashLen, nil
+}
+
+// flate pools: compression state is large (~600 KiB per writer), so both
+// directions are pooled exactly like the tier-0.5 swap codec.
+var flateWriterPool sync.Pool
+
+func getFlateWriter(w io.Writer) *flate.Writer {
+	if fw, ok := flateWriterPool.Get().(*flate.Writer); ok {
+		fw.Reset(w)
+		return fw
+	}
+	fw, err := flate.NewWriter(w, flate.BestSpeed)
+	if err != nil {
+		// Only reachable for an invalid level constant.
+		panic(err)
+	}
+	return fw
+}
+
+func putFlateWriter(fw *flate.Writer) { flateWriterPool.Put(fw) }
+
+var flateReaderPool sync.Pool
+
+type byteSliceReader struct {
+	b []byte
+}
+
+func (r *byteSliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+func (r *byteSliceReader) ReadByte() (byte, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	c := r.b[0]
+	r.b = r.b[1:]
+	return c, nil
+}
+
+// decodePayload inflates (or copies) one frame's payload section into a
+// freshly owned slice and verifies it against the frame's SHA-256.
+func decodePayload(h frameHeader, enc []byte) ([]byte, error) {
+	if len(enc) != h.EncLen {
+		return nil, fmt.Errorf("meshstore: frame %q payload section %d bytes, want %d", h.Key, len(enc), h.EncLen)
+	}
+	out := make([]byte, h.RawLen)
+	switch h.Codec {
+	case codecRaw:
+		copy(out, enc)
+	case codecFlate:
+		src := &byteSliceReader{b: enc}
+		fr, ok := flateReaderPool.Get().(io.ReadCloser)
+		if ok {
+			if err := fr.(flate.Resetter).Reset(src, nil); err != nil {
+				return nil, fmt.Errorf("meshstore: flate reset: %w", err)
+			}
+		} else {
+			fr = flate.NewReader(src)
+		}
+		defer flateReaderPool.Put(fr)
+		if _, err := io.ReadFull(fr, out); err != nil {
+			return nil, fmt.Errorf("meshstore: frame %q inflate: %w", h.Key, err)
+		}
+		// The stream must end exactly at rawLen: trailing compressed data
+		// means the header lied about the raw size.
+		var extra [1]byte
+		if n, _ := fr.Read(extra[:]); n != 0 {
+			return nil, fmt.Errorf("meshstore: frame %q inflates past rawLen %d", h.Key, h.RawLen)
+		}
+	}
+	if sha256.Sum256(out) != h.Sum {
+		return nil, fmt.Errorf("meshstore: frame %q payload digest mismatch", h.Key)
+	}
+	return out, nil
+}
+
+// HashRecord is the per-block input to the run-wide combined mesh digest:
+// grid coordinates, refined element count, and the block's canonical hash.
+type HashRecord struct {
+	I, J     int
+	Elements int32
+	Hash     string
+}
+
+// CombineHash folds per-block canonical digests into the run-wide MeshHash.
+// The rendering — blocks sorted by (J, I), one "J I Elements Hash" line
+// each — is the format's canonical digest rule; meshgen's in-cluster dump
+// path delegates here, so an offline reader of a store computes the exact
+// hash a live cluster would report.
+func CombineHash(recs []HashRecord) string {
+	sorted := append([]HashRecord(nil), recs...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].J != sorted[b].J {
+			return sorted[a].J < sorted[b].J
+		}
+		return sorted[a].I < sorted[b].I
+	})
+	h := sha256.New()
+	for _, r := range sorted {
+		fmt.Fprintf(h, "%d %d %d %s\n", r.J, r.I, r.Elements, r.Hash)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BlockKey is the canonical key of grid block (i, j); it matches the
+// directory key the placement layer hashes, so a restored run repartitions
+// blocks by the same identity the writing run placed them under.
+func BlockKey(i, j int) string { return fmt.Sprintf("block-%d-%d", i, j) }

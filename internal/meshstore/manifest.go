@@ -1,0 +1,237 @@
+package meshstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Meta carries the generation parameters a rank-independent restore needs:
+// the grid dimension and the refinement inputs. Node count and placement
+// are deliberately absent — they are properties of the writing run, not of
+// the mesh.
+type Meta struct {
+	Blocks         int     `json:"blocks"`
+	TargetElements int     `json:"target_elements"`
+	QualityBound   float64 `json:"quality_bound,omitempty"`
+}
+
+// Record indexes one block frame inside a chunk.
+type Record struct {
+	Key        string `json:"key"`
+	I          int    `json:"i"`
+	J          int    `json:"j"`
+	Elements   int32  `json:"elements"`
+	Hash       string `json:"hash"`
+	PayloadSHA string `json:"payload_sha256"`
+	Offset     int64  `json:"offset"`
+	Length     int64  `json:"length"`
+	RawLen     int    `json:"raw_len"`
+}
+
+// HashRecord projects the record onto the combined-digest input.
+func (r Record) HashRecord() HashRecord {
+	return HashRecord{I: r.I, J: r.J, Elements: r.Elements, Hash: r.Hash}
+}
+
+// Chunk describes one chunk file and the frames it holds.
+type Chunk struct {
+	Name    string   `json:"name"`
+	Writer  int      `json:"writer"`
+	Bytes   int64    `json:"bytes"`
+	Records []Record `json:"records"`
+}
+
+// Manifest is the store's index: format version, generation meta, the
+// chunk index, and — once the grid is fully covered — the run-wide
+// combined MeshHash. Partial marks a store that does not (yet) cover the
+// whole grid: a mid-run streaming export, or a crash-truncated one.
+type Manifest struct {
+	Format   int     `json:"format"`
+	Meta     Meta    `json:"meta"`
+	Writers  int     `json:"writers,omitempty"`
+	Partial  bool    `json:"partial,omitempty"`
+	MeshHash string  `json:"mesh_hash,omitempty"`
+	Chunks   []Chunk `json:"chunks"`
+}
+
+// MergedManifestName is the file a complete, merged store is indexed by.
+const MergedManifestName = "MANIFEST.json"
+
+func chunkName(writer int) string    { return fmt.Sprintf("chunk-%03d.mshc", writer) }
+func manifestName(writer int) string { return fmt.Sprintf("manifest-%03d.json", writer) }
+
+// IsChunkName reports whether name is a well-formed chunk file name. It is
+// the only sanctioned way for a server to map request paths onto store
+// files, so path traversal never reaches the filesystem.
+func IsChunkName(name string) bool {
+	var w int
+	if _, err := fmt.Sscanf(name, "chunk-%d.mshc", &w); err != nil {
+		return false
+	}
+	return w >= 0 && name == chunkName(w)
+}
+
+// Blocks counts the records across all chunks.
+func (m *Manifest) Blocks() int {
+	n := 0
+	for _, c := range m.Chunks {
+		n += len(c.Records)
+	}
+	return n
+}
+
+// Records returns all records across chunks in canonical (J, I) order.
+func (m *Manifest) Records() []Record {
+	out := make([]Record, 0, m.Blocks())
+	for _, c := range m.Chunks {
+		out = append(out, c.Records...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].J != out[b].J {
+			return out[a].J < out[b].J
+		}
+		return out[a].I < out[b].I
+	})
+	return out
+}
+
+// hashRecords projects every record onto the combined-digest input.
+func (m *Manifest) hashRecords() []HashRecord {
+	recs := m.Records()
+	out := make([]HashRecord, len(recs))
+	for i, r := range recs {
+		out[i] = r.HashRecord()
+	}
+	return out
+}
+
+// complete reports whether the manifest covers the full Blocks×Blocks grid
+// with every block key appearing exactly once.
+func (m *Manifest) complete() (bool, []string) {
+	var problems []string
+	nb := m.Meta.Blocks
+	if nb <= 0 {
+		return false, nil
+	}
+	seen := make(map[string]bool, m.Blocks())
+	for _, c := range m.Chunks {
+		for _, r := range c.Records {
+			if seen[r.Key] {
+				problems = append(problems, fmt.Sprintf("block %q appears more than once", r.Key))
+			}
+			seen[r.Key] = true
+			if r.I < 0 || r.I >= nb || r.J < 0 || r.J >= nb {
+				problems = append(problems, fmt.Sprintf("block %q outside %dx%d grid", r.Key, nb, nb))
+			}
+			if r.Key != BlockKey(r.I, r.J) {
+				problems = append(problems, fmt.Sprintf("block key %q does not match coordinates (%d,%d)", r.Key, r.I, r.J))
+			}
+		}
+	}
+	return len(seen) == nb*nb && len(problems) == 0, problems
+}
+
+// seal recomputes the manifest's Partial flag and, when the grid is fully
+// covered, its combined MeshHash.
+func (m *Manifest) seal() {
+	ok, _ := m.complete()
+	m.Partial = !ok
+	if ok {
+		m.MeshHash = CombineHash(m.hashRecords())
+	} else {
+		m.MeshHash = ""
+	}
+}
+
+// readManifestFile decodes one manifest JSON file under the decode bound.
+func readManifestFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// The +1 makes an at-bound file distinguishable from an over-bound one.
+	data, err := io.ReadAll(io.LimitReader(f, maxManifestBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("meshstore: read %s: %w", path, err)
+	}
+	if len(data) > maxManifestBytes {
+		return nil, fmt.Errorf("meshstore: manifest %s exceeds %d-byte bound", path, maxManifestBytes)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("meshstore: decode %s: %w", path, err)
+	}
+	if m.Format != FormatVersion {
+		return nil, fmt.Errorf("meshstore: %s has format %d, reader supports %d", path, m.Format, FormatVersion)
+	}
+	return &m, nil
+}
+
+// writeManifestFile writes a manifest atomically (temp file + rename), so
+// a reader never observes a half-written index even while writers run.
+func writeManifestFile(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// MergeManifests folds every per-writer manifest in dir into the single
+// MANIFEST.json index and returns it. All writers must agree on format and
+// meta; the merged manifest is sealed (Partial recomputed, MeshHash set
+// when the grid is fully covered). Merging reads only the small per-writer
+// indexes — mesh payloads never pass through the merging process.
+func MergeManifests(dir string) (*Manifest, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "manifest-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("meshstore: no per-writer manifests in %s", dir)
+	}
+	sort.Strings(names)
+	merged := &Manifest{Format: FormatVersion}
+	for i, name := range names {
+		m, err := readManifestFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			merged.Meta = m.Meta
+		} else if m.Meta != merged.Meta {
+			return nil, fmt.Errorf("meshstore: %s meta %+v disagrees with %+v", name, m.Meta, merged.Meta)
+		}
+		merged.Chunks = append(merged.Chunks, m.Chunks...)
+	}
+	merged.Writers = len(names)
+	merged.seal()
+	if err := writeManifestFile(filepath.Join(dir, MergedManifestName), merged); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}

@@ -1,0 +1,70 @@
+package meshstore
+
+import (
+	"sync/atomic"
+
+	"mrts/internal/obs"
+)
+
+// Package-wide counters for the export/restore data path. They are
+// process-global (like the bufpool counters): every writer and store in
+// the process folds into one view of bytes at rest and bytes moved.
+var (
+	statBlocksWritten  atomic.Int64
+	statBytesWritten   atomic.Int64
+	statRawBytes       atomic.Int64
+	statBlocksRead     atomic.Int64
+	statBytesRead      atomic.Int64
+	statBlocksRestored atomic.Int64
+	statVerifyErrors   atomic.Int64
+)
+
+// Stats is a snapshot of the package counters.
+type Stats struct {
+	BlocksWritten  int64 // frames appended across all writers
+	BytesWritten   int64 // chunk bytes written (framed, post-compression)
+	RawBytes       int64 // payload bytes before compression
+	BlocksRead     int64 // payloads decoded through Store.Payload
+	BytesRead      int64 // frame bytes read for those payloads
+	BlocksRestored int64 // blocks re-created into a runtime from a store
+	VerifyErrors   int64 // problems found by Verify
+}
+
+// Snapshot returns the current package counters.
+func Snapshot() Stats {
+	return Stats{
+		BlocksWritten:  statBlocksWritten.Load(),
+		BytesWritten:   statBytesWritten.Load(),
+		RawBytes:       statRawBytes.Load(),
+		BlocksRead:     statBlocksRead.Load(),
+		BytesRead:      statBytesRead.Load(),
+		BlocksRestored: statBlocksRestored.Load(),
+		VerifyErrors:   statVerifyErrors.Load(),
+	}
+}
+
+// ResetStats zeroes the package counters (bench cells measure deltas).
+func ResetStats() {
+	statBlocksWritten.Store(0)
+	statBytesWritten.Store(0)
+	statRawBytes.Store(0)
+	statBlocksRead.Store(0)
+	statBytesRead.Store(0)
+	statBlocksRestored.Store(0)
+	statVerifyErrors.Store(0)
+}
+
+// RegisterMetrics exposes the package counters as meshstore.* gauges on a
+// metrics registry.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("meshstore.blocks_written", func() float64 { return float64(statBlocksWritten.Load()) })
+	reg.Gauge("meshstore.bytes_written", func() float64 { return float64(statBytesWritten.Load()) })
+	reg.Gauge("meshstore.raw_bytes", func() float64 { return float64(statRawBytes.Load()) })
+	reg.Gauge("meshstore.blocks_read", func() float64 { return float64(statBlocksRead.Load()) })
+	reg.Gauge("meshstore.bytes_read", func() float64 { return float64(statBytesRead.Load()) })
+	reg.Gauge("meshstore.blocks_restored", func() float64 { return float64(statBlocksRestored.Load()) })
+	reg.Gauge("meshstore.verify_errors", func() float64 { return float64(statVerifyErrors.Load()) })
+}

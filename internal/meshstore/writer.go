@@ -1,0 +1,232 @@
+package meshstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mrts/internal/bufpool"
+	"mrts/internal/obs"
+)
+
+// WriterConfig configures one node's chunk writer.
+type WriterConfig struct {
+	// Dir is the store directory (created if missing).
+	Dir string
+	// Writer is this node's writer index; it only names the chunk file and
+	// carries no placement meaning.
+	Writer int
+	// Meta is recorded in the per-writer manifest at Finalize. Every
+	// writer of a run must pass the same value.
+	Meta Meta
+	// Compress runs payloads through the flate framing when it shrinks
+	// them (the tier-0.5 rule: raw fallback when it doesn't).
+	Compress bool
+	// Tracer, when non-nil, receives a mesh.export event per appended
+	// frame (ID: the packed block coordinates, Arg: the frame bytes).
+	Tracer *obs.Tracer
+}
+
+// Writer appends framed block records to one chunk file. It is safe for
+// concurrent use: export rides runtime handler workers, so several blocks
+// of one node can commit at once. Frames become durable in append order,
+// which is commit order — a reader racing the writer sees a clean prefix.
+type Writer struct {
+	cfg   WriterConfig
+	mu    sync.Mutex
+	f     *os.File
+	off   int64
+	chunk Chunk
+	err   error // sticky: first failure poisons the writer
+	done  bool
+}
+
+// NewWriter creates (or truncates) this writer's chunk file. Truncation is
+// deliberate: a relaunched node re-exports its whole partition, discarding
+// whatever half-written frames its previous incarnation left behind.
+func NewWriter(cfg WriterConfig) (*Writer, error) {
+	if cfg.Writer < 0 {
+		return nil, fmt.Errorf("meshstore: negative writer index %d", cfg.Writer)
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("meshstore: %w", err)
+	}
+	name := chunkName(cfg.Writer)
+	f, err := os.Create(filepath.Join(cfg.Dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("meshstore: %w", err)
+	}
+	// A fresh export invalidates this writer's previous index, if any.
+	os.Remove(filepath.Join(cfg.Dir, manifestName(cfg.Writer)))
+	return &Writer{
+		cfg:   cfg,
+		f:     f,
+		chunk: Chunk{Name: name, Writer: cfg.Writer},
+	}, nil
+}
+
+// Append frames one block and writes it to the chunk. hash is the block's
+// canonical mesh digest (as reported in dump lines); payload is the
+// block's encoded state, opaque to the store.
+func (w *Writer) Append(key string, i, j int, elements int32, hash string, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.done {
+		return w.fail(fmt.Errorf("meshstore: append to finalized writer %d", w.cfg.Writer))
+	}
+	if len(key) > 255 || len(hash) > 255 {
+		return w.fail(fmt.Errorf("meshstore: key/hash too long for block %q", key))
+	}
+	if len(payload) > maxPayloadBytes {
+		return w.fail(fmt.Errorf("meshstore: block %q payload %d exceeds bound %d", key, len(payload), maxPayloadBytes))
+	}
+	if i < 0 || j < 0 {
+		return w.fail(fmt.Errorf("meshstore: negative block coordinates (%d,%d)", i, j))
+	}
+	sum := sha256.Sum256(payload)
+
+	bw := bufpool.GetWriter(frameFixedLen + len(key) + len(hash) + len(payload))
+	defer bufpool.PutWriter(bw)
+	var hdr [frameFixedLen]byte
+	copy(hdr[0:4], frameMagic)
+	hdr[4] = codecRaw
+	hdr[5] = byte(len(key))
+	hdr[6] = byte(len(hash))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(i))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(j))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(elements))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(payload)))
+	copy(hdr[28:60], sum[:])
+	bw.Write(hdr[:])
+	bw.Write([]byte(key))
+	bw.Write([]byte(hash))
+
+	payloadOff := bw.Len()
+	codec := byte(codecRaw)
+	if w.cfg.Compress && len(payload) >= compressMin {
+		fw := getFlateWriter(bw)
+		_, werr := fw.Write(payload)
+		if cerr := fw.Close(); werr == nil {
+			werr = cerr
+		}
+		putFlateWriter(fw)
+		if werr == nil && bw.Len()-payloadOff < len(payload) {
+			codec = codecFlate
+		} else {
+			// Flate failed or didn't shrink it: keep the header and
+			// sections, drop the compressed attempt, store raw.
+			bw.Truncate(payloadOff)
+		}
+	}
+	if codec == codecRaw {
+		bw.Write(payload)
+	}
+	frame := bw.Bytes()
+	frame[4] = codec
+	binary.LittleEndian.PutUint32(frame[24:], uint32(bw.Len()-payloadOff))
+
+	if _, err := w.f.Write(frame); err != nil {
+		return w.fail(fmt.Errorf("meshstore: append block %q: %w", key, err))
+	}
+	w.chunk.Records = append(w.chunk.Records, Record{
+		Key:        key,
+		I:          i,
+		J:          j,
+		Elements:   elements,
+		Hash:       hash,
+		PayloadSHA: hex.EncodeToString(sum[:]),
+		Offset:     w.off,
+		Length:     int64(len(frame)),
+		RawLen:     len(payload),
+	})
+	w.off += int64(len(frame))
+	w.chunk.Bytes = w.off
+	statBlocksWritten.Add(1)
+	statBytesWritten.Add(int64(len(frame)))
+	statRawBytes.Add(int64(len(payload)))
+	w.cfg.Tracer.Emit(obs.KindMeshExport, packBlockID(i, j), int64(len(frame)))
+	return nil
+}
+
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return err
+}
+
+// Blocks returns the number of frames appended so far.
+func (w *Writer) Blocks() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.chunk.Records)
+}
+
+// Bytes returns the chunk size so far.
+func (w *Writer) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.off
+}
+
+// Err returns the sticky error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Finalize syncs and closes the chunk and writes this writer's manifest
+// atomically. The per-writer manifest indexes only this chunk; a
+// coordinator folds all of them into MANIFEST.json with MergeManifests.
+func (w *Writer) Finalize() (*Manifest, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return nil, w.err
+	}
+	if w.done {
+		return nil, w.fail(fmt.Errorf("meshstore: writer %d finalized twice", w.cfg.Writer))
+	}
+	w.done = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return nil, w.fail(fmt.Errorf("meshstore: sync chunk: %w", err))
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, w.fail(fmt.Errorf("meshstore: close chunk: %w", err))
+	}
+	m := &Manifest{
+		Format: FormatVersion,
+		Meta:   w.cfg.Meta,
+		Chunks: []Chunk{w.chunk},
+	}
+	m.seal()
+	path := filepath.Join(w.cfg.Dir, manifestName(w.cfg.Writer))
+	if err := writeManifestFile(path, m); err != nil {
+		return nil, w.fail(fmt.Errorf("meshstore: write manifest: %w", err))
+	}
+	return m, nil
+}
+
+// Close abandons the writer without a manifest, leaving whatever frames
+// were appended on disk (they remain readable as a partial chunk).
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return nil
+	}
+	w.done = true
+	return w.f.Close()
+}
+
+// packBlockID packs grid coordinates into a trace event ID.
+func packBlockID(i, j int) uint64 { return uint64(j)<<32 | uint64(uint32(i)) }

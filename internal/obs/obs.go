@@ -112,6 +112,20 @@ const (
 	// pre-speculation snapshot after losing a conflict (ID: the object's
 	// packed mobile pointer, Arg: the speculation epoch rolled back).
 	KindSpeculRollback
+	// KindSpeculThrottle marks adaptive speculation throttling engaging: a
+	// conflict loser whose retry was demoted to bulk-sync pacing because
+	// the observed conflict rate over the sliding announce window exceeded
+	// the configured threshold (ID: the object's packed mobile pointer,
+	// Arg: the retry epoch that ran in bulk mode).
+	KindSpeculThrottle
+	// KindMeshExport marks one block frame appended to a meshstore chunk
+	// at an irrevocable commit point (ID: the packed block grid
+	// coordinates, Arg: the frame bytes written).
+	KindMeshExport
+	// KindMeshRestore marks one block re-created into a runtime from a
+	// meshstore chunk during a rank-independent restore (ID: the packed
+	// block grid coordinates, Arg: the raw payload bytes).
+	KindMeshRestore
 	numKinds
 )
 
@@ -170,6 +184,12 @@ func (k Kind) String() string {
 		return "specul.conflict"
 	case KindSpeculRollback:
 		return "specul.rollback"
+	case KindSpeculThrottle:
+		return "specul.throttle"
+	case KindMeshExport:
+		return "mesh.export"
+	case KindMeshRestore:
+		return "mesh.restore"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -192,8 +212,10 @@ func (k Kind) Track() string {
 		return "cluster"
 	case KindHandler:
 		return "app"
-	case KindSpeculConflict, KindSpeculRollback:
+	case KindSpeculConflict, KindSpeculRollback, KindSpeculThrottle:
 		return "specul"
+	case KindMeshExport, KindMeshRestore:
+		return "mesh"
 	default:
 		return "mcast"
 	}

@@ -63,6 +63,11 @@ const (
 	// mid-run graceful churn of one node. The budget is sized for mesh
 	// blocks rather than ballast counters, and a churn victim is drawn.
 	FaultSpecul
+	// FaultMeshRestore streams a mesh into a meshstore chunk while the
+	// generating cluster takes transient swap faults, then restores the
+	// store onto a differently-sized cluster whose swap stores fault too.
+	// Mesh-sized budget like FaultSpecul, so blocks swap during both halves.
+	FaultMeshRestore
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +87,8 @@ func (k FaultKind) String() string {
 		return "routed-churn"
 	case FaultSpecul:
 		return "specul"
+	case FaultMeshRestore:
+		return "mesh-restore"
 	default:
 		return "invalid"
 	}
@@ -157,6 +164,9 @@ func expandPlan(seed int64, kind FaultKind) Plan {
 		// tight enough that speculative blocks still swap mid-protocol,
 		// but large enough to hold a couple of refined blocks per node.
 		p.MemBudget = int64(60_000 + rng.Intn(60_000))
+	case FaultMeshRestore:
+		p.FailFirst = 1 + rng.Intn(2)
+		p.MemBudget = int64(60_000 + rng.Intn(60_000)) // mesh-sized, as above
 	}
 	return p
 }
@@ -194,7 +204,7 @@ func (p Plan) clusterConfig(clk Clock, factory core.Factory) cluster.Config {
 	switch p.Fault {
 	case FaultRoutedChurn:
 		cfg.Routing = cluster.RoutePlaced
-	case FaultTransient, FaultSpecul:
+	case FaultTransient, FaultSpecul, FaultMeshRestore:
 		cfg.Fault = &storage.FaultConfig{
 			Seed:          p.Seed,
 			FailFirstGets: p.FailFirst,

@@ -19,7 +19,7 @@ var (
 
 // scenarioForSeed distributes the seed space across the scenarios.
 func scenarioForSeed(seed int64) Scenario {
-	switch seed % 9 {
+	switch seed % 10 {
 	case 0:
 		return CounterStorm{}
 	case 1:
@@ -36,8 +36,10 @@ func scenarioForSeed(seed int64) Scenario {
 		return NodeCrashStorm{}
 	case 7:
 		return RoutedChurnStorm{}
-	default:
+	case 8:
 		return SpeculStorm{}
+	default:
+		return MeshRestoreStorm{}
 	}
 }
 
@@ -92,7 +94,7 @@ func TestSoak(t *testing.T) {
 // exported traces to match byte for byte — the property that makes
 // -sim.seed replays trustworthy.
 func TestSeedReplayByteEqual(t *testing.T) {
-	for seed := int64(1); seed <= 9; seed++ {
+	for seed := int64(1); seed <= 10; seed++ {
 		first := runSeed(t, seed)
 		second := runSeed(t, seed)
 		if !bytes.Equal(first.TraceBytes(), second.TraceBytes()) {
